@@ -1,0 +1,72 @@
+// Ablation A5 — spill compression.
+//
+// The multi-pass merge's I/O volume is the paper's central bottleneck;
+// compressing spill runs (Hadoop's mapred.compress.* analogue) trades CPU
+// for that volume.  Measured across the sort-merge and incremental
+// reducers under a tight memory budget.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/config.h"
+#include "core/opmr.h"
+#include "metrics/report.h"
+#include "workloads/tasks.h"
+
+int main(int argc, char** argv) {
+  using namespace opmr;
+  const auto cfg = Config::FromArgs(argc, argv);
+
+  bench::Banner("Ablation A5: spill compression (OZ codec) "
+                "(real engine, per-user count, tight reducer memory)");
+
+  Platform platform({.num_nodes = 2, .block_bytes = 4u << 20});
+  ClickStreamOptions gen;
+  gen.num_records = static_cast<std::uint64_t>(cfg.GetInt("records", 2'000'000));
+  gen.num_users = 40'000;
+  GenerateClickStream(platform.dfs(), "clicks", gen);
+
+  struct Case {
+    const char* system;
+    JobOptions base;
+  };
+  std::vector<Case> cases = {
+      {"sort-merge", HadoopOptions()},
+      {"incremental hash", HashOnePassOptions()},
+  };
+
+  TextTable table;
+  table.AddRow({"System", "Compress", "Spill write", "Spill read",
+                "Wall time", "Total CPU"});
+  CsvWriter csv(bench::OutDir() / "ablation_compression.csv");
+  csv.WriteRow({"system", "compress", "spill_write", "spill_read", "wall_s",
+                "cpu_s"});
+
+  int i = 0;
+  for (const auto& c : cases) {
+    for (bool compress : {false, true}) {
+      JobOptions options = c.base;
+      options.map_side_combine = false;
+      options.reduce_buffer_bytes = 512u << 10;
+      options.merge_factor = 4;
+      options.compress_spills = compress;
+      const auto spec =
+          PerUserCountJob("clicks", "a5_" + std::to_string(i++), 4);
+      const auto r = platform.Run(spec, options);
+      table.AddRow({c.system, compress ? "yes" : "no",
+                    HumanBytes(double(r.Bytes(device::kSpillWrite))),
+                    HumanBytes(double(r.Bytes(device::kSpillRead))),
+                    HumanSeconds(r.wall_seconds),
+                    HumanSeconds(r.total_cpu_seconds)});
+      csv.WriteRow({c.system, compress ? "1" : "0",
+                    std::to_string(r.Bytes(device::kSpillWrite)),
+                    std::to_string(r.Bytes(device::kSpillRead)),
+                    std::to_string(r.wall_seconds),
+                    std::to_string(r.total_cpu_seconds)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nExpected shape: compression cuts spill volume severalfold "
+              "for structured keys\nat a modest CPU cost — the same trade "
+              "Hadoop deployments make.\n");
+  return 0;
+}

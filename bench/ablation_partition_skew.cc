@@ -1,0 +1,66 @@
+// Ablation A8 — partition skew across reducers.
+//
+// Hash partitioning balances *keys*, not *records*: with Zipf-skewed data
+// the reducer owning the hottest keys does disproportionate work — the
+// imbalance the paper's related work ([19], skew-resistant processing)
+// targets.  Measured two ways: output keys per reducer (what hash
+// partitioning balances well) and shuffled records per reducer under the
+// no-combiner sessionization-style load (what it cannot).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/config.h"
+#include "core/opmr.h"
+#include "engine/aggregators.h"
+#include "metrics/report.h"
+#include "workloads/tasks.h"
+
+int main(int argc, char** argv) {
+  using namespace opmr;
+  const auto cfg = Config::FromArgs(argc, argv);
+
+  bench::Banner("Ablation A8: partition skew across reducers (real engine)");
+
+  TextTable table;
+  table.AddRow({"theta", "Reducers", "Key imbalance (max/mean)",
+                "Hottest key share of records"});
+  CsvWriter csv(bench::OutDir() / "ablation_partition_skew.csv");
+  csv.WriteRow({"theta", "reducers", "key_imbalance", "hot_share"});
+
+  for (double theta : {0.2, 0.8, 1.1, 1.4}) {
+    Platform platform({.num_nodes = 2, .block_bytes = 2u << 20});
+    ClickStreamOptions gen;
+    gen.num_records =
+        static_cast<std::uint64_t>(cfg.GetInt("records", 1'000'000));
+    gen.num_users = 50'000;
+    gen.user_theta = theta;
+    GenerateClickStream(platform.dfs(), "clicks", gen);
+
+    const int reducers = 8;
+    const auto r = platform.Run(PerUserCountJob("clicks", "skew_out", 8),
+                                HashOnePassOptions());
+
+    // Share of all records belonging to the single hottest user: the floor
+    // on any partitioning scheme's imbalance.
+    std::uint64_t hottest = 0;
+    for (const auto& [user, v] : platform.ReadOutput("skew_out", reducers)) {
+      hottest = std::max(hottest, DecodeValueU64(v));
+    }
+    char theta_s[16], share[16];
+    std::snprintf(theta_s, sizeof(theta_s), "%.1f", theta);
+    std::snprintf(share, sizeof(share), "%.1f%%",
+                  100.0 * hottest / gen.num_records);
+    char imb[16];
+    std::snprintf(imb, sizeof(imb), "%.2fx", r.ReducerImbalance());
+    table.AddRow({theta_s, std::to_string(reducers), imb, share});
+    csv.WriteRow({theta_s, std::to_string(reducers),
+                  std::to_string(r.ReducerImbalance()),
+                  std::to_string(double(hottest) / gen.num_records)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nExpected shape: key-count imbalance stays near 1.0x (hash "
+              "partitioning spreads\nkeys uniformly), while the hottest "
+              "key's record share — the irreducible skew a\nper-key "
+              "partitioner cannot split — grows sharply with theta.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Section V preliminary results — carefully tuned sort-merge Hadoop vs the
+// hash-based one-pass runtime, on the real engine.
+//
+// Shape targets (paper §V):
+//   * the hash system saves up to ~48 % of CPU cycles,
+//   * and up to ~53 % of running time,
+//   * with the frequent algorithm + hashing, reduce-phase spill I/O drops
+//     by ~three orders of magnitude versus sort-merge.
+//
+// The CPU comparison uses the binary (pre-parsed) input format: the paper
+// notes that once parsing is cheap ("mutable parsing" [17]), the sorting
+// overhead becomes even more prominent — this is the regime where the
+// hash replacement shows its full advantage.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/config.h"
+#include "core/opmr.h"
+#include "metrics/report.h"
+#include "workloads/tasks.h"
+
+namespace {
+
+struct Measured {
+  double wall = 0;
+  double cpu = 0;
+  std::int64_t spill = 0;
+};
+
+Measured RunCase(opmr::Platform& platform, const opmr::JobSpec& spec,
+                 const opmr::JobOptions& options, bool verbose = false) {
+  const auto r = platform.Run(spec, options);
+  if (verbose) {
+    for (const auto& [phase, secs] : r.cpu_seconds) {
+      std::printf("    %-18s %7.3f s\n", phase.c_str(), secs);
+    }
+  }
+  return {r.wall_seconds, r.total_cpu_seconds,
+          r.Bytes(opmr::device::kSpillWrite)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opmr;
+  const auto cfg = Config::FromArgs(argc, argv);
+  const bool verbose = cfg.GetBool("verbose", false);
+
+  bench::Banner("Section V: tuned Hadoop (sort-merge) vs hash-based "
+                "one-pass runtime (real engine)");
+
+  Platform platform({.num_nodes = 2,
+                     .map_slots_per_node = 2,
+                     .block_bytes = 8u << 20});
+
+  // --- CPU / runtime comparison (ample memory, per-user counting) -----------
+  {
+    ClickStreamOptions gen;
+    gen.num_records =
+        static_cast<std::uint64_t>(cfg.GetInt("records", 4'000'000));
+    gen.num_users = 50'000;  // repeat-visitor head: folds are cheap, sorts are not
+    gen.num_urls = 100'000;
+    gen.user_theta = 0.9;
+    gen.format = ClickFormat::kBinary;
+    GenerateClickStream(platform.dfs(), "clicks_bin", gen);
+
+    const auto sm = RunCase(
+        platform, PerUserCountJob("clicks_bin", "s5_sm", 4, ClickFormat::kBinary),
+        HadoopOptions(), verbose);
+    const auto hash = RunCase(
+        platform, PerUserCountJob("clicks_bin", "s5_h", 4, ClickFormat::kBinary),
+        HashOnePassOptions(), verbose);
+
+    std::printf("\nPer-user count (binary input), ample memory:\n");
+    TextTable t1;
+    t1.AddRow({"System", "Wall time", "CPU cycles (s)", "Reduce spill"});
+    t1.AddRow({"sort-merge (Hadoop)", HumanSeconds(sm.wall),
+               HumanSeconds(sm.cpu), HumanBytes(double(sm.spill))});
+    t1.AddRow({"hash one-pass", HumanSeconds(hash.wall),
+               HumanSeconds(hash.cpu), HumanBytes(double(hash.spill))});
+    std::printf("%s", t1.ToString().c_str());
+    std::printf("CPU cycles saved: %s (paper: up to 48%%)\n",
+                Percent(1.0 - hash.cpu / sm.cpu).c_str());
+    std::printf("Running time saved: %s (paper: up to 53%%)\n",
+                Percent(1.0 - hash.wall / sm.wall).c_str());
+
+    CsvWriter csv(bench::OutDir() / "sec5_cpu.csv");
+    csv.WriteRow({"case", "wall_s", "cpu_s"});
+    csv.WriteRow({"sortmerge", std::to_string(sm.wall), std::to_string(sm.cpu)});
+    csv.WriteRow({"hash", std::to_string(hash.wall), std::to_string(hash.cpu)});
+  }
+
+  // --- Memory-constrained spill comparison (frequent algorithm) -------------
+  // The paper's regime for reduce technique 3: per-key states do NOT all fit
+  // in reducer memory, and the key distribution is heavily skewed, so the
+  // Space-Saving hot set absorbs almost the entire stream.  No combiner:
+  // the reducers see the raw click stream.
+  {
+    ClickStreamOptions gen;
+    gen.num_records =
+        static_cast<std::uint64_t>(cfg.GetInt("records", 6'000'000));
+    gen.num_users = 4'096;       // hot head of repeat visitors
+    gen.user_theta = 1.1;
+    gen.tail_fraction = 0.002;   // one-off visitors: 0.2 % of clicks...
+    gen.tail_universe = 2'000'000;  // ...spread over a vast id space
+    GenerateClickStream(platform.dfs(), "clicks_skew", gen);
+
+    auto tight = [](JobOptions o) {
+      o.map_side_combine = false;
+      o.reduce_buffer_bytes = 256u << 10;  // cannot hold every key's state
+      o.hot_key_capacity = 2048;           // per-reducer pinned hot set
+      return o;
+    };
+    const auto sm2 = RunCase(platform,
+                             PerUserCountJob("clicks_skew", "s5_sm2", 4),
+                             tight(HadoopOptions()));
+    const auto inc2 = RunCase(platform,
+                              PerUserCountJob("clicks_skew", "s5_i2", 4),
+                              tight(HashOnePassOptions()));
+    const auto hot2 = RunCase(platform,
+                              PerUserCountJob("clicks_skew", "s5_k2", 4),
+                              tight(HotKeyOnePassOptions(2048)));
+
+    std::printf("\nPer-user count, memory-constrained reducers (no combiner,"
+                "\n  %llu-key hot head + %.1f%% one-off tail over %llu ids):\n",
+                static_cast<unsigned long long>(gen.num_users),
+                100 * gen.tail_fraction,
+                static_cast<unsigned long long>(gen.tail_universe));
+    TextTable t2;
+    t2.AddRow({"System", "Reduce spill bytes", "vs sort-merge"});
+    t2.AddRow({"sort-merge (Hadoop)", HumanBytes(double(sm2.spill)), "1x"});
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx less",
+                  sm2.spill / std::max<double>(1.0, double(inc2.spill)));
+    t2.AddRow({"incremental hash", HumanBytes(double(inc2.spill)), buf});
+    std::snprintf(buf, sizeof(buf), "%.0fx less",
+                  sm2.spill / std::max<double>(1.0, double(hot2.spill)));
+    t2.AddRow({"incremental hash + frequent (hot keys)",
+               HumanBytes(double(hot2.spill)), buf});
+    std::printf("%s", t2.ToString().c_str());
+    std::printf("Paper: hashing + frequent algorithm cuts reduce spill I/O "
+                "by ~3 orders of magnitude.\n");
+
+    CsvWriter csv(bench::OutDir() / "sec5_spill.csv");
+    csv.WriteRow({"case", "spill_bytes"});
+    csv.WriteRow({"sortmerge_tight", std::to_string(sm2.spill)});
+    csv.WriteRow({"incremental_tight", std::to_string(inc2.spill)});
+    csv.WriteRow({"hotkey_tight", std::to_string(hot2.spill)});
+  }
+  return 0;
+}

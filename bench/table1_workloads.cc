@@ -1,0 +1,84 @@
+// Table I — workloads and their running time in the benchmark.
+//
+// Replays all four workloads on the simulated 10-node cluster (Hadoop
+// sort-merge runtime) and prints the paper's table columns next to the
+// paper's own numbers.  Shape targets: intermediate/input ratios of
+// ≈{105 %, 0.35 %, 1 %, 35 %} map output (plus the merge-rewrite inflation
+// for the spill row), map ≈ reduce phase split for sessionization, and a
+// tiny reduce phase for the counting workloads.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "metrics/report.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace opmr;
+  using namespace opmr::sim;
+
+  bench::Banner("Table I: workloads and their running time (simulated "
+                "10-node cluster, Hadoop runtime)");
+
+  struct Row {
+    SimWorkload workload;
+    const char* paper_completion;
+    const char* paper_map_out;
+    const char* paper_spill;
+    const char* paper_output;
+    int paper_maps;
+  };
+  const std::vector<Row> rows = {
+      {Sessionization256(), "76 min.", "269 GB", "370 GB", "256 GB", 3773},
+      {PageFrequency508(), "40 min.", "1.8 GB", "0.2 GB", "0.02 GB", 7580},
+      {PerUserCount256(), "24 min.", "2.6 GB", "1.4 GB", "0.6 GB", 3773},
+      {InvertedIndex427(), "118 min.", "150 GB", "150 GB", "103 GB", 6803},
+  };
+
+  TextTable table;
+  table.AddRow({"Setting", "Input", "Map output", "Reduce spill",
+                "Inter/input", "Output", "Map tasks", "Reduce tasks",
+                "Completion", "(paper)"});
+
+  CsvWriter csv(bench::OutDir() / "table1.csv");
+  csv.WriteRow({"workload", "input_bytes", "map_output_bytes",
+                "spill_write_bytes", "output_bytes", "map_tasks",
+                "reduce_tasks", "completion_s", "paper_completion"});
+
+  for (const auto& row : rows) {
+    SimConfig config;  // defaults: 10 nodes, single disk, Hadoop
+    const SimResult r = SimulateJob(row.workload, config);
+    table.AddRow({
+        row.workload.name,
+        HumanBytes(row.workload.input_bytes),
+        HumanBytes(r.map_output_write_bytes),
+        HumanBytes(r.spill_write_bytes),
+        Percent(r.map_output_write_bytes / row.workload.input_bytes),
+        HumanBytes(r.output_write_bytes),
+        std::to_string(r.num_map_tasks),
+        std::to_string(r.num_reduce_tasks),
+        HumanSeconds(r.completion_s),
+        row.paper_completion,
+    });
+    csv.WriteRow({row.workload.name, std::to_string(row.workload.input_bytes),
+                  std::to_string(r.map_output_write_bytes),
+                  std::to_string(r.spill_write_bytes),
+                  std::to_string(r.output_write_bytes),
+                  std::to_string(r.num_map_tasks),
+                  std::to_string(r.num_reduce_tasks),
+                  std::to_string(r.completion_s), row.paper_completion});
+
+    std::printf("%-16s map phase %5.0f s | merge+reduce %5.0f s | merges %d\n",
+                row.workload.name.c_str(), r.map_phase_end_s,
+                r.completion_s - r.map_phase_end_s, r.merge_operations);
+  }
+
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf("\nPaper reference row (map output / spill / output): \n");
+  for (const auto& row : rows) {
+    std::printf("  %-16s %s / %s / %s, %d map tasks, %s\n",
+                row.workload.name.c_str(), row.paper_map_out, row.paper_spill,
+                row.paper_output, row.paper_maps, row.paper_completion);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: word counting with the OPMR one-pass analytics platform.
+//
+//   1. Stand up an in-process "cluster" (mini-DFS + executor).
+//   2. Load a small document corpus into the DFS.
+//   3. Run the canonical word-count job on the hash-based one-pass runtime.
+//   4. Read the answers back and print the most frequent words.
+//
+// Build & run:   ./build/examples/quickstart
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/opmr.h"
+#include "engine/aggregators.h"
+#include "workloads/tasks.h"
+#include "workloads/webdocs.h"
+
+int main() {
+  using namespace opmr;
+
+  // A 4-node platform; blocks are 1 MiB so even this small corpus spreads
+  // over several map tasks.
+  Platform platform({.num_nodes = 4, .block_bytes = 1u << 20});
+
+  // Synthesize a corpus (in a real deployment you would stream your own
+  // records into platform.dfs().Create("docs")).
+  WebDocsOptions corpus;
+  corpus.num_docs = 2'000;
+  corpus.mean_doc_words = 100;
+  const auto bytes = GenerateWebDocs(platform.dfs(), "docs", corpus);
+  std::printf("loaded %llu bytes of documents into the DFS\n",
+              static_cast<unsigned long long>(bytes));
+
+  // Word count = map emits (word, 1), SUM aggregator folds the counts.
+  // The hash one-pass runtime groups by hash (no sorting), pushes map
+  // output eagerly, and keeps one running state per word.
+  const JobSpec job = WordCountJob("docs", "counts", /*num_reducers=*/4);
+  const JobResult result = platform.Run(job, HashOnePassOptions());
+
+  std::printf("job '%s': %llu records in, %llu words out, %.2f s wall, "
+              "%.2f s CPU\n",
+              result.job_name.c_str(),
+              static_cast<unsigned long long>(result.input_records),
+              static_cast<unsigned long long>(result.output_records),
+              result.wall_seconds, result.total_cpu_seconds);
+
+  auto rows = platform.ReadOutput("counts", 4);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return DecodeValueU64(a.second) > DecodeValueU64(b.second);
+  });
+  std::printf("\ntop 10 words:\n");
+  for (std::size_t i = 0; i < rows.size() && i < 10; ++i) {
+    std::printf("  %-10s %llu\n", rows[i].first.c_str(),
+                static_cast<unsigned long long>(
+                    DecodeValueU64(rows[i].second)));
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Trending-hashtag detection over a tweet stream — the paper's "Twitter
+// feed analysis" benchmark extension, wired as a two-job pipeline:
+//
+//   job 1: hashtag counting on the hot-key incremental runtime (hot tags'
+//          states stay pinned in memory; counts are exact),
+//   job 2: global top-k via TopKAggregator, whose map-side combiner prunes
+//          candidates before the single selection reducer.
+//
+// Build & run:   ./build/examples/trending_hashtags
+#include <cstdio>
+
+#include "core/opmr.h"
+#include "workloads/pipelines.h"
+#include "workloads/tweets.h"
+
+int main() {
+  using namespace opmr;
+
+  Platform platform({.num_nodes = 4, .block_bytes = 1u << 20});
+
+  TweetStreamOptions tweets;
+  tweets.num_tweets = 500'000;
+  tweets.num_hashtags = 20'000;
+  tweets.hashtag_theta = 1.15;
+  const auto bytes = GenerateTweetStream(platform.dfs(), "tweets", tweets);
+  std::printf("generated %llu tweets (%llu bytes)\n",
+              static_cast<unsigned long long>(tweets.num_tweets),
+              static_cast<unsigned long long>(bytes));
+
+  JobOptions options = HotKeyOnePassOptions(/*hot_key_capacity=*/4096);
+  const auto winners = RunTopKPipeline(
+      platform, HashtagCountJob("tweets", "tag_counts", 4), options,
+      /*k=*/15);
+
+  std::printf("\ntrending hashtags:\n");
+  int rank = 1;
+  for (const auto& w : winners) {
+    std::printf("  %2d. %-12s %llu mentions\n", rank++, w.payload.c_str(),
+                static_cast<unsigned long long>(w.score));
+  }
+  return 0;
+}

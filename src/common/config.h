@@ -1,0 +1,71 @@
+// Typed key-value configuration used by examples and bench binaries to
+// accept Hadoop-style "-Dkey=value" overrides on the command line.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace opmr {
+
+class Config {
+ public:
+  Config() = default;
+
+  void Set(std::string key, std::string value) {
+    values_[std::move(key)] = std::move(value);
+  }
+
+  // Parses argv, consuming "key=value" and "--key=value" tokens.  Unknown
+  // positional arguments raise: bench binaries have no positional inputs.
+  static Config FromArgs(int argc, char** argv) {
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      while (!arg.empty() && arg.front() == '-') arg.erase(arg.begin());
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        cfg.Set(arg, "true");  // boolean flag form: --verbose
+      } else {
+        cfg.Set(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    }
+    return cfg;
+  }
+
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string GetString(const std::string& key,
+                                      std::string def) const {
+    auto v = Get(key);
+    return v ? *v : std::move(def);
+  }
+
+  [[nodiscard]] std::int64_t GetInt(const std::string& key,
+                                    std::int64_t def) const {
+    auto v = Get(key);
+    return v ? std::stoll(*v) : def;
+  }
+
+  [[nodiscard]] double GetDouble(const std::string& key, double def) const {
+    auto v = Get(key);
+    return v ? std::stod(*v) : def;
+  }
+
+  [[nodiscard]] bool GetBool(const std::string& key, bool def) const {
+    auto v = Get(key);
+    if (!v) return def;
+    return *v == "true" || *v == "1" || *v == "yes";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,87 @@
+// Human-readable formatting helpers shared by benches and reports.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace opmr {
+
+// "269 GB", "1.8 GB", "64 MB", "412 B" — mirrors the units the paper's
+// Table I uses.
+inline std::string HumanBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  while (bytes >= 1000.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (bytes >= 100 || unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", bytes, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, kUnits[unit]);
+  }
+  return buf;
+}
+
+// "76 min.", "4.2 s" — matches the paper's completion-time column.
+inline std::string HumanSeconds(double seconds) {
+  char buf[32];
+  if (seconds >= 90.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f min.", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  }
+  return buf;
+}
+
+inline std::string Percent(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+// Fixed-width ASCII table used by every bench binary to print paper-style
+// tables.  Column widths auto-fit the content.
+class TextTable {
+ public:
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  [[nodiscard]] std::string ToString() const {
+    std::vector<std::size_t> widths;
+    for (const auto& row : rows_) {
+      if (widths.size() < row.size()) widths.resize(row.size(), 0);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    std::string out;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        out += rows_[r][c];
+        if (c + 1 < rows_[r].size()) {
+          out.append(widths[c] - rows_[r][c].size() + 2, ' ');
+        }
+      }
+      out += '\n';
+      if (r == 0) {  // underline header
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+          total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+        }
+        out.append(total, '-');
+        out += '\n';
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opmr

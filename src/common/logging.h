@@ -1,0 +1,68 @@
+// Minimal leveled logger (paper Fig. 5, "system log manager").
+//
+// Thread-safe, printf-free: messages are formatted with ostream insertion
+// into a per-call buffer and emitted atomically.  Benchmarks run with level
+// kWarn so logging never perturbs measured CPU time.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace opmr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  void Emit(LogLevel level, std::string_view msg) {
+    if (level < level_) return;
+    std::scoped_lock lock(mu_);
+    std::clog << "[" << Name(level) << "] " << msg << '\n';
+  }
+
+ private:
+  static std::string_view Name(LogLevel level) noexcept {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+// Streams a log record; the whole expression builds the message locally so
+// concurrent LOG calls never interleave bytes.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace opmr
+
+#define OPMR_LOG(level) ::opmr::LogMessage(::opmr::LogLevel::level)

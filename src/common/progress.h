@@ -1,0 +1,47 @@
+// Progress reporter (paper Fig. 5, "progress reporter").
+//
+// Tasks publish fractional progress; the cluster executor aggregates it into
+// job-level map/reduce progress exactly the way Hadoop's JobTracker reports
+// "map 57% reduce 12%".  Lock-free publication, snapshot reads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace opmr {
+
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(std::size_t num_tasks)
+      : cells_(num_tasks) {
+    for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  }
+
+  // progress in [0,1]; stored in parts-per-million to stay lock-free.
+  void Report(std::size_t task, double progress) noexcept {
+    auto ppm = static_cast<std::uint32_t>(progress * 1e6);
+    if (ppm > 1000000u) ppm = 1000000u;
+    cells_[task].store(ppm, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double TaskProgress(std::size_t task) const noexcept {
+    return cells_[task].load(std::memory_order_relaxed) / 1e6;
+  }
+
+  // Mean progress across all tasks — the JobTracker-style percentage.
+  [[nodiscard]] double OverallProgress() const noexcept {
+    if (cells_.empty()) return 1.0;
+    double sum = 0.0;
+    for (const auto& c : cells_) sum += c.load(std::memory_order_relaxed);
+    return sum / (1e6 * static_cast<double>(cells_.size()));
+  }
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return cells_.size(); }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> cells_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,101 @@
+#include "core/opmr.h"
+
+#include <filesystem>
+#include <random>
+#include <stdexcept>
+
+#include "storage/record_stream.h"
+
+namespace opmr {
+
+JobOptions HadoopOptions() {
+  JobOptions options;
+  options.group_by = GroupBy::kSortMerge;
+  options.shuffle = Shuffle::kPull;
+  options.map_side_combine = true;
+  return options;
+}
+
+JobOptions MapReduceOnlineOptions() {
+  JobOptions options;
+  options.group_by = GroupBy::kSortMerge;
+  options.shuffle = Shuffle::kPush;
+  options.map_side_combine = true;
+  options.snapshot_interval = 0.25;
+  return options;
+}
+
+JobOptions HashOnePassOptions() {
+  JobOptions options;
+  options.group_by = GroupBy::kHash;
+  options.shuffle = Shuffle::kPush;
+  options.hash_reduce = HashReduce::kIncremental;
+  options.map_side_combine = true;
+  return options;
+}
+
+JobOptions HotKeyOnePassOptions(std::size_t hot_key_capacity) {
+  JobOptions options = HashOnePassOptions();
+  options.hash_reduce = HashReduce::kHotKeyIncremental;
+  options.hot_key_capacity = hot_key_capacity;
+  return options;
+}
+
+Platform::Platform(PlatformOptions options) {
+  if (options.workspace.empty()) {
+    std::random_device rd;
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("opmr-" + std::to_string(rd()) + std::to_string(rd()));
+    files_ = std::make_unique<FileManager>(dir);
+  } else {
+    files_ = std::make_unique<FileManager>(options.workspace);
+  }
+  metrics_ = std::make_unique<MetricRegistry>();
+
+  DfsOptions dfs_options;
+  dfs_options.num_nodes = options.num_nodes;
+  dfs_options.block_bytes = options.block_bytes;
+  dfs_options.replication = options.replication;
+  dfs_ = std::make_unique<Dfs>(files_.get(), metrics_.get(), dfs_options);
+
+  ClusterOptions cluster;
+  cluster.num_nodes = options.num_nodes;
+  cluster.map_slots_per_node = options.map_slots_per_node;
+  cluster.max_task_attempts = options.max_task_attempts;
+  executor_ = std::make_unique<ClusterExecutor>(dfs_.get(), files_.get(),
+                                                metrics_.get(), cluster);
+}
+
+JobResult Platform::Run(const JobSpec& spec, const JobOptions& options) {
+  return executor_->Run(spec, options);
+}
+
+std::vector<std::pair<std::string, std::string>> Platform::ReadOutputFile(
+    const std::string& name) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& block : dfs_->ListBlocks(name)) {
+    auto reader = dfs_->OpenBlock(block);
+    Slice record;
+    while (reader->Next(&record)) {
+      MemoryRunStream frames(record);
+      while (frames.Next()) {
+        out.emplace_back(frames.key().ToString(), frames.value().ToString());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Platform::ReadOutput(
+    const std::string& output_prefix, int num_reducers) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (int r = 0; r < num_reducers; ++r) {
+    const std::string part = output_prefix + ".part" + std::to_string(r);
+    if (!dfs_->Exists(part)) continue;
+    auto rows = ReadOutputFile(part);
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
+}
+
+}  // namespace opmr

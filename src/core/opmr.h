@@ -1,0 +1,84 @@
+// OPMR public API — the one-pass analytics platform facade.
+//
+// A Platform owns the substrate (workspace, metrics, mini-DFS, executor);
+// users load data, build a JobSpec (map + reduce/aggregator), pick a
+// runtime preset, and Run.
+//
+//   opmr::Platform platform({.num_nodes = 4});
+//   opmr::GenerateClickStream(platform.dfs(), "clicks", {...});
+//   auto spec = opmr::PageFrequencyJob("clicks", "freq", 4);
+//   auto result = platform.Run(spec, opmr::HashOnePassOptions());
+//
+// Presets mirror the paper's three systems (Table III):
+//   HadoopOptions()         — sort-merge, pull shuffle, batch output.
+//   MapReduceOnlineOptions()— sort-merge, push shuffle, periodic snapshots.
+//   HashOnePassOptions()    — hash group-by, push shuffle, incremental.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "engine/cluster.h"
+#include "engine/job.h"
+#include "metrics/counters.h"
+#include "storage/file_manager.h"
+
+namespace opmr {
+
+struct PlatformOptions {
+  int num_nodes = 4;
+  int map_slots_per_node = 2;
+  std::uint64_t block_bytes = 4ull << 20;  // laptop-scale default block
+  int replication = 1;
+  // Map-task re-execution attempts (pull shuffle only; see ClusterOptions).
+  int max_task_attempts = 1;
+  std::string workspace;  // empty → unique temp directory
+};
+
+// --- Runtime presets ---------------------------------------------------------
+
+// Stock Hadoop as benchmarked in §III.
+JobOptions HadoopOptions();
+
+// MapReduce Online (HOP): pipelined push shuffle + snapshots every 25 %.
+JobOptions MapReduceOnlineOptions();
+
+// The paper's proposed hash-based one-pass runtime (§V): hash group-by,
+// push shuffle, incremental per-key states.
+JobOptions HashOnePassOptions();
+
+// Hash runtime with the frequent-algorithm hot-key optimization for
+// memory-constrained runs (§V reduce technique 3).
+JobOptions HotKeyOnePassOptions(std::size_t hot_key_capacity = 1u << 12);
+
+class Platform {
+ public:
+  explicit Platform(PlatformOptions options = {});
+
+  [[nodiscard]] Dfs& dfs() noexcept { return *dfs_; }
+  [[nodiscard]] MetricRegistry& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] FileManager& files() noexcept { return *files_; }
+
+  // Runs a job under the given runtime options.
+  JobResult Run(const JobSpec& spec, const JobOptions& options);
+
+  // Reads a job's output back as (key, value) string pairs, across all
+  // reducer parts of `output_prefix` (unordered across parts).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> ReadOutput(
+      const std::string& output_prefix, int num_reducers) const;
+
+  // Reads one DFS output file of framed records.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> ReadOutputFile(
+      const std::string& name) const;
+
+ private:
+  std::unique_ptr<FileManager> files_;
+  std::unique_ptr<MetricRegistry> metrics_;
+  std::unique_ptr<Dfs> dfs_;
+  std::unique_ptr<ClusterExecutor> executor_;
+};
+
+}  // namespace opmr

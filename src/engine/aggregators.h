@@ -1,0 +1,253 @@
+// Ready-made aggregators (the paper's "user function library", Fig. 5) and
+// the value codecs they share.  All states are flat byte strings so they
+// spill, shuffle and merge without any serialization layer.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "engine/job.h"
+
+namespace opmr {
+
+inline std::string EncodeValueU64(std::uint64_t v) {
+  std::string s(sizeof(v), '\0');
+  EncodeU64(s.data(), v);
+  return s;
+}
+
+inline std::uint64_t DecodeValueU64(Slice s) {
+  if (s.size() != sizeof(std::uint64_t)) {
+    throw std::runtime_error("DecodeValueU64: bad width");
+  }
+  return DecodeU64(s.data());
+}
+
+// SUM over u64 values; COUNT(*) is SUM over 1s, exactly how the paper's
+// page-frequency job emits <url, 1>.
+class SumAggregator final : public Aggregator {
+ public:
+  void Init(Slice value, std::string* state) const override {
+    state->assign(value.data(), value.size());
+  }
+  void Update(std::string* state, Slice value) const override {
+    EncodeU64(state->data(), DecodeU64(state->data()) + DecodeValueU64(value));
+  }
+  void Merge(std::string* state, Slice other) const override {
+    Update(state, other);
+  }
+  void Finalize(Slice state, std::string* out) const override {
+    out->assign(state.data(), state.size());
+  }
+};
+
+// MIN / MAX over u64 values.
+class MaxAggregator final : public Aggregator {
+ public:
+  void Init(Slice value, std::string* state) const override {
+    state->assign(value.data(), value.size());
+  }
+  void Update(std::string* state, Slice value) const override {
+    EncodeU64(state->data(),
+              std::max(DecodeU64(state->data()), DecodeValueU64(value)));
+  }
+  void Merge(std::string* state, Slice other) const override {
+    Update(state, other);
+  }
+  void Finalize(Slice state, std::string* out) const override {
+    out->assign(state.data(), state.size());
+  }
+};
+
+class MinAggregator final : public Aggregator {
+ public:
+  void Init(Slice value, std::string* state) const override {
+    state->assign(value.data(), value.size());
+  }
+  void Update(std::string* state, Slice value) const override {
+    EncodeU64(state->data(),
+              std::min(DecodeU64(state->data()), DecodeValueU64(value)));
+  }
+  void Merge(std::string* state, Slice other) const override {
+    Update(state, other);
+  }
+  void Finalize(Slice state, std::string* out) const override {
+    out->assign(state.data(), state.size());
+  }
+};
+
+// AVG over u64 values: state is (sum, count); final value is sum/count.
+class AvgAggregator final : public Aggregator {
+ public:
+  void Init(Slice value, std::string* state) const override {
+    state->resize(16);
+    EncodeU64(state->data(), DecodeValueU64(value));
+    EncodeU64(state->data() + 8, 1);
+  }
+  void Update(std::string* state, Slice value) const override {
+    EncodeU64(state->data(), DecodeU64(state->data()) + DecodeValueU64(value));
+    EncodeU64(state->data() + 8, DecodeU64(state->data() + 8) + 1);
+  }
+  void Merge(std::string* state, Slice other) const override {
+    if (other.size() != 16) throw std::runtime_error("AvgAggregator: bad state");
+    EncodeU64(state->data(), DecodeU64(state->data()) + DecodeU64(other.data()));
+    EncodeU64(state->data() + 8,
+              DecodeU64(state->data() + 8) + DecodeU64(other.data() + 8));
+  }
+  void Finalize(Slice state, std::string* out) const override {
+    const std::uint64_t sum = DecodeU64(state.data());
+    const std::uint64_t count = DecodeU64(state.data() + 8);
+    *out = EncodeValueU64(count == 0 ? 0 : sum / count);
+  }
+};
+
+// --- Top-k -------------------------------------------------------------------
+//
+// The paper leaves "how to support the combine function for complex
+// analytical tasks such as top-k" as an open question (§IV).  Top-k over
+// (score, payload) pairs IS algebraic with bounded state: the state is the
+// current top-k list, Update inserts one candidate, Merge merges two lists
+// and truncates — all O(k).  This enables map-side combining and fully
+// incremental top-k answers on the one-pass runtime.
+
+// One candidate value: [u64 score][payload bytes].
+inline std::string EncodeScored(std::uint64_t score, Slice payload) {
+  std::string out;
+  AppendU64(out, score);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+struct ScoredEntry {
+  std::uint64_t score = 0;
+  std::string payload;
+
+  friend bool operator==(const ScoredEntry&, const ScoredEntry&) = default;
+};
+
+// State layout: repeated [u64 score][u32 payload_len][payload bytes],
+// ordered by descending score (ties broken by ascending payload so states
+// are canonical and Merge is associative+commutative up to the tie rule).
+inline std::vector<ScoredEntry> DecodeTopKState(Slice state) {
+  std::vector<ScoredEntry> entries;
+  std::size_t pos = 0;
+  while (pos < state.size()) {
+    if (pos + 12 > state.size()) {
+      throw std::runtime_error("TopK state: truncated entry header");
+    }
+    ScoredEntry entry;
+    entry.score = DecodeU64(state.data() + pos);
+    const std::uint32_t len = DecodeU32(state.data() + pos + 8);
+    pos += 12;
+    if (pos + len > state.size()) {
+      throw std::runtime_error("TopK state: truncated payload");
+    }
+    entry.payload.assign(state.data() + pos, len);
+    pos += len;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+class TopKAggregator final : public Aggregator {
+ public:
+  explicit TopKAggregator(std::size_t k) : k_(k) {
+    if (k_ == 0) throw std::invalid_argument("TopKAggregator: k must be > 0");
+  }
+
+  void Init(Slice value, std::string* state) const override {
+    state->clear();
+    AppendEntry(state, DecodeScoredValue(value));
+  }
+
+  void Update(std::string* state, Slice value) const override {
+    InsertEntry(state, DecodeScoredValue(value));
+  }
+
+  void Merge(std::string* state, Slice other) const override {
+    for (auto& entry : DecodeTopKState(other)) {
+      InsertEntry(state, std::move(entry));
+    }
+  }
+
+  void Finalize(Slice state, std::string* out) const override {
+    out->assign(state.data(), state.size());
+  }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+ private:
+  static ScoredEntry DecodeScoredValue(Slice value) {
+    if (value.size() < 8) {
+      throw std::runtime_error("TopKAggregator: bad scored value");
+    }
+    return {DecodeU64(value.data()),
+            std::string(value.data() + 8, value.size() - 8)};
+  }
+
+  static void AppendEntry(std::string* state, const ScoredEntry& entry) {
+    AppendU64(*state, entry.score);
+    AppendU32(*state, static_cast<std::uint32_t>(entry.payload.size()));
+    state->append(entry.payload);
+  }
+
+  void InsertEntry(std::string* state, ScoredEntry entry) const {
+    auto entries = DecodeTopKState(*state);
+    const auto pos = std::lower_bound(
+        entries.begin(), entries.end(), entry,
+        [](const ScoredEntry& a, const ScoredEntry& b) {
+          if (a.score != b.score) return a.score > b.score;
+          return a.payload < b.payload;
+        });
+    if (pos != entries.end() && *pos == entry) return;  // exact duplicate
+    entries.insert(pos, std::move(entry));
+    if (entries.size() > k_) entries.resize(k_);
+    state->clear();
+    for (const auto& e : entries) AppendEntry(state, e);
+  }
+
+  std::size_t k_;
+};
+
+// Derives the classic combine function from an aggregator: groups a run of
+// pairs by key in a hash table of states and emits (key, state).  The map
+// side and the sort-merge reducer's spill path both use this.
+class DerivedCombiner {
+ public:
+  explicit DerivedCombiner(const Aggregator* agg) : agg_(agg) {}
+
+  // Folds one pre-grouped (key, values...) group into a shipped state.
+  void CombineGroup(Slice key, ValueIterator& values, bool values_are_states,
+                    OutputCollector& out) const {
+    std::string state;
+    Slice v;
+    bool first = true;
+    while (values.Next(&v)) {
+      if (values_are_states) {
+        if (first) {
+          state.assign(v.data(), v.size());
+        } else {
+          agg_->Merge(&state, v);
+        }
+      } else {
+        if (first) {
+          agg_->Init(v, &state);
+        } else {
+          agg_->Update(&state, v);
+        }
+      }
+      first = false;
+    }
+    if (!first) out.Emit(key, state);
+  }
+
+ private:
+  const Aggregator* agg_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,282 @@
+#include "engine/cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "engine/map_task.h"
+#include "engine/reduce_hash.h"
+#include "engine/reduce_incremental.h"
+#include "engine/reduce_sortmerge.h"
+
+namespace opmr {
+
+// --- BlockScheduler ----------------------------------------------------------
+
+BlockScheduler::BlockScheduler(std::vector<BlockInfo> blocks, int num_nodes)
+    : blocks_(std::move(blocks)),
+      taken_(blocks_.size(), false),
+      by_node_(num_nodes) {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (int n : blocks_[i].replica_nodes) {
+      if (n >= 0 && n < num_nodes) by_node_[n].push_back(i);
+    }
+  }
+}
+
+std::optional<BlockInfo> BlockScheduler::Next(int node, bool* was_local) {
+  std::scoped_lock lock(mu_);
+  if (node >= 0 && node < static_cast<int>(by_node_.size())) {
+    for (std::size_t idx : by_node_[node]) {
+      if (!taken_[idx]) {
+        taken_[idx] = true;
+        ++local_count_;
+        *was_local = true;
+        return blocks_[idx];
+      }
+    }
+  }
+  while (next_any_ < blocks_.size() && taken_[next_any_]) ++next_any_;
+  if (next_any_ >= blocks_.size()) return std::nullopt;
+  taken_[next_any_] = true;
+  *was_local = false;
+  return blocks_[next_any_];
+}
+
+int BlockScheduler::local_count() const {
+  std::scoped_lock lock(mu_);
+  return local_count_;
+}
+
+// --- ClusterExecutor ---------------------------------------------------------
+
+ClusterExecutor::ClusterExecutor(Dfs* dfs, FileManager* files,
+                                 MetricRegistry* metrics,
+                                 ClusterOptions options)
+    : dfs_(dfs), files_(files), metrics_(metrics), cluster_(options) {}
+
+void ClusterExecutor::Validate(const JobSpec& spec,
+                               const JobOptions& options) const {
+  if (!spec.map) throw std::invalid_argument("JobSpec: map function required");
+  if (!spec.reduce && !spec.has_aggregator()) {
+    throw std::invalid_argument(
+        "JobSpec: a reduce function or an aggregator is required");
+  }
+  if (spec.num_reducers <= 0) {
+    throw std::invalid_argument("JobSpec: num_reducers must be positive");
+  }
+  if (options.group_by == GroupBy::kHash &&
+      options.hash_reduce != HashReduce::kHybridHash &&
+      !spec.has_aggregator()) {
+    throw std::invalid_argument(
+        "incremental hash reducers require an Aggregator; holistic reduce "
+        "functions must use kHybridHash or kSortMerge");
+  }
+  if (options.snapshot_interval > 0.0 &&
+      options.group_by != GroupBy::kSortMerge) {
+    throw std::invalid_argument(
+        "snapshots are a MapReduce Online (sort-merge) mechanism");
+  }
+  if (options.merge_factor < 2) {
+    throw std::invalid_argument("merge_factor must be at least 2");
+  }
+  if (spec.grouping_prefix > 0 &&
+      (options.group_by != GroupBy::kSortMerge || spec.has_aggregator())) {
+    throw std::invalid_argument(
+        "secondary sort (grouping_prefix) requires the sort-merge runtime "
+        "and a holistic reduce function");
+  }
+  if (cluster_.max_task_attempts > 1 && options.shuffle == Shuffle::kPush) {
+    throw std::invalid_argument(
+        "task retries require pull shuffle: pushed output is visible before "
+        "task completion and cannot be recalled");
+  }
+  if (cluster_.max_task_attempts < 1) {
+    throw std::invalid_argument("max_task_attempts must be at least 1");
+  }
+}
+
+JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
+  Validate(spec, options);
+
+  auto blocks = dfs_->ListBlocks(spec.input_file);
+  for (const auto& extra : spec.extra_inputs) {
+    const auto more = dfs_->ListBlocks(extra);
+    blocks.insert(blocks.end(), more.begin(), more.end());
+  }
+  const int num_maps = static_cast<int>(blocks.size());
+  const int num_reducers = spec.num_reducers;
+
+  const auto counters_before = metrics_->Snapshot();
+
+  WallTimer job_start;
+  PhaseProfiler profiler;
+  TimelineRecorder timeline;
+  EmissionLog emissions(&job_start);
+  ShuffleService shuffle(num_maps, num_reducers, metrics_,
+                         options.push_queue_chunks);
+
+  RuntimeEnv env;
+  env.dfs = dfs_;
+  env.files = files_;
+  env.metrics = metrics_;
+  env.profiler = &profiler;
+  env.shuffle = &shuffle;
+  env.timeline = &timeline;
+  env.emissions = &emissions;
+  env.job_start = &job_start;
+
+  BlockScheduler scheduler(blocks, dfs_->options().num_nodes);
+
+  std::mutex failure_mu;
+  std::exception_ptr first_failure;
+  auto record_failure = [&](std::exception_ptr e) {
+    std::scoped_lock lock(failure_mu);
+    if (!first_failure) first_failure = e;
+  };
+
+  std::atomic<std::uint64_t> input_records{0};
+  std::atomic<std::uint64_t> map_output_records{0};
+  std::atomic<std::uint64_t> output_records{0};
+  std::vector<std::uint64_t> per_reducer_records(num_reducers, 0);
+  std::atomic<int> next_map_task{0};
+  std::atomic<int> map_retries{0};
+  std::atomic<bool> maps_failed{false};
+
+  // --- Reducer threads (start immediately: reducers shuffle while maps run).
+  std::vector<std::jthread> reducer_threads;
+  reducer_threads.reserve(num_reducers);
+  for (int r = 0; r < num_reducers; ++r) {
+    reducer_threads.emplace_back([&, r] {
+      try {
+        std::uint64_t records = 0;
+        if (options.group_by == GroupBy::kSortMerge) {
+          SortMergeReducer reducer(r, spec, options, env);
+          records = reducer.Run();
+        } else {
+          switch (options.hash_reduce) {
+            case HashReduce::kHybridHash: {
+              HybridHashReducer reducer(r, spec, options, env);
+              records = reducer.Run();
+              break;
+            }
+            case HashReduce::kIncremental: {
+              IncrementalHashReducer reducer(r, spec, options, env);
+              records = reducer.Run();
+              break;
+            }
+            case HashReduce::kHotKeyIncremental: {
+              HotKeyIncrementalReducer reducer(r, spec, options, env);
+              records = reducer.Run();
+              break;
+            }
+          }
+        }
+        output_records.fetch_add(records, std::memory_order_relaxed);
+        per_reducer_records[r] = records;  // one writer per slot
+      } catch (...) {
+        record_failure(std::current_exception());
+      }
+    });
+  }
+
+  // --- Map worker threads: num_nodes × map_slots_per_node slots.
+  {
+    std::vector<std::jthread> map_workers;
+    const int num_workers =
+        cluster_.num_nodes * cluster_.map_slots_per_node;
+    map_workers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      const int node = w / cluster_.map_slots_per_node;
+      map_workers.emplace_back([&, node] {
+        try {
+          while (!maps_failed.load(std::memory_order_relaxed)) {
+            bool was_local = false;
+            auto block = scheduler.Next(node, &was_local);
+            if (!block) break;
+            const int task_id = next_map_task.fetch_add(1);
+            const double begin = job_start.Seconds();
+
+            // Attempt loop: a failed attempt publishes nothing, so the
+            // re-execution is invisible to reducers.
+            MapTask::Stats stats;
+            for (int attempt = 1;; ++attempt) {
+              std::unique_ptr<MapOutputSink> sink;
+              if (options.shuffle == Shuffle::kPush) {
+                sink = std::make_unique<PushSink>(task_id, files_, metrics_,
+                                                  &shuffle, num_reducers,
+                                                  options.push_chunk_bytes);
+              } else {
+                sink = std::make_unique<FileSink>(
+                    task_id, files_, metrics_, &shuffle, num_reducers,
+                    options.map_buffer_bytes, cluster_.sync_map_output);
+              }
+              MapTask task(task_id, spec, options, env, *block, sink.get());
+              try {
+                stats = task.Run();
+                sink->Publish();
+                break;
+              } catch (...) {
+                if (attempt >= cluster_.max_task_attempts) throw;
+                map_retries.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            shuffle.MapTaskDone(task_id);
+
+            input_records.fetch_add(stats.input_records,
+                                    std::memory_order_relaxed);
+            map_output_records.fetch_add(stats.output_records,
+                                         std::memory_order_relaxed);
+            timeline.Record(TaskKind::kMap, begin, job_start.Seconds());
+          }
+        } catch (...) {
+          maps_failed.store(true, std::memory_order_relaxed);
+          record_failure(std::current_exception());
+          shuffle.Abort("map task failed");
+        }
+      });
+    }
+    // jthreads join at scope exit.
+  }
+  if (maps_failed.load()) {
+    // Reducers are unwinding via the aborted shuffle; join then rethrow.
+  }
+  reducer_threads.clear();  // join all reducers
+
+  {
+    std::scoped_lock lock(failure_mu);
+    if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+  emissions.Finish();
+
+  // --- Assemble the result ----------------------------------------------------
+  JobResult result;
+  result.job_name = spec.name;
+  result.wall_seconds = job_start.Seconds();
+  result.num_map_tasks = num_maps;
+  result.num_reduce_tasks = num_reducers;
+  result.local_map_tasks = scheduler.local_count();
+  result.map_task_retries = map_retries.load();
+  result.reducer_output_records = std::move(per_reducer_records);
+  result.input_records = input_records.load();
+  result.map_output_records = map_output_records.load();
+  result.output_records = output_records.load();
+  result.first_output_seconds = emissions.first_emit_seconds();
+  result.emission_curve = emissions.series().Snapshot();
+  result.cpu_seconds = profiler.Snapshot();
+  result.total_cpu_seconds = profiler.TotalCpuSeconds();
+  result.timeline = timeline.Snapshot();
+
+  const auto counters_after = metrics_->Snapshot();
+  for (const auto& [name, value] : counters_after) {
+    auto it = counters_before.find(name);
+    const std::int64_t before = it == counters_before.end() ? 0 : it->second;
+    result.counters[name] = value - before;
+  }
+  return result;
+}
+
+}  // namespace opmr

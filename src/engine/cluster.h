@@ -1,0 +1,125 @@
+// ClusterExecutor: runs one MapReduce job on an in-process "cluster" of
+// N nodes × S map slots (worker threads) plus R reducer threads, with
+// block-level, locality-aware scheduling against the mini-DFS — the same
+// execution structure the paper benchmarks on its 10-node cluster.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "engine/job.h"
+#include "engine/reduce_common.h"
+#include "metrics/counters.h"
+#include "metrics/timeline.h"
+#include "metrics/timeseries.h"
+
+namespace opmr {
+
+struct ClusterOptions {
+  int num_nodes = 4;
+  int map_slots_per_node = 2;
+  // Hadoop syncs map output before a task reports complete; HOP persists
+  // asynchronously.  Exposed for the map-output-cost microbench (M2).
+  bool sync_map_output = true;
+  // Map-task re-execution on failure (Hadoop's fault-tolerance model).
+  // Only valid with pull shuffle: a failed attempt's output was never
+  // published, so the retry is invisible to reducers.  Push pipelining
+  // exposes output before task completion and therefore cannot retry —
+  // the weakness the paper attributes to eager pipelining.
+  int max_task_attempts = 1;
+};
+
+struct JobResult {
+  std::string job_name;
+  double wall_seconds = 0.0;
+
+  // Data volumes (job-scoped deltas of the metric registry).
+  std::map<std::string, std::int64_t> counters;
+
+  // Per-phase CPU seconds across all task threads (Table II / §V).
+  std::map<std::string, double> cpu_seconds;
+  double total_cpu_seconds = 0.0;
+
+  std::uint64_t input_records = 0;
+  std::uint64_t map_output_records = 0;
+  std::uint64_t output_records = 0;
+
+  // Incremental-processing metrics.
+  double first_output_seconds = -1.0;  // < 0 means no output
+  std::vector<Sample> emission_curve;  // cumulative emitted records vs time
+
+  int num_map_tasks = 0;
+  int num_reduce_tasks = 0;
+  int local_map_tasks = 0;   // scheduled on a node holding the block
+  int map_task_retries = 0;  // failed attempts that were re-executed
+
+  // Per-reducer output records: the partition-skew signal (related work
+  // [19] targets exactly this imbalance).
+  std::vector<std::uint64_t> reducer_output_records;
+
+  // max/mean output records across reducers; 1.0 = perfectly balanced.
+  [[nodiscard]] double ReducerImbalance() const {
+    if (reducer_output_records.empty()) return 1.0;
+    std::uint64_t max = 0, sum = 0;
+    for (auto v : reducer_output_records) {
+      max = std::max(max, v);
+      sum += v;
+    }
+    const double mean =
+        static_cast<double>(sum) / reducer_output_records.size();
+    return mean == 0 ? 1.0 : max / mean;
+  }
+
+  std::vector<TaskInterval> timeline;
+
+  // Convenience accessors over `counters`.
+  [[nodiscard]] std::int64_t Bytes(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+// Locality-aware block scheduler: a freed map slot on node n prefers an
+// unprocessed block with a replica on n, falling back to any block.
+class BlockScheduler {
+ public:
+  BlockScheduler(std::vector<BlockInfo> blocks, int num_nodes);
+
+  // Returns the next block for `node` (and whether it was node-local), or
+  // nullopt when all blocks are taken.
+  std::optional<BlockInfo> Next(int node, bool* was_local);
+
+  [[nodiscard]] int local_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<bool> taken_;
+  std::vector<std::vector<std::size_t>> by_node_;
+  std::size_t next_any_ = 0;
+  int local_count_ = 0;
+};
+
+class ClusterExecutor {
+ public:
+  ClusterExecutor(Dfs* dfs, FileManager* files, MetricRegistry* metrics,
+                  ClusterOptions options = {});
+
+  // Runs the job to completion and returns its result.  Throws on invalid
+  // configuration or task failure.
+  JobResult Run(const JobSpec& spec, const JobOptions& options);
+
+ private:
+  void Validate(const JobSpec& spec, const JobOptions& options) const;
+
+  Dfs* dfs_;
+  FileManager* files_;
+  MetricRegistry* metrics_;
+  ClusterOptions cluster_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,217 @@
+#include "engine/map_task.h"
+
+#include <stdexcept>
+
+#include "engine/aggregators.h"
+#include "engine/map_output.h"
+
+namespace opmr {
+
+namespace {
+
+// Collects map-function output into the sort buffer.  With a grouping
+// prefix (secondary sort), only the prefix chooses the partition so one
+// group never splits across reducers.
+class BufferCollector final : public OutputCollector {
+ public:
+  BufferCollector(MapOutputBuffer* buffer, const JobSpec* spec,
+                  MapTask::Stats* stats)
+      : buffer_(buffer), spec_(spec), stats_(stats) {}
+
+  void Emit(Slice key, Slice value) override {
+    std::uint32_t partition;
+    if (spec_->partitioner) {
+      partition = spec_->partitioner(key, spec_->num_reducers);
+    } else {
+      Slice partition_key = key;
+      if (spec_->grouping_prefix > 0 && key.size() > spec_->grouping_prefix) {
+        partition_key = Slice(key.data(), spec_->grouping_prefix);
+      }
+      partition = PartitionOf(partition_key, spec_->num_reducers);
+    }
+    buffer_->Add(partition, key, value);
+    ++stats_->output_records;
+    stats_->output_bytes += key.size() + value.size();
+  }
+
+ private:
+  MapOutputBuffer* buffer_;
+  const JobSpec* spec_;
+  MapTask::Stats* stats_;
+};
+
+// Folds map-function output into the combine table.
+class TableCollector final : public OutputCollector {
+ public:
+  TableCollector(MapCombineTable* table, int num_reducers,
+                 MapTask::Stats* stats)
+      : table_(table), num_reducers_(num_reducers), stats_(stats) {}
+
+  void Emit(Slice key, Slice value) override {
+    // One hash per record: it selects the partition and probes the table.
+    const std::uint64_t h = BytesHash(key, kPartitionSeed);
+    const auto partition =
+        partitioner_ ? partitioner_(key, num_reducers_)
+                     : static_cast<std::uint32_t>(
+                           h % static_cast<std::uint64_t>(num_reducers_));
+    table_->Fold(partition, h, key, value, /*value_is_state=*/false);
+    ++stats_->output_records;
+    stats_->output_bytes += key.size() + value.size();
+  }
+
+  std::function<std::uint32_t(Slice, int)> partitioner_;
+
+ private:
+  MapCombineTable* table_;
+  int num_reducers_;
+  MapTask::Stats* stats_;
+};
+
+// Streams map-function output straight to the sink (partition-only scan).
+class StreamingCollector final : public OutputCollector {
+ public:
+  StreamingCollector(MapOutputSink* sink, int num_reducers,
+                     MapTask::Stats* stats)
+      : sink_(sink), num_reducers_(num_reducers), stats_(stats) {}
+
+  void Emit(Slice key, Slice value) override {
+    const auto partition = partitioner_
+                               ? partitioner_(key, num_reducers_)
+                               : PartitionOf(key, num_reducers_);
+    sink_->AppendStreaming(partition, key, value);
+    ++stats_->output_records;
+    stats_->output_bytes += key.size() + value.size();
+  }
+
+  std::function<std::uint32_t(Slice, int)> partitioner_;
+
+ private:
+  MapOutputSink* sink_;
+  int num_reducers_;
+  MapTask::Stats* stats_;
+};
+
+}  // namespace
+
+MapTask::MapTask(int task_id, const JobSpec& spec, const JobOptions& options,
+                 const RuntimeEnv& env, const BlockInfo& block,
+                 MapOutputSink* sink)
+    : task_id_(task_id),
+      spec_(spec),
+      options_(options),
+      env_(env),
+      block_(block),
+      sink_(sink) {}
+
+MapTask::Stats MapTask::Run() {
+  DfsBlockReader reader(block_, env_.dfs->ReadChannel());
+  if (options_.group_by == GroupBy::kSortMerge) {
+    RunSortPath(reader);
+  } else if (spec_.has_aggregator() && options_.map_side_combine) {
+    RunHashCombinePath(reader);
+  } else {
+    RunPartitionOnlyPath(reader);
+  }
+  sink_->Close();
+  return stats_;
+}
+
+void MapTask::FlushSortedBuffer(MapOutputBuffer& buffer) {
+  if (buffer.Empty()) return;
+  {
+    // The CPU cost Table II isolates: Hadoop's block-level sort on the
+    // compound (partition, key).
+    PhaseScope cpu(env_.profiler, "map_sort");
+    buffer.Sort();
+  }
+
+  const bool combine = spec_.has_aggregator() && options_.map_side_combine;
+  sink_->BeginBatch(/*sorted=*/true);
+  if (combine) {
+    PhaseScope cpu(env_.profiler, "map_combine");
+    const Aggregator* agg = spec_.aggregator.get();
+    const auto& records = buffer.records();
+    std::string state;
+    std::size_t i = 0;
+    while (i < records.size()) {
+      // One combine group: a run of equal (partition, key).
+      const auto& head = records[i];
+      const Slice key(head.key, head.key_len);
+      agg->Init(Slice(head.value, head.value_len), &state);
+      std::size_t j = i + 1;
+      while (j < records.size() && records[j].partition == head.partition &&
+             Slice(records[j].key, records[j].key_len) == key) {
+        agg->Update(&state, Slice(records[j].value, records[j].value_len));
+        ++j;
+      }
+      sink_->BatchAppend(head.partition, key, state);
+      i = j;
+    }
+  } else {
+    for (const auto& r : buffer.records()) {
+      sink_->BatchAppend(r.partition, Slice(r.key, r.key_len),
+                         Slice(r.value, r.value_len));
+    }
+  }
+  sink_->EndBatch();
+  buffer.Clear();
+}
+
+void MapTask::RunSortPath(DfsBlockReader& reader) {
+  MapOutputBuffer buffer;
+  BufferCollector collector(&buffer, &spec_, &stats_);
+  Slice record;
+  ThreadCpuTimer cpu;
+  while (reader.Next(&record)) {
+    spec_.map(record, collector);
+    ++stats_.input_records;
+    if (buffer.MemoryBytes() > options_.map_buffer_bytes) {
+      env_.profiler->AddCpuNanos("map_function", cpu.Nanos());
+      FlushSortedBuffer(buffer);
+      cpu.Restart();
+    }
+  }
+  env_.profiler->AddCpuNanos("map_function", cpu.Nanos());
+  FlushSortedBuffer(buffer);
+}
+
+void MapTask::RunHashCombinePath(DfsBlockReader& reader) {
+  MapCombineTable table(spec_.aggregator.get());
+  TableCollector collector(&table, spec_.num_reducers, &stats_);
+  collector.partitioner_ = spec_.partitioner;
+  Slice record;
+  ThreadCpuTimer cpu;
+  auto flush = [&] {
+    env_.profiler->AddCpuNanos("map_hash", cpu.Nanos());
+    if (!table.Empty()) {
+      PhaseScope flush_cpu(env_.profiler, "map_flush");
+      sink_->BeginBatch(/*sorted=*/false);
+      for (const auto* entry : table.EntriesByPartition()) {
+        sink_->BatchAppend(entry->partition, entry->key, entry->state);
+      }
+      sink_->EndBatch();
+      table.Clear();
+    }
+    cpu.Restart();
+  };
+  while (reader.Next(&record)) {
+    spec_.map(record, collector);
+    ++stats_.input_records;
+    if (table.MemoryBytes() > options_.map_buffer_bytes) flush();
+  }
+  flush();
+}
+
+void MapTask::RunPartitionOnlyPath(DfsBlockReader& reader) {
+  StreamingCollector collector(sink_, spec_.num_reducers, &stats_);
+  collector.partitioner_ = spec_.partitioner;
+  Slice record;
+  ThreadCpuTimer cpu;
+  while (reader.Next(&record)) {
+    spec_.map(record, collector);
+    ++stats_.input_records;
+  }
+  env_.profiler->AddCpuNanos("map_function", cpu.Nanos());
+}
+
+}  // namespace opmr

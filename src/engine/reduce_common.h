@@ -1,0 +1,148 @@
+// Shared reduce-side plumbing: the runtime environment handed to every
+// reducer implementation, the emission log that timestamps incremental
+// answers (time-to-first-output is the paper's incremental-processing
+// metric, Table III), grouped application of reduce functions over sorted
+// streams, and adapters from shuffle items to record streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "engine/job.h"
+#include "engine/shuffle.h"
+#include "metrics/phase_profiler.h"
+#include "metrics/timeline.h"
+#include "metrics/timeseries.h"
+#include "storage/file_manager.h"
+#include "storage/compressed_run.h"
+#include "storage/merger.h"
+
+namespace opmr {
+
+// Timestamps every emitted answer relative to job start; the cumulative
+// emission curve distinguishes batch output ("everything at the end") from
+// pipelined output, and is what the Table III bench prints.
+class EmissionLog {
+ public:
+  explicit EmissionLog(const WallTimer* job_start)
+      : job_start_(job_start), series_("emitted_records") {}
+
+  void Record(std::uint64_t count = 1) {
+    std::scoped_lock lock(mu_);
+    const double now = job_start_->Seconds();
+    if (total_ == 0) first_emit_s_ = now;
+    total_ += count;
+    // One curve point per stride keeps the series small at any scale.
+    if (total_ - last_logged_ >= stride_ || last_logged_ == 0) {
+      series_.Append(now, static_cast<double>(total_));
+      last_logged_ = total_;
+    }
+  }
+
+  void Finish() {
+    std::scoped_lock lock(mu_);
+    series_.Append(job_start_->Seconds(), static_cast<double>(total_));
+  }
+
+  [[nodiscard]] double first_emit_seconds() const {
+    std::scoped_lock lock(mu_);
+    return first_emit_s_;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::scoped_lock lock(mu_);
+    return total_;
+  }
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+
+ private:
+  const WallTimer* job_start_;
+  mutable std::mutex mu_;
+  std::uint64_t total_ = 0;
+  std::uint64_t last_logged_ = 0;
+  std::uint64_t stride_ = 1024;
+  double first_emit_s_ = -1.0;
+  TimeSeries series_;
+};
+
+// Everything a task needs from the runtime; plain non-owning pointers, all
+// services outlive the tasks (owned by ClusterExecutor::Run's scope).
+struct RuntimeEnv {
+  Dfs* dfs = nullptr;
+  FileManager* files = nullptr;
+  MetricRegistry* metrics = nullptr;
+  PhaseProfiler* profiler = nullptr;
+  ShuffleService* shuffle = nullptr;
+  TimelineRecorder* timeline = nullptr;
+  EmissionLog* emissions = nullptr;
+  const WallTimer* job_start = nullptr;
+};
+
+// Writes one reducer's output into the DFS and logs emission times.
+class ReducerOutput final : public OutputCollector {
+ public:
+  ReducerOutput(const RuntimeEnv& env, const std::string& dfs_file)
+      : env_(env), writer_(env.dfs->Create(dfs_file)) {}
+
+  void Emit(Slice key, Slice value) override {
+    frame_.clear();
+    AppendU32(frame_, static_cast<std::uint32_t>(key.size()));
+    AppendU32(frame_, static_cast<std::uint32_t>(value.size()));
+    frame_.append(key.data(), key.size());
+    frame_.append(value.data(), value.size());
+    writer_->Append(frame_);
+    ++records_;
+    env_.emissions->Record();
+  }
+
+  void Close() {
+    if (writer_ != nullptr) {
+      writer_->Close();
+      writer_.reset();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  RuntimeEnv env_;
+  std::unique_ptr<DfsFileWriter> writer_;
+  std::string frame_;
+  std::uint64_t records_ = 0;
+};
+
+// Applies `fn(key, values)` to each group of consecutive equal keys in a
+// sorted stream.  `fn` need not drain the iterator; remaining values of the
+// group are skipped.  With `group_prefix` > 0, keys sharing their first
+// `group_prefix` bytes form one group (secondary sort): `fn` receives the
+// group's first full key and the values in full-key order.
+void GroupedApply(RecordStream& stream,
+                  const std::function<void(Slice, ValueIterator&)>& fn,
+                  std::size_t group_prefix = 0);
+
+// Builds the effective reduce function: the user's holistic reduce, or the
+// aggregator fold (Init/Update over raw values, or assign/Merge over
+// combined states) followed by Finalize.
+std::function<void(Slice, ValueIterator&, OutputCollector&)> MakeReduceFn(
+    const JobSpec& spec, bool values_are_states);
+
+// Opens a ShuffleItem as a RecordStream: pushed chunks stream from memory,
+// file segments stream from disk through `channel`.  The returned stream
+// borrows `item` (for memory items), which must outlive it.
+std::unique_ptr<RecordStream> OpenShuffleItem(const ShuffleItem& item,
+                                              IoChannel channel);
+
+// Spill-run factories: plain or OZ-compressed runs behind one interface,
+// selected by JobOptions::compress_spills.
+std::unique_ptr<RecordSink> NewSpillSink(bool compress,
+                                         const std::filesystem::path& path,
+                                         IoChannel channel);
+std::unique_ptr<RecordStream> OpenSpillRun(bool compress,
+                                           const std::filesystem::path& path,
+                                           IoChannel channel);
+
+}  // namespace opmr

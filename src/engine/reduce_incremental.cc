@@ -1,0 +1,263 @@
+#include "engine/reduce_incremental.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "engine/reduce_hash.h"
+
+namespace opmr {
+
+namespace {
+
+void RequireAggregator(const JobSpec& spec, const char* who) {
+  if (!spec.has_aggregator()) {
+    throw std::invalid_argument(std::string(who) +
+                                " requires an Aggregator (the paper's "
+                                "incremental techniques need a combine "
+                                "function)");
+  }
+}
+
+// Merges a list of state slices and emits the finalized value.
+void MergeStatesAndEmit(const Aggregator& agg, Slice key,
+                        const std::vector<Slice>& states,
+                        OutputCollector& out) {
+  std::string state(states.front().data(), states.front().size());
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    agg.Merge(&state, states[i]);
+  }
+  std::string final_value;
+  agg.Finalize(state, &final_value);
+  out.Emit(key, final_value);
+}
+
+}  // namespace
+
+// --- IncrementalHashReducer --------------------------------------------------
+
+IncrementalHashReducer::IncrementalHashReducer(int reducer_id,
+                                               const JobSpec& spec,
+                                               const JobOptions& options,
+                                               const RuntimeEnv& env)
+    : reducer_id_(reducer_id),
+      spec_(spec),
+      options_(options),
+      env_(env),
+      values_are_states_(spec.has_aggregator() && options.map_side_combine),
+      table_((RequireAggregator(spec, "IncrementalHashReducer"),
+              spec.aggregator.get())) {}
+
+void IncrementalHashReducer::SpillTable() {
+  const double begin = env_.job_start->Seconds();
+  const auto path = env_.files->NewFile("incr_spill");
+  auto writer = NewSpillSink(options_.compress_spills, path,
+                             IoChannel(env_.metrics, device::kSpillWrite));
+  table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+    writer->Append(key, entry.state);
+  });
+  writer->Close();
+  table_.Clear();
+  spill_runs_.push_back(path);
+  ++table_spills_;
+  env_.timeline->Record(TaskKind::kMerge, begin, env_.job_start->Seconds());
+}
+
+std::uint64_t IncrementalHashReducer::Run() {
+  const double shuffle_begin = env_.job_start->Seconds();
+  IoChannel shuffle_read(env_.metrics, device::kShuffleRead);
+  ReducerOutput out(env_,
+                    spec_.output_file + ".part" + std::to_string(reducer_id_));
+  std::string early_value;
+
+  ShuffleItem item;
+  std::uint64_t since_check = 0;
+  while (env_.shuffle->NextItem(reducer_id_, &item)) {
+    auto stream = OpenShuffleItem(item, shuffle_read);
+    PhaseScope cpu(env_.profiler, "hash_group");
+    while (stream->Next()) {
+      StateTable::Entry& entry =
+          table_.Fold(stream->key(), stream->value(), values_are_states_);
+      if (options_.early_emit && !entry.early_emitted &&
+          options_.early_emit(stream->key(), entry.state)) {
+        // Incremental processing: the answer leaves the system the moment
+        // the data needed to produce it has been read (paper §IV req. 3).
+        spec_.aggregator->Finalize(entry.state, &early_value);
+        out.Emit(stream->key(), early_value);
+        entry.early_emitted = true;
+        ++early_emits_;
+      }
+      if (++since_check >= 64) {
+        since_check = 0;
+        if (table_.MemoryBytes() > options_.reduce_buffer_bytes) SpillTable();
+      }
+    }
+  }
+  env_.timeline->Record(TaskKind::kShuffle, shuffle_begin,
+                        env_.job_start->Seconds());
+
+  const double reduce_begin = env_.job_start->Seconds();
+  {
+    PhaseScope cpu(env_.profiler, "reduce_function");
+    if (spill_runs_.empty()) {
+      // Pure in-memory one-pass processing: a finalize scan is all that
+      // remains.
+      std::string final_value;
+      table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+        spec_.aggregator->Finalize(entry.state, &final_value);
+        out.Emit(key, final_value);
+      });
+    } else {
+      // Resolve spilled partial states: flush the live table as one more
+      // run, then externally re-aggregate.  States merge associatively, so
+      // the result is exact.
+      if (table_.size() > 0) SpillTable();
+      ExternalHashAggregate(
+          spill_runs_, /*level=*/0, options_.reduce_buffer_bytes, env_,
+          [&](Slice key, const std::vector<Slice>& states) {
+            MergeStatesAndEmit(*spec_.aggregator, key, states, out);
+          },
+          options_.compress_spills);
+      for (const auto& path : spill_runs_) std::filesystem::remove(path);
+    }
+  }
+  out.Close();
+  env_.timeline->Record(TaskKind::kReduce, reduce_begin,
+                        env_.job_start->Seconds());
+  return out.records();
+}
+
+// --- HotKeyIncrementalReducer ------------------------------------------------
+
+HotKeyIncrementalReducer::HotKeyIncrementalReducer(int reducer_id,
+                                                   const JobSpec& spec,
+                                                   const JobOptions& options,
+                                                   const RuntimeEnv& env)
+    : reducer_id_(reducer_id),
+      spec_(spec),
+      options_(options),
+      env_(env),
+      values_are_states_(spec.has_aggregator() && options.map_side_combine),
+      sketch_(options.hot_key_capacity),
+      resident_((RequireAggregator(spec, "HotKeyIncrementalReducer"),
+                 spec.aggregator.get())) {}
+
+void HotKeyIncrementalReducer::EnsureColdWriter() {
+  if (cold_ == nullptr) {
+    cold_path_ = env_.files->NewFile("cold_run");
+    cold_ = NewSpillSink(options_.compress_spills, cold_path_,
+                         IoChannel(env_.metrics, device::kSpillWrite));
+  }
+}
+
+void HotKeyIncrementalReducer::DemoteToCold(Slice key) {
+  std::string state;
+  if (!resident_.Extract(key, &state)) return;
+  EnsureColdWriter();
+  cold_->Append(key, state);
+  ++cold_records_;
+}
+
+void HotKeyIncrementalReducer::EnforceBudget() {
+  if (resident_.MemoryBytes() <= options_.reduce_buffer_bytes) return;
+  // Demote the resident keys the sketch considers coldest until under
+  // budget.  Rare: the sketch capacity normally bounds residency first.
+  std::vector<std::pair<std::uint64_t, std::string>> by_estimate;
+  by_estimate.reserve(resident_.size());
+  resident_.ForEach([&](Slice key, const StateTable::Entry&) {
+    by_estimate.emplace_back(sketch_.Estimate(key), std::string(key.view()));
+  });
+  std::sort(by_estimate.begin(), by_estimate.end());
+  for (const auto& [estimate, key] : by_estimate) {
+    if (resident_.MemoryBytes() <= options_.reduce_buffer_bytes) break;
+    DemoteToCold(key);
+  }
+}
+
+std::uint64_t HotKeyIncrementalReducer::Run() {
+  const double shuffle_begin = env_.job_start->Seconds();
+  IoChannel shuffle_read(env_.metrics, device::kShuffleRead);
+  ReducerOutput out(env_,
+                    spec_.output_file + ".part" + std::to_string(reducer_id_));
+  std::string early_value;
+
+  ShuffleItem item;
+  std::uint64_t since_check = 0;
+  while (env_.shuffle->NextItem(reducer_id_, &item)) {
+    auto stream = OpenShuffleItem(item, shuffle_read);
+    PhaseScope cpu(env_.profiler, "hash_group");
+    while (stream->Next()) {
+      const Slice key = stream->key();
+      // The sketch sees every arrival; its eviction is the demotion signal —
+      // but demotion only matters under memory pressure.  While the table
+      // is comfortably inside its budget every state stays resident, so an
+      // amply-provisioned run spills nothing at all.
+      if (auto victim = sketch_.OfferAndEvict(key); victim.has_value()) {
+        if (resident_.MemoryBytes() >
+            options_.reduce_buffer_bytes - options_.reduce_buffer_bytes / 4) {
+          DemoteToCold(*victim);
+        }
+      }
+      StateTable::Entry& entry =
+          resident_.Fold(key, stream->value(), values_are_states_);
+      ++hot_folds_;
+      if (options_.early_emit && !entry.early_emitted &&
+          options_.early_emit(key, entry.state)) {
+        spec_.aggregator->Finalize(entry.state, &early_value);
+        out.Emit(key, early_value);
+        entry.early_emitted = true;
+        ++early_emits_;
+      }
+      if (++since_check >= 64) {
+        since_check = 0;
+        EnforceBudget();
+      }
+    }
+  }
+  env_.timeline->Record(TaskKind::kShuffle, shuffle_begin,
+                        env_.job_start->Seconds());
+
+  const double reduce_begin = env_.job_start->Seconds();
+  {
+    PhaseScope cpu(env_.profiler, "reduce_function");
+    if (cold_ == nullptr) {
+      // Everything stayed resident: exact one-pass answers.
+      std::string final_value;
+      resident_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+        spec_.aggregator->Finalize(entry.state, &final_value);
+        out.Emit(key, final_value);
+      });
+    } else {
+      // Early (approximate) answers for hot keys, available before any
+      // cold-file pass — the paper's "return (approximate) results for
+      // these keys as early as when all the input data has arrived".
+      ReducerOutput early(env_, spec_.output_file + ".early.part" +
+                                    std::to_string(reducer_id_));
+      std::string approx_value;
+      resident_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+        spec_.aggregator->Finalize(entry.state, &approx_value);
+        early.Emit(key, approx_value);
+      });
+      early.Close();
+
+      // Exact phase: fold the resident states into the cold run and
+      // re-aggregate everything.
+      resident_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+        cold_->Append(key, entry.state);
+      });
+      cold_->Close();
+      ExternalHashAggregate(
+          {cold_path_}, /*level=*/0, options_.reduce_buffer_bytes, env_,
+          [&](Slice key, const std::vector<Slice>& states) {
+            MergeStatesAndEmit(*spec_.aggregator, key, states, out);
+          },
+          options_.compress_spills);
+      std::filesystem::remove(cold_path_);
+    }
+  }
+  out.Close();
+  env_.timeline->Record(TaskKind::kReduce, reduce_begin,
+                        env_.job_start->Seconds());
+  return out.records();
+}
+
+}  // namespace opmr

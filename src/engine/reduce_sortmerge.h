@@ -1,0 +1,67 @@
+// The Hadoop reducer: collect sorted map-output segments, spill merged runs
+// to disk when the buffer fills, background-merge whenever F on-disk runs
+// accumulate, multi-pass merge down to F after the last map, and only then
+// stream one final merge through the reduce function (paper §II-A).
+//
+// This path is deliberately blocking: nothing reaches the reduce function
+// until the final merge begins.  With snapshots enabled (MapReduce Online)
+// the current runs are additionally re-merged at each snapshot point, which
+// produces early output at the price of repeated merge I/O (§III-D).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/job.h"
+#include "engine/reduce_common.h"
+
+namespace opmr {
+
+class SortMergeReducer {
+ public:
+  SortMergeReducer(int reducer_id, const JobSpec& spec,
+                   const JobOptions& options, const RuntimeEnv& env);
+
+  // Consumes this reducer's shuffle feed to completion and writes the final
+  // output; returns the number of records emitted.
+  std::uint64_t Run();
+
+  // Observability for tests/benches.
+  [[nodiscard]] int merge_passes() const noexcept { return merge_passes_; }
+  [[nodiscard]] int snapshots_taken() const noexcept { return snapshots_; }
+
+ private:
+  // Merges all in-memory segments into one on-disk run (reduce-side spill),
+  // applying the derived combiner when configured — Hadoop applies the
+  // combine function "in a reducer when its data buffer fills up" (§II-A),
+  // and the paper stresses the data is written out regardless.
+  void SpillMemorySegments();
+
+  // Merges the oldest `merge_factor` on-disk runs into one (the background /
+  // multi-pass merge).
+  void MergeDiskRuns();
+
+  // Runs the reduce function over a merge of everything received so far and
+  // writes a snapshot output file (HOP's periodic snapshot mechanism).
+  void TakeSnapshot();
+
+  // Builds streams over current disk runs + memory segments.
+  [[nodiscard]] std::vector<std::unique_ptr<RecordStream>> OpenAllRuns();
+
+  int reducer_id_;
+  const JobSpec& spec_;
+  const JobOptions& options_;
+  RuntimeEnv env_;
+  bool values_are_states_;
+
+  std::vector<std::string> memory_segments_;  // sorted framed-record blobs
+  std::size_t memory_bytes_ = 0;
+  std::vector<std::filesystem::path> disk_runs_;
+
+  int merge_passes_ = 0;
+  int snapshots_ = 0;
+  double next_snapshot_at_ = 2.0;  // fraction of maps done; 2.0 = disabled
+};
+
+}  // namespace opmr

@@ -1,0 +1,119 @@
+#include "engine/shuffle.h"
+
+#include <stdexcept>
+
+namespace opmr {
+
+ShuffleService::ShuffleService(int num_map_tasks, int num_reducers,
+                               MetricRegistry* metrics,
+                               std::size_t push_queue_chunks)
+    : num_map_tasks_(num_map_tasks),
+      num_reducers_(num_reducers),
+      push_queue_chunks_(push_queue_chunks),
+      shuffle_read_(metrics, device::kShuffleRead),
+      queues_(num_reducers) {
+  if (num_reducers <= 0) {
+    throw std::invalid_argument("ShuffleService: need at least one reducer");
+  }
+}
+
+void ShuffleService::Enqueue(int reducer, ShuffleItem item) {
+  {
+    std::scoped_lock lock(mu_);
+    queues_.at(reducer).items.push_back(std::move(item));
+  }
+  cv_.notify_all();
+}
+
+void ShuffleService::RegisterFile(const MapOutputFile& file) {
+  for (int r = 0; r < static_cast<int>(file.partitions.size()); ++r) {
+    const Segment& seg = file.partitions[r];
+    if (seg.bytes == 0) continue;
+    ShuffleItem item;
+    item.map_task = file.map_task;
+    item.sorted = file.sorted;
+    item.records = seg.records;
+    item.from_file = true;
+    item.path = file.path;
+    item.segment = seg;
+    Enqueue(r, std::move(item));
+  }
+}
+
+void ShuffleService::RegisterSegment(int map_task,
+                                     const std::filesystem::path& path,
+                                     int reducer, const Segment& segment,
+                                     bool sorted) {
+  if (segment.bytes == 0) return;
+  ShuffleItem item;
+  item.map_task = map_task;
+  item.sorted = sorted;
+  item.records = segment.records;
+  item.from_file = true;
+  item.path = path;
+  item.segment = segment;
+  Enqueue(reducer, std::move(item));
+}
+
+bool ShuffleService::TryPush(int reducer, ShuffleItem chunk) {
+  {
+    std::scoped_lock lock(mu_);
+    ReducerQueue& q = queues_.at(reducer);
+    if (q.pushed_outstanding >= push_queue_chunks_) return false;
+    ++q.pushed_outstanding;
+    q.items.push_back(std::move(chunk));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void ShuffleService::MapTaskDone(int /*map_task*/) {
+  {
+    std::scoped_lock lock(mu_);
+    ++maps_done_;
+    if (maps_done_ > num_map_tasks_) {
+      throw std::logic_error("ShuffleService: more completions than tasks");
+    }
+  }
+  cv_.notify_all();
+}
+
+void ShuffleService::Abort(const std::string& reason) {
+  {
+    std::scoped_lock lock(mu_);
+    aborted_ = true;
+    abort_reason_ = reason;
+  }
+  cv_.notify_all();
+}
+
+bool ShuffleService::NextItem(int reducer, ShuffleItem* item) {
+  std::unique_lock lock(mu_);
+  ReducerQueue& q = queues_.at(reducer);
+  cv_.wait(lock, [&] {
+    return aborted_ || !q.items.empty() || maps_done_ == num_map_tasks_;
+  });
+  if (aborted_) {
+    throw std::runtime_error("shuffle aborted: " + abort_reason_);
+  }
+  if (q.items.empty()) return false;
+  *item = std::move(q.items.front());
+  q.items.pop_front();
+  if (!item->from_file) {
+    --q.pushed_outstanding;
+    // A pushed chunk crosses the (simulated) network when consumed.
+    shuffle_read_.Add(static_cast<std::int64_t>(item->bytes.size()));
+  }
+  lock.unlock();
+  cv_.notify_all();
+  return true;
+}
+
+double ShuffleService::MapsDoneFraction() const {
+  std::scoped_lock lock(mu_);
+  return num_map_tasks_ == 0
+             ? 1.0
+             : static_cast<double>(maps_done_) / num_map_tasks_;
+}
+
+}  // namespace opmr

@@ -1,0 +1,109 @@
+// Shuffle: moves map output to reducers.
+//
+// Pull (Hadoop): map tasks register completed output files; reducers are
+// handed segment descriptors and read the bytes themselves — the in-process
+// analogue of "reducers periodically poll a centralized service ... and
+// request data directly from the completed mappers" (paper §II-A).
+//
+// Push (MapReduce Online): map tasks push chunks of output eagerly, bounded
+// by a per-reducer queue; when the queue is full the mapper diverts the
+// chunk to local disk and registers it for pulling — the paper's adaptive
+// load-balancing between mappers and reducers (§III-D).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/map_output.h"
+#include "metrics/counters.h"
+#include "storage/io_stats.h"
+
+namespace opmr {
+
+// One unit of shuffled data for a single reducer: either an in-memory chunk
+// that was pushed, or a file segment to fetch.
+struct ShuffleItem {
+  int map_task = -1;
+  bool sorted = false;
+  std::uint64_t records = 0;
+
+  // In-memory payload (push path); empty when the item is a file segment.
+  std::string bytes;
+
+  // File segment (pull path / diverted push chunks).
+  bool from_file = false;
+  std::filesystem::path path;
+  Segment segment;
+
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept {
+    return from_file ? segment.bytes : bytes.size();
+  }
+};
+
+class ShuffleService {
+ public:
+  ShuffleService(int num_map_tasks, int num_reducers, MetricRegistry* metrics,
+                 std::size_t push_queue_chunks);
+
+  // --- map side -------------------------------------------------------------
+
+  // Publishes every non-empty partition segment of a completed spill file.
+  void RegisterFile(const MapOutputFile& file);
+
+  // Publishes a single diverted segment.
+  void RegisterSegment(int map_task, const std::filesystem::path& path,
+                       int reducer, const Segment& segment, bool sorted);
+
+  // Attempts to push an in-memory chunk to `reducer`.  Returns false when
+  // the reducer's queue is full (back-pressure) — the caller must divert.
+  bool TryPush(int reducer, ShuffleItem chunk);
+
+  // Marks a map task complete.  All its output must have been registered or
+  // pushed before this call.
+  void MapTaskDone(int map_task);
+
+  // --- reduce side ----------------------------------------------------------
+
+  // Blocks until an item is available for `reducer` or the shuffle is
+  // complete.  Returns false when all map tasks are done and the reducer
+  // has consumed everything.  Charges the shuffle-read channel.
+  bool NextItem(int reducer, ShuffleItem* item);
+
+  // Fraction of map tasks completed (drives HOP snapshot points).
+  [[nodiscard]] double MapsDoneFraction() const;
+
+  // Poisons the shuffle after a task failure: all blocked and future
+  // NextItem calls throw, so reducer threads unwind instead of waiting for
+  // map completions that will never come.
+  void Abort(const std::string& reason);
+
+  [[nodiscard]] int num_map_tasks() const noexcept { return num_map_tasks_; }
+  [[nodiscard]] int num_reducers() const noexcept { return num_reducers_; }
+
+ private:
+  struct ReducerQueue {
+    std::deque<ShuffleItem> items;
+    std::size_t pushed_outstanding = 0;  // in-memory chunks awaiting consume
+  };
+
+  void Enqueue(int reducer, ShuffleItem item);
+
+  const int num_map_tasks_;
+  const int num_reducers_;
+  const std::size_t push_queue_chunks_;
+  IoChannel shuffle_read_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ReducerQueue> queues_;
+  int maps_done_ = 0;
+  std::string abort_reason_;
+  bool aborted_ = false;
+};
+
+}  // namespace opmr

@@ -1,0 +1,66 @@
+#include "frequent/lossy_counting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opmr {
+
+LossyCounting::LossyCounting(double epsilon) : epsilon_(epsilon) {
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    throw std::invalid_argument("LossyCounting: epsilon must be in (0,1)");
+  }
+  width_ = static_cast<std::uint64_t>(std::ceil(1.0 / epsilon));
+}
+
+void LossyCounting::PruneBucket() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.count + it->second.delta <= bucket_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++bucket_;
+}
+
+void LossyCounting::Offer(Slice key, std::uint64_t weight) {
+  // Weighted arrivals are folded one bucket at a time so pruning points are
+  // identical to offering the key `weight` times.
+  while (weight > 0) {
+    const std::uint64_t room = bucket_ * width_ - n_;
+    const std::uint64_t take = std::min<std::uint64_t>(weight, room);
+    auto it = entries_.find(key.view());
+    if (it != entries_.end()) {
+      it->second.count += take;
+    } else {
+      entries_.emplace(std::string(key.view()), Entry{take, bucket_ - 1});
+    }
+    n_ += take;
+    weight -= take;
+    if (n_ == bucket_ * width_) PruneBucket();
+  }
+}
+
+std::uint64_t LossyCounting::Estimate(Slice key) const {
+  auto it = entries_.find(key.view());
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+bool LossyCounting::IsMonitored(Slice key) const {
+  return entries_.count(key.view()) != 0;
+}
+
+std::vector<HeavyHitter> LossyCounting::Candidates() const {
+  std::vector<HeavyHitter> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back({key, entry.count + entry.delta, entry.delta});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.count_estimate > b.count_estimate;
+  });
+  return out;
+}
+
+}  // namespace opmr

@@ -1,0 +1,52 @@
+// Lossy Counting (Manku & Motwani 2002).
+//
+// Processes the stream in buckets of width ceil(1/epsilon); at each bucket
+// boundary entries whose (count + delta) no longer exceed the bucket index
+// are pruned.  Guarantee: estimate <= true count <= estimate + epsilon*N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frequent/sketch.h"
+
+namespace opmr {
+
+class LossyCounting final : public FrequentSketch {
+ public:
+  explicit LossyCounting(double epsilon);
+
+  void Offer(Slice key, std::uint64_t weight) override;
+  using FrequentSketch::Offer;
+
+  [[nodiscard]] std::uint64_t Estimate(Slice key) const override;
+  [[nodiscard]] bool IsMonitored(Slice key) const override;
+  [[nodiscard]] std::vector<HeavyHitter> Candidates() const override;
+  [[nodiscard]] std::size_t Size() const override { return entries_.size(); }
+  // Lossy counting's size bound is (1/epsilon)*log(epsilon*N); report the
+  // bucket width as the nominal capacity.
+  [[nodiscard]] std::size_t Capacity() const override { return width_; }
+  [[nodiscard]] std::uint64_t StreamLength() const override { return n_; }
+
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+ private:
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t delta = 0;  // max undercount when the entry was inserted
+  };
+
+  void PruneBucket();
+
+  double epsilon_;
+  std::uint64_t width_;
+  std::uint64_t n_ = 0;
+  std::uint64_t bucket_ = 1;  // current bucket index (1-based, as in paper)
+  std::unordered_map<std::string, Entry, TransparentStringHash,
+                     std::equal_to<>>
+      entries_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,65 @@
+#include "frequent/misra_gries.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opmr {
+
+MisraGries::MisraGries(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("MisraGries: capacity must be positive");
+  }
+  counts_.reserve(capacity_ + 1);
+}
+
+void MisraGries::Offer(Slice key, std::uint64_t weight) {
+  n_ += weight;
+  auto it = counts_.find(key.view());
+  if (it != counts_.end()) {
+    it->second += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(std::string(key.view()), weight);
+    return;
+  }
+  // Weighted Misra–Gries decrement step: subtract the largest amount that
+  // zeroes either the newcomer's weight or some existing counter.
+  std::uint64_t min_count = weight;
+  for (const auto& [_, c] : counts_) min_count = std::min(min_count, c);
+  for (auto it2 = counts_.begin(); it2 != counts_.end();) {
+    it2->second -= min_count;
+    if (it2->second == 0) {
+      it2 = counts_.erase(it2);
+    } else {
+      ++it2;
+    }
+  }
+  if (weight > min_count) {
+    counts_.emplace(std::string(key.view()), weight - min_count);
+  }
+}
+
+std::uint64_t MisraGries::Estimate(Slice key) const {
+  auto it = counts_.find(key.view());
+  return it == counts_.end() ? 0 : it->second;
+}
+
+bool MisraGries::IsMonitored(Slice key) const {
+  return counts_.count(key.view()) != 0;
+}
+
+std::vector<HeavyHitter> MisraGries::Candidates() const {
+  std::vector<HeavyHitter> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    // MG estimates are lower bounds; error is bounded by N/(capacity+1).
+    out.push_back({key, count, n_ / (capacity_ + 1)});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.count_estimate > b.count_estimate;
+  });
+  return out;
+}
+
+}  // namespace opmr

@@ -1,0 +1,39 @@
+// Misra–Gries (1982) frequent-items summary.
+//
+// Keeps at most `capacity` counters.  A new key arriving when the summary is
+// full decrements every counter (evicting zeros) instead of evicting one
+// victim.  Guarantee: estimate <= true count <= estimate + N/(capacity+1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frequent/sketch.h"
+
+namespace opmr {
+
+class MisraGries final : public FrequentSketch {
+ public:
+  explicit MisraGries(std::size_t capacity);
+
+  void Offer(Slice key, std::uint64_t weight) override;
+  using FrequentSketch::Offer;
+
+  [[nodiscard]] std::uint64_t Estimate(Slice key) const override;
+  [[nodiscard]] bool IsMonitored(Slice key) const override;
+  [[nodiscard]] std::vector<HeavyHitter> Candidates() const override;
+  [[nodiscard]] std::size_t Size() const override { return counts_.size(); }
+  [[nodiscard]] std::size_t Capacity() const override { return capacity_; }
+  [[nodiscard]] std::uint64_t StreamLength() const override { return n_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t n_ = 0;
+  std::unordered_map<std::string, std::uint64_t, TransparentStringHash,
+                     std::equal_to<>>
+      counts_;
+};
+
+}  // namespace opmr

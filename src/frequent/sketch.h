@@ -1,0 +1,50 @@
+// Online frequent-items ("heavy hitter") sketch interface.
+//
+// The paper's hot-key reducer (§V, reduce technique 3) "borrow[s] an
+// existing online frequent algorithm to identify hot keys, and keep[s] hot
+// keys in memory".  All three classic deterministic summaries are provided
+// behind one interface so the hot-key reducer and the ablation benches can
+// swap them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/slice.h"
+
+namespace opmr {
+
+struct HeavyHitter {
+  std::string key;
+  std::uint64_t count_estimate = 0;  // upper bound on the true count
+  std::uint64_t error_bound = 0;     // count_estimate - error <= true count
+};
+
+class FrequentSketch {
+ public:
+  virtual ~FrequentSketch() = default;
+
+  // Observes one occurrence (or `weight` occurrences) of `key`.
+  virtual void Offer(Slice key, std::uint64_t weight) = 0;
+  void Offer(Slice key) { Offer(key, 1); }
+
+  // Estimated count for `key`; 0 if the key is not currently monitored.
+  [[nodiscard]] virtual std::uint64_t Estimate(Slice key) const = 0;
+
+  // True if `key` is currently one of the monitored (candidate-hot) keys.
+  [[nodiscard]] virtual bool IsMonitored(Slice key) const = 0;
+
+  // All monitored keys, most frequent first.
+  [[nodiscard]] virtual std::vector<HeavyHitter> Candidates() const = 0;
+
+  // Number of monitored keys / capacity of the summary.
+  [[nodiscard]] virtual std::size_t Size() const = 0;
+  [[nodiscard]] virtual std::size_t Capacity() const = 0;
+
+  // Total stream weight observed.
+  [[nodiscard]] virtual std::uint64_t StreamLength() const = 0;
+};
+
+}  // namespace opmr

@@ -1,0 +1,116 @@
+#include "frequent/space_saving.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opmr {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("SpaceSaving: capacity must be positive");
+  }
+  entries_.reserve(capacity_);
+  min_heap_.reserve(capacity_);
+}
+
+void SpaceSaving::SiftUp(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (min_heap_[parent]->count <= min_heap_[pos]->count) break;
+    std::swap(min_heap_[parent], min_heap_[pos]);
+    min_heap_[parent]->heap_pos = parent;
+    min_heap_[pos]->heap_pos = pos;
+    pos = parent;
+  }
+}
+
+void SpaceSaving::SiftDown(std::size_t pos) {
+  const std::size_t n = min_heap_.size();
+  while (true) {
+    std::size_t smallest = pos;
+    const std::size_t l = 2 * pos + 1;
+    const std::size_t r = 2 * pos + 2;
+    if (l < n && min_heap_[l]->count < min_heap_[smallest]->count) {
+      smallest = l;
+    }
+    if (r < n && min_heap_[r]->count < min_heap_[smallest]->count) {
+      smallest = r;
+    }
+    if (smallest == pos) break;
+    std::swap(min_heap_[pos], min_heap_[smallest]);
+    min_heap_[pos]->heap_pos = pos;
+    min_heap_[smallest]->heap_pos = smallest;
+    pos = smallest;
+  }
+}
+
+void SpaceSaving::Offer(Slice key, std::uint64_t weight) {
+  (void)OfferAndEvict(key, weight);
+}
+
+std::optional<std::string> SpaceSaving::OfferAndEvict(Slice key,
+                                                      std::uint64_t weight) {
+  n_ += weight;
+  auto it = entries_.find(key.view());
+  if (it != entries_.end()) {
+    it->second.count += weight;
+    SiftDown(it->second.heap_pos);
+    return std::nullopt;
+  }
+  if (entries_.size() < capacity_) {
+    std::string owned(key.view());
+    Entry entry;
+    entry.key = owned;
+    entry.count = weight;
+    entry.error = 0;
+    entry.heap_pos = min_heap_.size();
+    auto [slot, inserted] = entries_.emplace(std::move(owned), std::move(entry));
+    min_heap_.push_back(&slot->second);
+    SiftUp(min_heap_.size() - 1);
+    return std::nullopt;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count as error.
+  Entry* victim = min_heap_[0];
+  std::string victim_key = victim->key;
+  const std::uint64_t inherited = victim->count;
+  entries_.erase(victim_key);
+
+  std::string owned(key.view());
+  Entry entry;
+  entry.key = owned;
+  entry.count = inherited + weight;
+  entry.error = inherited;
+  entry.heap_pos = 0;
+  auto [slot, inserted] = entries_.emplace(std::move(owned), std::move(entry));
+  min_heap_[0] = &slot->second;
+  SiftDown(0);
+  return victim_key;
+}
+
+std::uint64_t SpaceSaving::Estimate(Slice key) const {
+  auto it = entries_.find(key.view());
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+bool SpaceSaving::IsMonitored(Slice key) const {
+  return entries_.count(key.view()) != 0;
+}
+
+std::uint64_t SpaceSaving::Error(Slice key) const {
+  auto it = entries_.find(key.view());
+  return it == entries_.end() ? 0 : it->second.error;
+}
+
+std::vector<HeavyHitter> SpaceSaving::Candidates() const {
+  std::vector<HeavyHitter> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back({key, entry.count, entry.error});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.count_estimate > b.count_estimate;
+  });
+  return out;
+}
+
+}  // namespace opmr

@@ -1,0 +1,64 @@
+// Space-Saving (Metwally, Agrawal, El Abbadi 2005): the frequent-items
+// summary used by the hot-key incremental reducer.
+//
+// Maintains exactly `capacity` monitored keys.  On an unmonitored arrival
+// when full, the minimum-count entry is evicted and the newcomer inherits
+// its count as the error bound.  Guarantees: for any key with true count
+// f > N/capacity the key is monitored, and estimate - error <= f <= estimate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frequent/sketch.h"
+
+namespace opmr {
+
+class SpaceSaving final : public FrequentSketch {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+
+  void Offer(Slice key, std::uint64_t weight) override;
+  using FrequentSketch::Offer;
+
+  [[nodiscard]] std::uint64_t Estimate(Slice key) const override;
+  [[nodiscard]] bool IsMonitored(Slice key) const override;
+  [[nodiscard]] std::vector<HeavyHitter> Candidates() const override;
+  [[nodiscard]] std::size_t Size() const override { return entries_.size(); }
+  [[nodiscard]] std::size_t Capacity() const override { return capacity_; }
+  [[nodiscard]] std::uint64_t StreamLength() const override { return n_; }
+
+  // Error bound for a monitored key (0 if never recycled); part of the
+  // (estimate, error) certificate Space-Saving provides.
+  [[nodiscard]] std::uint64_t Error(Slice key) const;
+
+  // Like Offer, but reports which key (if any) was evicted to admit this
+  // one.  The hot-key reducer uses the eviction as its signal to demote the
+  // victim's in-memory state to the cold spill file.
+  std::optional<std::string> OfferAndEvict(Slice key, std::uint64_t weight = 1);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+    std::size_t heap_pos = 0;  // position in min_heap_
+  };
+
+  void SiftUp(std::size_t pos);
+  void SiftDown(std::size_t pos);
+
+  std::size_t capacity_;
+  std::uint64_t n_ = 0;
+  // Monitored entries keyed by their bytes; the min-heap orders stable
+  // Entry pointers by count (node-based map => addresses never move), so
+  // heap maintenance swaps pointers, not strings.
+  std::unordered_map<std::string, Entry, TransparentStringHash,
+                     std::equal_to<>> entries_;
+  std::vector<Entry*> min_heap_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,66 @@
+// Named metric counters, the in-process equivalent of the iostat/ps scrape
+// the paper's profiling harness logged.  Counters are sharded per name and
+// atomically incremented, so hot paths (per-record byte accounting) never
+// contend on a map lookup: call sites hold a Counter* obtained once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace opmr {
+
+class Counter {
+ public:
+  void Add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() noexcept { Add(1); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Registry of counters by name.  Get() is amortized O(log n) and returns a
+// stable pointer; reading a snapshot is O(n).
+class MetricRegistry {
+ public:
+  Counter* Get(const std::string& name) {
+    std::scoped_lock lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return slot.get();
+  }
+
+  [[nodiscard]] std::map<std::string, std::int64_t> Snapshot() const {
+    std::scoped_lock lock(mu_);
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, counter] : counters_) out[name] = counter->value();
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t Value(const std::string& name) const {
+    std::scoped_lock lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+  }
+
+  void ResetAll() {
+    std::scoped_lock lock(mu_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,83 @@
+// Per-phase CPU accounting (paper Fig. 5 "CPU profiler").
+//
+// Each task thread attributes its CPU nanoseconds to a named phase —
+// "map_function", "map_sort", "merge", "reduce_function", "hash_group", … —
+// by bracketing work in a PhaseScope.  The aggregate per-phase totals are
+// what Table II and the Section-V CPU-saving comparison report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "metrics/stopwatch.h"
+
+namespace opmr {
+
+class PhaseProfiler {
+ public:
+  void AddCpuNanos(const std::string& phase, std::int64_t nanos) {
+    std::scoped_lock lock(mu_);
+    cpu_nanos_[phase] += nanos;
+  }
+
+  [[nodiscard]] double CpuSeconds(const std::string& phase) const {
+    std::scoped_lock lock(mu_);
+    auto it = cpu_nanos_.find(phase);
+    return it == cpu_nanos_.end() ? 0.0 : static_cast<double>(it->second) * 1e-9;
+  }
+
+  [[nodiscard]] double TotalCpuSeconds() const {
+    std::scoped_lock lock(mu_);
+    std::int64_t total = 0;
+    for (const auto& [_, n] : cpu_nanos_) total += n;
+    return static_cast<double>(total) * 1e-9;
+  }
+
+  [[nodiscard]] std::map<std::string, double> Snapshot() const {
+    std::scoped_lock lock(mu_);
+    std::map<std::string, double> out;
+    for (const auto& [phase, nanos] : cpu_nanos_) {
+      out[phase] = static_cast<double>(nanos) * 1e-9;
+    }
+    return out;
+  }
+
+  void Reset() {
+    std::scoped_lock lock(mu_);
+    cpu_nanos_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> cpu_nanos_;
+};
+
+// RAII bracket: charges the enclosed thread-CPU time to `phase` on exit.
+// Nested scopes self-subtract via manual Stop() at the call sites where
+// phases interleave (map function vs. framework sort).
+class PhaseScope {
+ public:
+  PhaseScope(PhaseProfiler* profiler, std::string phase)
+      : profiler_(profiler), phase_(std::move(phase)) {}
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  ~PhaseScope() { Stop(); }
+
+  void Stop() {
+    if (profiler_ != nullptr) {
+      profiler_->AddCpuNanos(phase_, timer_.Nanos());
+      profiler_ = nullptr;
+    }
+  }
+
+ private:
+  PhaseProfiler* profiler_;
+  std::string phase_;
+  ThreadCpuTimer timer_;
+};
+
+}  // namespace opmr

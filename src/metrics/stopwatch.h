@@ -1,0 +1,58 @@
+// Wall-clock and per-thread CPU-time stopwatches.
+//
+// Table II of the paper splits map-phase CPU seconds between the user map
+// function and the framework's sort.  We reproduce that measurement with
+// CLOCK_THREAD_CPUTIME_ID so the split reflects cycles actually consumed by
+// the calling thread, not wall time inflated by scheduling.
+#pragma once
+
+#include <ctime>
+#include <chrono>
+#include <cstdint>
+
+namespace opmr {
+
+// Monotonic wall clock, nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] std::int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// CPU time consumed by the calling thread since construction/restart.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  [[nodiscard]] double Seconds() const {
+    return static_cast<double>(Now() - start_) * 1e-9;
+  }
+  [[nodiscard]] std::int64_t Nanos() const { return Now() - start_; }
+
+  static std::int64_t Now() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace opmr

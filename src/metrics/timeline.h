@@ -1,0 +1,92 @@
+// Task-timeline recorder: the data behind Fig. 2(a) and Fig. 3.
+//
+// Every task (map / shuffle / merge / reduce) records a begin and end
+// timestamp tagged with an operation kind.  From those intervals we derive
+// the "number of concurrently running tasks per operation over time" series
+// the paper plots, and render it as an ASCII chart in the bench binaries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace opmr {
+
+enum class TaskKind : int { kMap = 0, kShuffle = 1, kMerge = 2, kReduce = 3 };
+
+inline const char* TaskKindName(TaskKind k) {
+  switch (k) {
+    case TaskKind::kMap: return "map";
+    case TaskKind::kShuffle: return "shuffle";
+    case TaskKind::kMerge: return "merge";
+    case TaskKind::kReduce: return "reduce";
+  }
+  return "?";
+}
+
+struct TaskInterval {
+  TaskKind kind;
+  double begin_s;
+  double end_s;
+};
+
+class TimelineRecorder {
+ public:
+  void Record(TaskKind kind, double begin_s, double end_s) {
+    std::scoped_lock lock(mu_);
+    intervals_.push_back({kind, begin_s, end_s});
+  }
+
+  [[nodiscard]] std::vector<TaskInterval> Snapshot() const {
+    std::scoped_lock lock(mu_);
+    return intervals_;
+  }
+
+  [[nodiscard]] double EndTime() const {
+    std::scoped_lock lock(mu_);
+    double end = 0.0;
+    for (const auto& iv : intervals_) end = std::max(end, iv.end_s);
+    return end;
+  }
+
+  // Number of intervals of `kind` active at time t.
+  [[nodiscard]] int ActiveAt(TaskKind kind, double t) const {
+    std::scoped_lock lock(mu_);
+    int n = 0;
+    for (const auto& iv : intervals_) {
+      if (iv.kind == kind && iv.begin_s <= t && t < iv.end_s) ++n;
+    }
+    return n;
+  }
+
+  // Series of active-task counts sampled at `num_samples` uniform points —
+  // one row per operation kind, exactly the four curves of Fig. 2(a).
+  [[nodiscard]] std::vector<std::vector<int>> SampleActive(
+      int num_samples) const {
+    const double end = EndTime();
+    std::vector<std::vector<int>> series(4, std::vector<int>(num_samples, 0));
+    const auto snapshot = Snapshot();
+    for (int s = 0; s < num_samples; ++s) {
+      const double t = end * (s + 0.5) / num_samples;
+      for (const auto& iv : snapshot) {
+        if (iv.begin_s <= t && t < iv.end_s) {
+          ++series[static_cast<int>(iv.kind)][s];
+        }
+      }
+    }
+    return series;
+  }
+
+  void Reset() {
+    std::scoped_lock lock(mu_);
+    intervals_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TaskInterval> intervals_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,117 @@
+// Sampled time series: CPU utilization, CPU iowait, cumulative bytes read —
+// the traces behind Fig. 2(b–f) and Fig. 4.
+//
+// The cluster simulator appends one sample per simulated interval; the real
+// engine's sampler thread appends wall-clock samples.  AsciiPlot renders a
+// series the way the paper's matplotlib graphs read: time on x, value on y.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace opmr {
+
+struct Sample {
+  double time_s;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void Append(double time_s, double value) {
+    std::scoped_lock lock(mu_);
+    samples_.push_back({time_s, value});
+  }
+
+  [[nodiscard]] std::vector<Sample> Snapshot() const {
+    std::scoped_lock lock(mu_);
+    return samples_;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return samples_.size();
+  }
+
+  // Mean of values with time in [t0, t1).
+  [[nodiscard]] double MeanIn(double t0, double t1) const {
+    std::scoped_lock lock(mu_);
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& s : samples_) {
+      if (s.time_s >= t0 && s.time_s < t1) {
+        sum += s.value;
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / n;
+  }
+
+  [[nodiscard]] double MaxValue() const {
+    std::scoped_lock lock(mu_);
+    double m = 0.0;
+    for (const auto& s : samples_) m = std::max(m, s.value);
+    return m;
+  }
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::vector<Sample> samples_;
+};
+
+// Renders a series as a fixed-size ASCII chart.  Values are averaged into
+// `width` buckets over the series' time range and drawn against `height`
+// rows; '#' marks the bucket's level.
+inline std::string AsciiPlot(const TimeSeries& series, int width = 78,
+                             int height = 12, double y_max = -1.0) {
+  const auto samples = series.Snapshot();
+  std::string out = series.name() + "\n";
+  if (samples.empty()) return out + "(no samples)\n";
+
+  const double t_end = samples.back().time_s;
+  double v_max = y_max;
+  if (v_max <= 0) {
+    for (const auto& s : samples) v_max = std::max(v_max, s.value);
+    if (v_max <= 0) v_max = 1.0;
+  }
+
+  std::vector<double> bucket(width, 0.0);
+  std::vector<int> count(width, 0);
+  for (const auto& s : samples) {
+    int b = t_end > 0 ? static_cast<int>(s.time_s / t_end * (width - 1)) : 0;
+    b = std::clamp(b, 0, width - 1);
+    bucket[b] += s.value;
+    ++count[b];
+  }
+  for (int b = 0; b < width; ++b) {
+    if (count[b] > 0) bucket[b] /= count[b];
+  }
+
+  for (int row = height; row >= 1; --row) {
+    const double threshold = v_max * row / height;
+    std::string line;
+    for (int b = 0; b < width; ++b) {
+      line += bucket[b] >= threshold - 1e-12 ? '#' : ' ';
+    }
+    // right-trim for readability
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line + "\n";
+  }
+  out += std::string(width, '-') + "\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "0 .. %.0f s   (y max = %.2f)\n", t_end,
+                v_max);
+  out += buf;
+  return out;
+}
+
+}  // namespace opmr

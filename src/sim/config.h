@@ -1,0 +1,84 @@
+// Simulated cluster configuration: the paper's testbed and its §III-C
+// architectural variants.
+#pragma once
+
+#include <cstdint>
+
+namespace opmr::sim {
+
+// §III-C storage architectures.
+enum class StorageArch {
+  kSingleDisk,   // baseline: one HDD serves DFS + intermediate data
+  kHddPlusSsd,   // per-node SSD dedicated to intermediate data
+  kSeparate,     // 5 storage + 5 compute nodes; DFS I/O crosses the network
+};
+
+// Which system's phase structure to replay.
+enum class SimRuntime {
+  kHadoop,       // sort-merge, pull shuffle (§III-B)
+  kHop,          // MapReduce Online: pipelined push + snapshots (§III-D)
+  kHashOnePass,  // the proposed runtime: no sort, incremental reduce (§V)
+};
+
+struct SimConfig {
+  int num_nodes = 10;  // paper: 10 compute nodes (+ head node)
+  int map_slots_per_node = 6;
+  double cores_per_node = 4;
+
+  std::uint64_t block_bytes = 64ull << 20;  // HDFS block size
+
+  // Device service rates (sequential; contention is modelled by fair
+  // sharing).  ~2004-2010 era hardware to match the paper's testbed.
+  double hdd_bytes_per_sec = 90e6;
+  double ssd_bytes_per_sec = 170e6;
+  double nic_bytes_per_sec = 110e6;  // ~1 GbE
+
+  // Sequential-bandwidth loss per additional concurrent stream on the HDD:
+  // effective rate = base / (1 + penalty * (streams - 1)).  Models the
+  // paper's observation that the shared disk is "maxed out and subject to
+  // random I/Os" when map reads, map-output writes and reduce spills mix.
+  double hdd_seek_penalty = 0.12;
+
+  // Per-byte framework CPU outside the user map/sort code: input record
+  // deserialization, buffer/stream management, task overhead.  Derived by
+  // closing the gap between Table II's measured map-function+sort cycles
+  // (~37 ns/byte) and the ~60 % map-phase CPU utilization of Fig. 2(b).
+  double framework_map_cpu_s_per_byte = 110e-9;
+  double framework_reduce_cpu_s_per_byte = 50e-9;
+
+  StorageArch storage = StorageArch::kSingleDisk;
+  SimRuntime runtime = SimRuntime::kHadoop;
+
+  // Reducer merge memory (the in-memory segment buffer before a spill).
+  double reduce_memory_bytes = 250e6;
+  int merge_factor = 10;  // Hadoop's F (io.sort.factor)
+
+  // HOP: snapshot every `snapshot_interval` fraction of map completion
+  // (0 disables), and the network overhead factor of fine-grained chunk
+  // transfers (paper: eager transmission "increases network cost").
+  double snapshot_interval = 0.0;
+  double push_overhead = 1.0;
+
+  // Fraction of intermediate data the hash one-pass runtime spills (cold
+  // keys); ~0 when states fit or hot keys are pinned.
+  double hash_spill_fraction = 0.0;
+
+  // Stragglers: this fraction of map tasks land on degraded slots that
+  // progress at `straggler_factor` of normal speed (flaky disk / busy
+  // neighbour), the failure mode speculative execution targets.
+  double straggler_fraction = 0.0;
+  double straggler_factor = 0.25;
+
+  // Speculative execution (the paper's related-work [35]): once the
+  // original task queue is empty ("the final wave"), duplicate any map
+  // task that has been running longer than `speculation_threshold` times
+  // the mean completed-task duration on a free slot; first copy to finish
+  // wins, the other is killed.
+  bool speculative_execution = false;
+  double speculation_threshold = 1.8;
+
+  double dt = 1.0;            // simulation step, seconds
+  double max_sim_seconds = 50'000;
+};
+
+}  // namespace opmr::sim

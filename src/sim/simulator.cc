@@ -1,0 +1,601 @@
+#include "sim/simulator.h"
+
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace opmr::sim {
+
+namespace {
+
+// Physical resources a task can demand during one activity.
+enum class Phys : int { kCpu = 0, kHdd = 1, kSsd = 2, kNic = 3 };
+
+struct Activity {
+  Phys phys = Phys::kCpu;
+  int node = 0;
+  double remaining = 0;  // cpu-seconds or bytes
+  bool active = false;
+};
+
+struct ResourceKey {
+  int node;
+  Phys phys;
+  bool operator<(const ResourceKey& o) const {
+    return node != o.node ? node < o.node
+                          : static_cast<int>(phys) < static_cast<int>(o.phys);
+  }
+};
+
+// --- Entity state machines ---------------------------------------------------
+
+struct MapTask {
+  int node = -1;
+  int phase = -1;  // -1 queued, 0 read, 1 map cpu, 2 sort/hash cpu, 3 write
+  double start_t = 0;
+  Activity act;
+  double out_bytes = 0;  // map output this task will produce
+  bool done = false;
+  bool slow = false;      // straggler slot: progresses at straggler_factor
+  int twin = -1;          // index of the original/speculative counterpart
+  bool has_duplicate = false;
+};
+
+enum class RedState {
+  kIdle,
+  kNetXfer,
+  kSpillWrite,
+  kMergeRead,
+  kMergeCpu,
+  kMergeWrite,
+  kSnapshotRead,
+  kSnapshotCpu,
+  kHashCpu,
+  kFinalRead,
+  kFinalCpu,
+  kFinalWrite,
+  kDone,
+};
+
+struct ReduceTask {
+  int node = -1;
+  RedState state = RedState::kIdle;
+  Activity act;
+
+  double pending = 0;      // shuffled bytes available but not yet fetched
+  double received = 0;     // bytes fetched so far
+  double mem_fill = 0;     // in-memory segment buffer
+  std::deque<double> runs; // on-disk run sizes
+
+  double chunk = 0;        // bytes in the transfer/merge currently running
+  double merge_total = 0;
+
+  double shuffle_begin = -1;
+  double merge_begin = -1;
+  double final_begin = -1;
+
+  double next_snapshot = 2.0;  // fraction of maps done; 2.0 = disabled
+};
+
+}  // namespace
+
+double SimResult::MeanCpuUtil(double t0, double t1) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& s : cpu_util) {
+    if (s.time_s >= t0 && s.time_s < t1) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double SimResult::MeanIowait(double t0, double t1) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& s : cpu_iowait) {
+    if (s.time_s >= t0 && s.time_s < t1) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double SimResult::MinWindowCpuUtil(double t0, double t1,
+                                   double window_s) const {
+  double best = 1.0;
+  for (double w0 = t0; w0 + window_s <= t1; w0 += window_s / 2) {
+    best = std::min(best, MeanCpuUtil(w0, w0 + window_s));
+  }
+  return best;
+}
+
+SimResult SimulateJob(const SimWorkload& w, const SimConfig& c) {
+  SimResult result;
+  result.workload = w.name;
+  result.runtime = c.runtime == SimRuntime::kHadoop ? "hadoop"
+                   : c.runtime == SimRuntime::kHop  ? "mapreduce_online"
+                                                    : "hash_one_pass";
+
+  // --- Topology --------------------------------------------------------------
+  // kSeparate: half the nodes hold storage, half compute; DFS traffic
+  // crosses the network (the paper correspondingly reduced the input size
+  // to keep runtimes comparable — the caller passes the reduced workload).
+  const bool separate = c.storage == StorageArch::kSeparate;
+  const int compute_nodes = separate ? c.num_nodes / 2 : c.num_nodes;
+  const bool has_ssd = c.storage == StorageArch::kHddPlusSsd;
+
+  const Phys inter_phys = has_ssd ? Phys::kSsd : Phys::kHdd;
+  const Phys dfs_phys = separate ? Phys::kNic : Phys::kHdd;
+
+  auto capacity = [&](Phys phys) {
+    switch (phys) {
+      case Phys::kCpu: return c.cores_per_node;
+      case Phys::kHdd: return c.hdd_bytes_per_sec;
+      case Phys::kSsd: return c.ssd_bytes_per_sec;
+      case Phys::kNic: return c.nic_bytes_per_sec;
+    }
+    return 0.0;
+  };
+
+  // --- Job layout --------------------------------------------------------------
+  const int num_maps = static_cast<int>(
+      std::ceil(w.input_bytes / static_cast<double>(c.block_bytes)));
+  const int num_reducers = w.num_reduce_tasks;
+  result.num_map_tasks = num_maps;
+  result.num_reduce_tasks = num_reducers;
+
+  const double block = static_cast<double>(c.block_bytes);
+  const bool hash_runtime = c.runtime == SimRuntime::kHashOnePass;
+  const bool hop = c.runtime == SimRuntime::kHop;
+  const double push_factor = hop ? c.push_overhead : 1.0;
+
+  std::vector<MapTask> maps(num_maps);
+  int next_map = 0;
+  int maps_done = 0;
+  std::vector<int> slots_in_use(compute_nodes, 0);
+  Rng straggler_rng(0xbadd15c);
+  double completed_map_seconds = 0;  // for the speculation threshold
+  int completed_map_count = 0;
+
+  std::vector<ReduceTask> reducers(num_reducers);
+  for (int r = 0; r < num_reducers; ++r) {
+    reducers[r].node = r % compute_nodes;
+    if (hop && c.snapshot_interval > 0) {
+      reducers[r].next_snapshot = c.snapshot_interval;
+    }
+  }
+
+  TimelineRecorder timeline;
+  std::vector<opmr::Sample> cpu_util, cpu_iowait, read_rate;
+
+  const double shuffle_chunk = 64e6;  // fetch granularity
+  double t = 0;
+
+  auto give_to_reducers = [&](double bytes) {
+    const double share = bytes / num_reducers;
+    for (auto& r : reducers) r.pending += share;
+  };
+
+  // --- Main loop ---------------------------------------------------------------
+  int reducers_done = 0;
+  while (reducers_done < num_reducers) {
+    if (t > c.max_sim_seconds) {
+      throw std::runtime_error("simulation exceeded max_sim_seconds");
+    }
+
+    // (1) Schedule queued map tasks onto free slots.
+    for (int n = 0; n < compute_nodes && next_map < num_maps; ++n) {
+      while (slots_in_use[n] < c.map_slots_per_node && next_map < num_maps) {
+        MapTask& m = maps[next_map++];
+        m.node = n;
+        m.phase = 0;
+        m.start_t = t;
+        m.out_bytes = block * w.map_output_ratio;
+        m.act = {dfs_phys, n, block, true};
+        if (c.straggler_fraction > 0 &&
+            straggler_rng.NextDouble() < c.straggler_fraction) {
+          m.slow = true;
+          ++result.stragglers;
+        }
+        ++slots_in_use[n];
+      }
+    }
+
+    // (1b) Speculative execution: once the original queue is drained (the
+    // final wave), duplicate over-long running tasks onto free slots.
+    if (c.speculative_execution && next_map >= num_maps &&
+        completed_map_count > 0) {
+      const double mean =
+          completed_map_seconds / completed_map_count;
+      std::vector<std::size_t> to_duplicate;
+      for (std::size_t i = 0; i < maps.size(); ++i) {
+        const MapTask& m = maps[i];
+        if (m.phase >= 0 && !m.done && m.twin < 0 && !m.has_duplicate &&
+            t - m.start_t > c.speculation_threshold * mean) {
+          to_duplicate.push_back(i);
+        }
+      }
+      for (const std::size_t i : to_duplicate) {
+        // Find a free slot anywhere.
+        int target = -1;
+        for (int n = 0; n < compute_nodes; ++n) {
+          if (slots_in_use[n] < c.map_slots_per_node) {
+            target = n;
+            break;
+          }
+        }
+        if (target < 0) break;
+        MapTask dup;
+        dup.node = target;
+        dup.phase = 0;
+        dup.start_t = t;
+        dup.out_bytes = maps[i].out_bytes;
+        dup.act = {dfs_phys, target, block, true};
+        dup.twin = static_cast<int>(i);
+        maps[i].has_duplicate = true;
+        ++slots_in_use[target];
+        ++result.speculative_launched;
+        maps.push_back(dup);
+      }
+    }
+
+    // (2) Reducer state transitions for idle reducers.
+    const double maps_fraction =
+        num_maps == 0 ? 1.0 : static_cast<double>(maps_done) / num_maps;
+    for (auto& r : reducers) {
+      if (r.state != RedState::kIdle) continue;
+
+      // Snapshot point reached? (HOP only.)
+      if (maps_fraction >= r.next_snapshot && r.next_snapshot < 1.0) {
+        const double on_disk =
+            std::accumulate(r.runs.begin(), r.runs.end(), 0.0);
+        r.next_snapshot += c.snapshot_interval;
+        if (on_disk > 0) {
+          r.merge_begin = t;
+          r.chunk = on_disk;
+          r.state = RedState::kSnapshotRead;
+          r.act = {inter_phys, r.node, on_disk, true};
+          continue;
+        }
+      }
+
+      // Background merge when F runs accumulated.
+      if (!hash_runtime &&
+          r.runs.size() >= static_cast<std::size_t>(c.merge_factor)) {
+        double total = 0;
+        for (int i = 0; i < c.merge_factor; ++i) total += r.runs[i];
+        r.merge_total = total;
+        r.merge_begin = t;
+        r.state = RedState::kMergeRead;
+        r.act = {inter_phys, r.node, total, true};
+        continue;
+      }
+
+      // Fetch the next shuffle chunk.  Wait for a worthwhile batch while
+      // maps are still producing (Hadoop throttles parallel copies the
+      // same way); drain everything once maps are done.
+      const double fetch_threshold = maps_done == num_maps ? 1.0 : 8e6;
+      if (r.pending > fetch_threshold) {
+        if (r.shuffle_begin < 0) r.shuffle_begin = t;
+        r.chunk = std::min(r.pending, shuffle_chunk);
+        r.pending -= r.chunk;
+        r.state = RedState::kNetXfer;
+        r.act = {Phys::kNic, r.node, r.chunk * push_factor, true};
+        continue;
+      }
+
+      // All input consumed → final phase.
+      if (maps_done == num_maps && r.pending <= 1.0) {
+        if (r.shuffle_begin >= 0) {
+          timeline.Record(opmr::TaskKind::kShuffle, r.shuffle_begin, t);
+          r.shuffle_begin = -2;  // recorded
+        }
+        if (!hash_runtime &&
+            r.runs.size() > static_cast<std::size_t>(c.merge_factor)) {
+          // Multi-pass merge down to F before the final merge.
+          double total = 0;
+          for (int i = 0; i < c.merge_factor; ++i) total += r.runs[i];
+          r.merge_total = total;
+          r.merge_begin = t;
+          r.state = RedState::kMergeRead;
+          r.act = {inter_phys, r.node, total, true};
+          continue;
+        }
+        r.final_begin = t;
+        const double on_disk =
+            std::accumulate(r.runs.begin(), r.runs.end(), 0.0);
+        if (!hash_runtime && on_disk > 0) {
+          r.state = RedState::kFinalRead;
+          r.act = {inter_phys, r.node, on_disk, true};
+        } else {
+          // Hash runtime (or all data in memory): only the reduce / final
+          // scan remains.
+          const double cpu_bytes = hash_runtime ? r.received : r.mem_fill;
+          r.state = RedState::kFinalCpu;
+          r.act = {Phys::kCpu, r.node,
+                   std::max(1e-3, cpu_bytes *
+                                      (w.reduce_cpu_s_per_byte +
+                                       c.framework_reduce_cpu_s_per_byte)),
+                   true};
+        }
+        continue;
+      }
+      // Nothing to do: stay idle this step.
+    }
+
+    // (3) Count demand per (node, phys).
+    std::map<ResourceKey, int> demand;
+    for (auto& m : maps) {
+      if (m.phase >= 0 && !m.done) ++demand[{m.act.node, m.act.phys}];
+    }
+    for (auto& r : reducers) {
+      if (r.state != RedState::kIdle && r.state != RedState::kDone) {
+        ++demand[{r.act.node, r.act.phys}];
+      }
+    }
+
+    auto share_of = [&](const Activity& act) {
+      const int n = std::max(1, demand[{act.node, act.phys}]);
+      double cap = capacity(act.phys);
+      if (act.phys == Phys::kHdd) {
+        // Concurrent streams cost seeks: the whole disk slows down.
+        cap /= 1.0 + c.hdd_seek_penalty * (n - 1);
+      }
+      double share = cap / n;
+      if (act.phys == Phys::kCpu) share = std::min(share, 1.0);  // 1 core/task
+      return share * c.dt;
+    };
+
+    // (4) Sampling (before progress, using current demand).
+    {
+      double busy_cores = 0;
+      std::vector<double> node_busy(compute_nodes, 0.0);
+      std::vector<int> node_io(compute_nodes, 0);
+      auto tally = [&](const Activity& act) {
+        if (act.phys == Phys::kCpu) {
+          const double cores = std::min(
+              capacity(Phys::kCpu) / std::max(1, demand[{act.node, act.phys}]),
+              1.0);
+          busy_cores += cores;
+          node_busy[act.node] += cores;
+        } else {
+          ++node_io[act.node];
+        }
+      };
+      for (auto& m : maps) {
+        if (m.phase >= 0 && !m.done) tally(m.act);
+      }
+      for (auto& r : reducers) {
+        if (r.state != RedState::kIdle && r.state != RedState::kDone) {
+          tally(r.act);
+        }
+      }
+      const double total_cores = compute_nodes * c.cores_per_node;
+      double iowait_cores = 0;
+      for (int n = 0; n < compute_nodes; ++n) {
+        const double idle = c.cores_per_node - node_busy[n];
+        iowait_cores += std::min(idle, static_cast<double>(node_io[n]));
+      }
+      cpu_util.push_back({t, busy_cores / total_cores});
+      cpu_iowait.push_back({t, iowait_cores / total_cores});
+    }
+
+    double read_bytes_this_step = 0;
+
+    // (5) Progress map tasks.
+    for (std::size_t mi = 0; mi < maps.size(); ++mi) {
+      MapTask& m = maps[mi];
+      if (m.phase < 0 || m.done) continue;
+      double amount = share_of(m.act);
+      if (m.slow) amount *= c.straggler_factor;
+      if (m.act.phys != Phys::kCpu && m.act.phys != Phys::kNic &&
+          (m.phase == 0)) {
+        read_bytes_this_step += std::min(amount, m.act.remaining);
+      }
+      m.act.remaining -= amount;
+      if (m.act.remaining > 1e-9) continue;
+
+      // Phase transition.
+      switch (m.phase) {
+        case 0:
+          result.input_read_bytes += block;
+          m.phase = 1;
+          m.act = {Phys::kCpu, m.node,
+                   block * (w.map_cpu_s_per_byte +
+                            c.framework_map_cpu_s_per_byte),
+                   true};
+          break;
+        case 1: {
+          const double group_cpu = hash_runtime
+                                       ? block * w.hash_cpu_s_per_byte
+                                       : block * w.sort_cpu_s_per_byte;
+          m.phase = 2;
+          m.act = {Phys::kCpu, m.node, std::max(group_cpu, 1e-3), true};
+          break;
+        }
+        case 2:
+          // Eager push after the sort; duplicates never re-push (their
+          // original already did, or will — speculation is disabled for
+          // HOP-style pushes in practice, matching the retry restriction).
+          if (hop && m.twin < 0) give_to_reducers(m.out_bytes);
+          m.phase = 3;
+          m.act = {inter_phys, m.node, std::max(m.out_bytes, 1e-3), true};
+          break;
+        case 3: {
+          result.map_output_write_bytes += m.out_bytes;
+          m.done = true;
+          --slots_in_use[m.node];
+          timeline.Record(opmr::TaskKind::kMap, m.start_t, t + c.dt);
+          // Kill the losing twin (speculative execution: first copy wins).
+          bool counts = true;
+          if (m.twin >= 0) {
+            // This is a duplicate finishing; kill the original if alive.
+            MapTask& original = maps[m.twin];
+            if (original.done) {
+              counts = false;  // original already won
+            } else {
+              original.done = true;
+              --slots_in_use[original.node];
+              ++result.speculative_wins;
+            }
+          } else if (m.has_duplicate) {
+            for (auto& other : maps) {
+              if (other.twin == static_cast<int>(mi) && !other.done) {
+                other.done = true;
+                --slots_in_use[other.node];
+              }
+            }
+          }
+          if (counts) {
+            if (!hop) give_to_reducers(m.out_bytes);
+            ++maps_done;
+            completed_map_seconds += t + c.dt - m.start_t;
+            ++completed_map_count;
+            if (maps_done == num_maps) result.map_phase_end_s = t + c.dt;
+          }
+          break;
+        }
+      }
+    }
+
+    // (6) Progress reducers.
+    for (auto& r : reducers) {
+      if (r.state == RedState::kIdle || r.state == RedState::kDone) continue;
+      const double amount = share_of(r.act);
+      if (r.act.phys == Phys::kHdd || r.act.phys == Phys::kSsd) {
+        if (r.state == RedState::kMergeRead ||
+            r.state == RedState::kSnapshotRead ||
+            r.state == RedState::kFinalRead) {
+          read_bytes_this_step += std::min(amount, r.act.remaining);
+        }
+      }
+      r.act.remaining -= amount;
+      if (r.act.remaining > 1e-9) continue;
+
+      switch (r.state) {
+        case RedState::kNetXfer:
+          r.received += r.chunk;
+          if (hash_runtime) {
+            // Incremental hash: fold the chunk into per-key states.
+            r.state = RedState::kHashCpu;
+            r.act = {Phys::kCpu, r.node,
+                     std::max(r.chunk * w.reduce_cpu_s_per_byte, 1e-3), true};
+          } else {
+            r.mem_fill += r.chunk;
+            if (r.mem_fill >= c.reduce_memory_bytes) {
+              // Buffer full: merge the in-memory segments into a disk run.
+              r.chunk = r.mem_fill;
+              r.state = RedState::kSpillWrite;
+              r.act = {inter_phys, r.node, r.mem_fill, true};
+            } else {
+              r.state = RedState::kIdle;
+            }
+          }
+          break;
+        case RedState::kHashCpu: {
+          const double spill = r.chunk * c.hash_spill_fraction;
+          if (spill > 1.0) {
+            r.chunk = spill;
+            r.state = RedState::kSpillWrite;
+            r.act = {inter_phys, r.node, spill, true};
+          } else {
+            r.state = RedState::kIdle;
+          }
+          break;
+        }
+        case RedState::kSpillWrite:
+          result.spill_write_bytes += r.chunk;
+          if (!hash_runtime) {
+            r.runs.push_back(r.chunk);
+            r.mem_fill = 0;
+          }
+          r.state = RedState::kIdle;
+          break;
+        case RedState::kMergeRead:
+          result.spill_read_bytes += r.merge_total;
+          r.state = RedState::kMergeCpu;
+          r.act = {Phys::kCpu, r.node,
+                   std::max(r.merge_total * w.merge_cpu_s_per_byte, 1e-3),
+                   true};
+          break;
+        case RedState::kMergeCpu:
+          r.state = RedState::kMergeWrite;
+          r.act = {inter_phys, r.node, r.merge_total, true};
+          break;
+        case RedState::kMergeWrite:
+          result.spill_write_bytes += r.merge_total;
+          for (int i = 0; i < c.merge_factor && !r.runs.empty(); ++i) {
+            r.runs.pop_front();
+          }
+          r.runs.push_back(r.merge_total);
+          ++result.merge_operations;
+          timeline.Record(opmr::TaskKind::kMerge, r.merge_begin, t + c.dt);
+          r.state = RedState::kIdle;
+          break;
+        case RedState::kSnapshotRead:
+          result.spill_read_bytes += r.chunk;
+          r.state = RedState::kSnapshotCpu;
+          r.act = {Phys::kCpu, r.node,
+                   std::max(r.chunk * (w.merge_cpu_s_per_byte +
+                                       w.reduce_cpu_s_per_byte),
+                            1e-3),
+                   true};
+          break;
+        case RedState::kSnapshotCpu:
+          ++result.snapshots;
+          timeline.Record(opmr::TaskKind::kMerge, r.merge_begin, t + c.dt);
+          r.state = RedState::kIdle;
+          break;
+        case RedState::kFinalRead: {
+          const double on_disk =
+              std::accumulate(r.runs.begin(), r.runs.end(), 0.0);
+          result.spill_read_bytes += on_disk;
+          r.state = RedState::kFinalCpu;
+          r.act = {Phys::kCpu, r.node,
+                   std::max(r.received * (w.reduce_cpu_s_per_byte +
+                                          c.framework_reduce_cpu_s_per_byte),
+                            1e-3),
+                   true};
+          break;
+        }
+        case RedState::kFinalCpu: {
+          const double out =
+              w.input_bytes * w.output_ratio / num_reducers;
+          r.state = RedState::kFinalWrite;
+          r.act = {dfs_phys, r.node, std::max(out, 1e-3), true};
+          break;
+        }
+        case RedState::kFinalWrite:
+          result.output_write_bytes +=
+              w.input_bytes * w.output_ratio / num_reducers;
+          timeline.Record(opmr::TaskKind::kReduce, r.final_begin, t + c.dt);
+          r.state = RedState::kDone;
+          ++reducers_done;
+          break;
+        case RedState::kIdle:
+        case RedState::kDone:
+          break;
+      }
+    }
+
+    read_rate.push_back({t, read_bytes_this_step / c.dt});
+    t += c.dt;
+  }
+
+  result.completion_s = t;
+  result.cpu_util = std::move(cpu_util);
+  result.cpu_iowait = std::move(cpu_iowait);
+  result.read_rate = std::move(read_rate);
+  result.timeline = timeline.Snapshot();
+  return result;
+}
+
+}  // namespace opmr::sim

@@ -1,0 +1,68 @@
+// Discrete-time cluster simulator.
+//
+// Replays the phase structure of the three runtimes (Hadoop sort-merge,
+// MapReduce Online, hash one-pass) over modelled devices at the paper's
+// data scale.  Time advances in fixed steps; within a step every device
+// (per-node CPU cores, HDD, SSD, NIC) is max-min shared among the tasks
+// demanding it, which reproduces the contention behaviour the paper
+// observes ("the disk is often maxed out and subject to random I/Os").
+//
+// Outputs are exactly the measurements of Figs. 2-4: the per-operation task
+// timeline, CPU utilization, CPU iowait, and bytes-read-per-second series,
+// plus the Table I data-volume/completion-time aggregates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/timeline.h"
+#include "metrics/timeseries.h"
+#include "sim/config.h"
+#include "sim/workload.h"
+
+namespace opmr::sim {
+
+struct SimResult {
+  std::string workload;
+  std::string runtime;
+
+  double completion_s = 0;
+  double map_phase_end_s = 0;  // time the last map task finished
+
+  int num_map_tasks = 0;
+  int num_reduce_tasks = 0;
+  int merge_operations = 0;
+  int snapshots = 0;
+  int stragglers = 0;           // map tasks placed on degraded slots
+  int speculative_launched = 0; // duplicate tasks started
+  int speculative_wins = 0;     // duplicates that beat the original
+
+  // Byte totals (whole cluster).
+  double input_read_bytes = 0;
+  double map_output_write_bytes = 0;
+  double spill_write_bytes = 0;  // reduce-side runs + merge rewrites
+  double spill_read_bytes = 0;   // merge + final-merge reads
+  double output_write_bytes = 0;
+
+  // Sampled series (one sample per simulation step).
+  std::vector<opmr::Sample> cpu_util;     // fraction of cluster cores busy
+  std::vector<opmr::Sample> cpu_iowait;   // fraction idle with I/O pending
+  std::vector<opmr::Sample> read_rate;    // cluster disk read bytes/s
+  std::vector<opmr::TaskInterval> timeline;
+
+  // Mean CPU utilization over [t0, t1) — bench assertions use this to
+  // check the merge-phase "valley".
+  [[nodiscard]] double MeanCpuUtil(double t0, double t1) const;
+  [[nodiscard]] double MeanIowait(double t0, double t1) const;
+
+  // Minimum mean CPU utilization over any `window_s`-long window within
+  // [t0, t1): locates the blocking-merge "valley" regardless of where the
+  // reduce tail begins.
+  [[nodiscard]] double MinWindowCpuUtil(double t0, double t1,
+                                        double window_s = 120) const;
+};
+
+// Runs one simulated job to completion.
+SimResult SimulateJob(const SimWorkload& workload, const SimConfig& config);
+
+}  // namespace opmr::sim

@@ -1,0 +1,128 @@
+#include "storage/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace opmr {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t HashQuad(const char* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void EmitLiterals(std::string& out, const char* p, std::size_t n) {
+  while (n > 0) {
+    const std::size_t run = n < 128 ? n : 128;
+    out.push_back(static_cast<char>(run - 1));
+    out.append(p, run);
+    p += run;
+    n -= run;
+  }
+}
+
+}  // namespace
+
+std::string OzCompress(Slice input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  AppendU32(out, static_cast<std::uint32_t>(input.size()));
+
+  const char* base = input.data();
+  const std::size_t n = input.size();
+  if (n < kOzMinMatch + 1) {
+    if (n > 0) EmitLiterals(out, base, n);
+    return out;
+  }
+
+  std::vector<std::uint32_t> table(kHashSize, 0xffffffffu);
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  // Stop matching where a 4-byte load would run off the end.
+  const std::size_t match_limit = n - kOzMinMatch;
+
+  while (pos <= match_limit) {
+    const std::uint32_t h = HashQuad(base + pos);
+    const std::uint32_t candidate = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+
+    if (candidate != 0xffffffffu && pos - candidate <= kOzWindow &&
+        std::memcmp(base + candidate, base + pos, kOzMinMatch) == 0) {
+      // Extend the match.
+      std::size_t len = kOzMinMatch;
+      const std::size_t max_len =
+          std::min(kOzMaxMatch, n - pos);
+      while (len < max_len && base[candidate + len] == base[pos + len]) {
+        ++len;
+      }
+      // Flush pending literals, then the match token.
+      EmitLiterals(out, base + literal_start, pos - literal_start);
+      out.push_back(static_cast<char>(
+          0x80 | static_cast<unsigned char>(len - kOzMinMatch)));
+      const auto distance = static_cast<std::uint16_t>(pos - candidate);
+      out.push_back(static_cast<char>(distance & 0xff));
+      out.push_back(static_cast<char>(distance >> 8));
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitLiterals(out, base + literal_start, n - literal_start);
+  return out;
+}
+
+std::string OzDecompress(Slice compressed) {
+  if (compressed.size() < 4) {
+    throw std::runtime_error("OzDecompress: missing header");
+  }
+  const std::uint32_t raw_size = DecodeU32(compressed.data());
+  std::string out;
+  out.reserve(raw_size);
+
+  const char* p = compressed.data() + 4;
+  const char* end = compressed.data() + compressed.size();
+  while (p < end) {
+    const auto c = static_cast<unsigned char>(*p++);
+    if (c < 0x80) {
+      const std::size_t run = c + 1u;
+      if (p + run > end) {
+        throw std::runtime_error("OzDecompress: truncated literal run");
+      }
+      out.append(p, run);
+      p += run;
+    } else {
+      if (p + 2 > end) {
+        throw std::runtime_error("OzDecompress: truncated match token");
+      }
+      const std::size_t len = (c & 0x7f) + kOzMinMatch;
+      const std::size_t distance =
+          static_cast<unsigned char>(p[0]) |
+          (static_cast<std::size_t>(static_cast<unsigned char>(p[1])) << 8);
+      p += 2;
+      if (distance == 0 || distance > out.size()) {
+        throw std::runtime_error("OzDecompress: bad match distance");
+      }
+      // Byte-wise copy: overlapping matches (distance < len) are the RLE
+      // case and must replicate already-written output.
+      std::size_t from = out.size() - distance;
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(out[from + i]);
+      }
+    }
+  }
+  if (out.size() != raw_size) {
+    throw std::runtime_error("OzDecompress: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace opmr

@@ -1,0 +1,34 @@
+// OZ — a small, dependency-free LZ77-family block codec for intermediate
+// data.  Spill runs are cold sequential data whose cost the paper measures
+// in hundreds of gigabytes; trading a little CPU to shrink them is the
+// classic Hadoop mitigation (mapred.compress.map.output), reproduced here
+// so the compression ablation can quantify the trade-off.
+//
+// Format:  [u32 raw_size] tokens…
+//   token control byte c:
+//     c < 0x80 : literal run of (c + 1) bytes follows (1..128 bytes)
+//     c >= 0x80: match of length ((c & 0x7f) + kMinMatch) at 16-bit
+//                little-endian distance d (1..65535) back from the cursor
+//
+// Greedy hash-table matcher, 64 KiB window — Snappy-class speed, modest
+// ratios; both are fine for the spill-I/O ablation.
+#pragma once
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace opmr {
+
+inline constexpr std::size_t kOzMinMatch = 4;
+inline constexpr std::size_t kOzMaxMatch = 0x7f + kOzMinMatch;  // 131
+inline constexpr std::size_t kOzWindow = 65535;
+
+// Compresses `input` (any bytes, any size).
+std::string OzCompress(Slice input);
+
+// Decompresses a buffer produced by OzCompress.  Throws std::runtime_error
+// on any framing violation (truncation, bad distance, size mismatch).
+std::string OzDecompress(Slice compressed);
+
+}  // namespace opmr

@@ -1,0 +1,54 @@
+#include "storage/file_manager.h"
+
+#include <random>
+#include <stdexcept>
+#include <system_error>
+
+namespace opmr {
+
+namespace fs = std::filesystem;
+
+FileManager::FileManager(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    throw std::runtime_error("FileManager: cannot create workspace " +
+                             root_.string() + ": " + ec.message());
+  }
+}
+
+FileManager::~FileManager() {
+  std::error_code ec;
+  fs::remove_all(root_, ec);  // best effort; never throw from a destructor
+}
+
+fs::path FileManager::NewFile(const std::string& tag) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return root_ / (tag + "." + std::to_string(id));
+}
+
+fs::path FileManager::NewDir(const std::string& tag) {
+  fs::path dir = NewFile(tag);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::uintmax_t FileManager::DiskUsageBytes() const {
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) {
+      total += it->file_size(ec);
+    }
+  }
+  return total;
+}
+
+FileManager FileManager::CreateTemp(const std::string& prefix) {
+  std::random_device rd;
+  const auto suffix = std::to_string(rd()) + std::to_string(rd());
+  return FileManager(fs::temp_directory_path() / (prefix + "-" + suffix));
+}
+
+}  // namespace opmr

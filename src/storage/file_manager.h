@@ -1,0 +1,46 @@
+// File-management library (paper Fig. 5): owns the on-disk workspace of a
+// job run — spill files, sorted runs, map-output segments — with unique
+// naming and whole-tree RAII cleanup.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+namespace opmr {
+
+class FileManager {
+ public:
+  // Creates (or reuses) `root` as the workspace directory.
+  explicit FileManager(std::filesystem::path root);
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  // Removes the whole workspace tree.
+  ~FileManager();
+
+  // A fresh unique path under the workspace; `tag` names the purpose
+  // ("map_out", "reduce_spill", "merge_run", …) for debuggability.
+  [[nodiscard]] std::filesystem::path NewFile(const std::string& tag);
+
+  // A fresh unique subdirectory (created) under the workspace.
+  [[nodiscard]] std::filesystem::path NewDir(const std::string& tag);
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+  // Total bytes currently on disk under the workspace (test/bench helper).
+  [[nodiscard]] std::uintmax_t DiskUsageBytes() const;
+
+  // Creates a FileManager rooted in a unique directory under the system
+  // temp dir.
+  static FileManager CreateTemp(const std::string& prefix);
+
+ private:
+  std::filesystem::path root_;
+  std::atomic<std::uint64_t> next_id_{0};
+};
+
+}  // namespace opmr

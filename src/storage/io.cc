@@ -1,0 +1,151 @@
+#include "storage/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace opmr {
+
+namespace {
+[[noreturn]] void ThrowErrno(const std::string& what,
+                             const std::filesystem::path& path) {
+  throw std::runtime_error(what + " " + path.string() + ": " +
+                           std::strerror(errno));
+}
+}  // namespace
+
+SequentialWriter::SequentialWriter(const std::filesystem::path& path,
+                                   IoChannel channel, std::size_t buffer_bytes)
+    : path_(path), channel_(channel), buffer_cap_(buffer_bytes) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) ThrowErrno("SequentialWriter: cannot open", path);
+  buffer_.reserve(buffer_cap_);
+}
+
+SequentialWriter::SequentialWriter(SequentialWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      channel_(other.channel_),
+      file_(other.file_),
+      buffer_(std::move(other.buffer_)),
+      buffer_cap_(other.buffer_cap_),
+      bytes_written_(other.bytes_written_) {
+  other.file_ = nullptr;
+}
+
+SequentialWriter::~SequentialWriter() {
+  try {
+    Close();
+  } catch (...) {
+    // Destructor must not throw; the file is left partially written, which
+    // is acceptable for spill files cleaned up by FileManager.
+  }
+}
+
+void SequentialWriter::Append(Slice data) {
+  buffer_.append(data.data(), data.size());
+  bytes_written_ += data.size();
+  if (buffer_.size() >= buffer_cap_) Flush();
+}
+
+void SequentialWriter::AppendU32(std::uint32_t v) {
+  opmr::AppendU32(buffer_, v);
+  bytes_written_ += sizeof(v);
+  if (buffer_.size() >= buffer_cap_) Flush();
+}
+
+void SequentialWriter::AppendU64(std::uint64_t v) {
+  opmr::AppendU64(buffer_, v);
+  bytes_written_ += sizeof(v);
+  if (buffer_.size() >= buffer_cap_) Flush();
+}
+
+void SequentialWriter::Flush(bool sync) {
+  if (file_ == nullptr) throw std::logic_error("Flush on closed writer");
+  if (!buffer_.empty()) {
+    const std::size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    if (n != buffer_.size()) ThrowErrno("SequentialWriter: short write", path_);
+    channel_.Add(static_cast<std::int64_t>(buffer_.size()));
+    buffer_.clear();
+  }
+  if (std::fflush(file_) != 0) ThrowErrno("SequentialWriter: fflush", path_);
+  if (sync) {
+    // fdatasync, the persistence point Hadoop requires of completed maps.
+    if (::fdatasync(::fileno(file_)) != 0) {
+      ThrowErrno("SequentialWriter: fdatasync", path_);
+    }
+  }
+}
+
+void SequentialWriter::Close() {
+  if (file_ == nullptr) return;
+  Flush();
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    ThrowErrno("SequentialWriter: fclose", path_);
+  }
+  file_ = nullptr;
+}
+
+SequentialReader::SequentialReader(const std::filesystem::path& path,
+                                   IoChannel channel, std::size_t buffer_bytes)
+    : path_(path), channel_(channel) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) ThrowErrno("SequentialReader: cannot open", path);
+  // stdio's own buffer provides the read-ahead; size it as requested.
+  std::setvbuf(file_, nullptr, _IOFBF, buffer_bytes);
+}
+
+SequentialReader::SequentialReader(SequentialReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      channel_(other.channel_),
+      file_(other.file_),
+      bytes_read_(other.bytes_read_) {
+  other.file_ = nullptr;
+}
+
+SequentialReader::~SequentialReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool SequentialReader::ReadExact(char* dst, std::size_t n) {
+  const std::size_t got = std::fread(dst, 1, n, file_);
+  if (got == 0 && std::feof(file_)) return false;
+  if (got != n) {
+    throw std::runtime_error("SequentialReader: truncated read from " +
+                             path_.string());
+  }
+  bytes_read_ += n;
+  channel_.Add(static_cast<std::int64_t>(n));
+  return true;
+}
+
+bool SequentialReader::ReadU32(std::uint32_t* v) {
+  char buf[sizeof(std::uint32_t)];
+  if (!ReadExact(buf, sizeof(buf))) return false;
+  *v = DecodeU32(buf);
+  return true;
+}
+
+bool SequentialReader::ReadU64(std::uint64_t* v) {
+  char buf[sizeof(std::uint64_t)];
+  if (!ReadExact(buf, sizeof(buf))) return false;
+  *v = DecodeU64(buf);
+  return true;
+}
+
+void SequentialReader::Seek(std::uint64_t offset) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    ThrowErrno("SequentialReader: fseek", path_);
+  }
+}
+
+std::uint64_t SequentialReader::FileSize() const {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec) throw std::runtime_error("file_size: " + ec.message());
+  return size;
+}
+
+}  // namespace opmr

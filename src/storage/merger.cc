@@ -1,0 +1,75 @@
+#include "storage/merger.h"
+
+#include <utility>
+
+namespace opmr {
+
+KWayMerger::KWayMerger(std::vector<std::unique_ptr<RecordStream>> inputs)
+    : inputs_(std::move(inputs)) {
+  heap_.reserve(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i]->Next()) heap_.push_back(i);
+  }
+  // Build the min-heap bottom-up.
+  for (std::size_t i = heap_.size(); i-- > 0;) SiftDown(i);
+}
+
+bool KWayMerger::Less(std::size_t a, std::size_t b) {
+  ++comparisons_;
+  const int c = inputs_[heap_[a]]->key().compare(inputs_[heap_[b]]->key());
+  if (c != 0) return c < 0;
+  return heap_[a] < heap_[b];  // stable tie-break by input index
+}
+
+void KWayMerger::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && Less(l, smallest)) smallest = l;
+    if (r < n && Less(r, smallest)) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+bool KWayMerger::Next() {
+  if (!primed_) {
+    primed_ = true;
+  } else if (!heap_.empty()) {
+    // Advance the reader we last yielded from (heap root).
+    if (inputs_[heap_[0]]->Next()) {
+      SiftDown(0);
+    } else {
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) SiftDown(0);
+    }
+  }
+  if (heap_.empty()) return false;
+  key_ = inputs_[heap_[0]]->key();
+  value_ = inputs_[heap_[0]]->value();
+  return true;
+}
+
+std::uint64_t MergeRunsToFile(const std::vector<std::filesystem::path>& inputs,
+                              const std::filesystem::path& output,
+                              IoChannel read_channel,
+                              IoChannel write_channel) {
+  std::vector<std::unique_ptr<RecordStream>> readers;
+  readers.reserve(inputs.size());
+  for (const auto& path : inputs) {
+    readers.push_back(std::make_unique<RunReader>(path, read_channel));
+  }
+  KWayMerger merger(std::move(readers));
+  RunWriter writer(output, write_channel);
+  while (merger.Next()) {
+    writer.Append(merger.key(), merger.value());
+  }
+  writer.Close();
+  return writer.num_records();
+}
+
+}  // namespace opmr

@@ -1,0 +1,54 @@
+// K-way merge over sorted runs — the primitive under Hadoop's in-memory
+// merge, background multi-pass merge, and final merge (paper §II-A).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "storage/record_stream.h"
+#include "storage/run_format.h"
+
+namespace opmr {
+
+// Streaming k-way merge: repeatedly yields the globally smallest current
+// record across all input runs (ties broken by input index, making the
+// merge stable with respect to run order, as Hadoop's is).
+class KWayMerger final : public RecordStream {
+ public:
+  explicit KWayMerger(std::vector<std::unique_ptr<RecordStream>> inputs);
+
+  // Advances to the next record in global key order; false when all inputs
+  // are exhausted.
+  bool Next() override;
+
+  [[nodiscard]] Slice key() const override { return key_; }
+  [[nodiscard]] Slice value() const override { return value_; }
+
+  // Number of key comparisons performed so far (merge CPU proxy used by the
+  // simulator calibration bench).
+  [[nodiscard]] std::uint64_t comparisons() const noexcept {
+    return comparisons_;
+  }
+
+ private:
+  void SiftDown(std::size_t i);
+  [[nodiscard]] bool Less(std::size_t a, std::size_t b);
+
+  std::vector<std::unique_ptr<RecordStream>> inputs_;
+  std::vector<std::size_t> heap_;  // indices into inputs_, min-heap by key
+  Slice key_;
+  Slice value_;
+  std::uint64_t comparisons_ = 0;
+  bool primed_ = false;
+};
+
+// Merges `inputs` (paths of sorted runs) into a single sorted run at
+// `output`, reading through `read_channel` and writing through
+// `write_channel`.  Returns the number of records written.
+std::uint64_t MergeRunsToFile(const std::vector<std::filesystem::path>& inputs,
+                              const std::filesystem::path& output,
+                              IoChannel read_channel, IoChannel write_channel);
+
+}  // namespace opmr

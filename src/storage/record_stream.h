@@ -1,0 +1,55 @@
+// RecordStream: the uniform pull interface over sequences of (key, value)
+// records — on-disk runs, in-memory shuffle segments, merged streams.
+#pragma once
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace opmr {
+
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+
+  // Advances to the next record; false at end.  key()/value() are valid
+  // until the next call.
+  virtual bool Next() = 0;
+  [[nodiscard]] virtual Slice key() const = 0;
+  [[nodiscard]] virtual Slice value() const = 0;
+};
+
+// A RecordStream over framed records held in one contiguous memory buffer
+// (a pushed shuffle chunk or an in-memory segment).  Does not own the bytes.
+class MemoryRunStream final : public RecordStream {
+ public:
+  explicit MemoryRunStream(Slice bytes) : bytes_(bytes) {}
+
+  bool Next() override {
+    if (pos_ >= bytes_.size()) return false;
+    if (pos_ + 8 > bytes_.size()) {
+      throw std::runtime_error("MemoryRunStream: truncated header");
+    }
+    const std::uint32_t klen = DecodeU32(bytes_.data() + pos_);
+    const std::uint32_t vlen = DecodeU32(bytes_.data() + pos_ + 4);
+    pos_ += 8;
+    if (pos_ + klen + vlen > bytes_.size()) {
+      throw std::runtime_error("MemoryRunStream: truncated payload");
+    }
+    key_ = Slice(bytes_.data() + pos_, klen);
+    value_ = Slice(bytes_.data() + pos_ + klen, vlen);
+    pos_ += klen + vlen;
+    return true;
+  }
+
+  [[nodiscard]] Slice key() const override { return key_; }
+  [[nodiscard]] Slice value() const override { return value_; }
+
+ private:
+  Slice bytes_;
+  std::size_t pos_ = 0;
+  Slice key_;
+  Slice value_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,346 @@
+#include "stream/streaming_job.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "engine/map_task.h"  // PartitionOf
+#include "engine/reduce_common.h"
+#include "engine/reduce_hash.h"
+
+namespace opmr {
+
+// --- Worker --------------------------------------------------------------------
+
+// One reducer worker: a bounded queue of framed (key, value) pairs feeding
+// an incremental state table on a dedicated thread.
+class StreamingJob::Worker {
+ public:
+  Worker(const StreamingQuery* query, const StreamingOptions* options,
+         FileManager* files, MetricRegistry* metrics, int id)
+      : query_(query),
+        options_(options),
+        files_(files),
+        metrics_(metrics),
+        id_(id),
+        table_(query->aggregator.get()),
+        sketch_(options->hot_key_capacity > 0
+                    ? std::make_unique<SpaceSaving>(options->hot_key_capacity)
+                    : nullptr),
+        thread_([this](std::stop_token st) { Run(st); }) {}
+
+  ~Worker() { Stop(); }
+
+  void Enqueue(std::string framed_pair) {
+    std::unique_lock lock(queue_mu_);
+    queue_cv_.wait(lock, [&] {
+      return queue_.size() < options_->queue_capacity || closing_;
+    });
+    if (closing_) {
+      throw std::logic_error("StreamingJob: ingest after Finish()");
+    }
+    queue_.push_back(std::move(framed_pair));
+    lock.unlock();
+    queue_cv_.notify_all();
+  }
+
+  std::optional<std::string> Query(Slice key) const {
+    std::scoped_lock lock(state_mu_);
+    const StateTable::Entry* entry = table_.Find(key);
+    if (entry == nullptr) return std::nullopt;
+    std::string finalized;
+    query_->aggregator->Finalize(entry->state, &finalized);
+    return finalized;
+  }
+
+  void CollectTop(std::vector<std::pair<std::string, std::string>>* out) const {
+    std::scoped_lock lock(state_mu_);
+    std::string finalized;
+    table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+      query_->aggregator->Finalize(entry.state, &finalized);
+      out->emplace_back(key.ToString(), finalized);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t pairs() const {
+    return pairs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t early_answers() const {
+    return early_.load(std::memory_order_relaxed);
+  }
+
+  // Drains the queue, stops the thread, resolves spills, and appends the
+  // exact final answers.
+  void Finish(std::vector<std::pair<std::string, std::string>>* out) {
+    Stop();
+
+    std::scoped_lock lock(state_mu_);
+    if (cold_ != nullptr) {
+      cold_->Close();
+      cold_.reset();
+    }
+    const Aggregator& agg = *query_->aggregator;
+    if (spill_runs_.empty()) {
+      std::string finalized;
+      table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+        agg.Finalize(entry.state, &finalized);
+        out->emplace_back(key.ToString(), finalized);
+      });
+      return;
+    }
+    // Flush the live table as one more run and externally re-aggregate.
+    if (table_.size() > 0) SpillTableLocked();
+    RuntimeEnv env;
+    env.files = files_;
+    env.metrics = metrics_;
+    ExternalHashAggregate(
+        spill_runs_, /*level=*/0, options_->worker_budget_bytes, env,
+        [&](Slice key, const std::vector<Slice>& states) {
+          std::string state(states.front().data(), states.front().size());
+          for (std::size_t i = 1; i < states.size(); ++i) {
+            agg.Merge(&state, states[i]);
+          }
+          std::string finalized;
+          agg.Finalize(state, &finalized);
+          out->emplace_back(key.ToString(), finalized);
+        },
+        options_->compress_spills);
+    for (const auto& path : spill_runs_) std::filesystem::remove(path);
+    spill_runs_.clear();
+  }
+
+ private:
+  void Stop() {
+    {
+      std::scoped_lock lock(queue_mu_);
+      if (closing_) {
+        // Already stopping; just wait for the thread below.
+      }
+      closing_ = true;
+    }
+    queue_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void Run(const std::stop_token& /*st*/) {
+    std::vector<std::string> batch;
+    while (true) {
+      batch.clear();
+      {
+        std::unique_lock lock(queue_mu_);
+        queue_cv_.wait(lock, [&] { return !queue_.empty() || closing_; });
+        while (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        if (batch.empty() && closing_) return;
+      }
+      queue_cv_.notify_all();  // ingest may proceed
+
+      std::scoped_lock lock(state_mu_);
+      for (const auto& framed : batch) {
+        const std::uint32_t klen = DecodeU32(framed.data());
+        const Slice key(framed.data() + 8, klen);
+        const Slice value(framed.data() + 8 + klen, framed.size() - 8 - klen);
+        Fold(key, value);
+      }
+      if (table_.MemoryBytes() > options_->worker_budget_bytes) {
+        if (sketch_ == nullptr) {
+          SpillTableLocked();
+        } else {
+          EnforceBudgetLocked();
+        }
+      }
+    }
+  }
+
+  void Fold(Slice key, Slice value) {
+    if (sketch_ != nullptr) {
+      if (auto victim = sketch_->OfferAndEvict(key); victim.has_value()) {
+        if (table_.MemoryBytes() >
+            options_->worker_budget_bytes -
+                options_->worker_budget_bytes / 4) {
+          DemoteLocked(*victim);
+        }
+      }
+    }
+    StateTable::Entry& entry = table_.Fold(key, value, /*is_state=*/false);
+    pairs_.fetch_add(1, std::memory_order_relaxed);
+    if (options_->early_emit && !entry.early_emitted &&
+        options_->early_emit(key, entry.state)) {
+      entry.early_emitted = true;
+      early_.fetch_add(1, std::memory_order_relaxed);
+      if (options_->on_early_answer) {
+        std::string finalized;
+        query_->aggregator->Finalize(entry.state, &finalized);
+        options_->on_early_answer(key, finalized);
+      }
+    }
+  }
+
+  void SpillTableLocked() {
+    const auto path = files_->NewFile("stream_spill");
+    auto writer = NewSpillSink(options_->compress_spills, path,
+                               IoChannel(metrics_, device::kSpillWrite));
+    table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+      writer->Append(key, entry.state);
+    });
+    writer->Close();
+    table_.Clear();
+    spill_runs_.push_back(path);
+  }
+
+  void DemoteLocked(Slice key) {
+    std::string state;
+    if (!table_.Extract(key, &state)) return;
+    if (cold_ == nullptr) {
+      cold_path_ = files_->NewFile("stream_cold");
+      cold_ = NewSpillSink(options_->compress_spills, cold_path_,
+                           IoChannel(metrics_, device::kSpillWrite));
+      spill_runs_.push_back(cold_path_);
+    }
+    cold_->Append(key, state);
+  }
+
+  void EnforceBudgetLocked() {
+    std::vector<std::pair<std::uint64_t, std::string>> by_estimate;
+    by_estimate.reserve(table_.size());
+    table_.ForEach([&](Slice key, const StateTable::Entry&) {
+      by_estimate.emplace_back(sketch_->Estimate(key),
+                               std::string(key.view()));
+    });
+    std::sort(by_estimate.begin(), by_estimate.end());
+    for (const auto& [estimate, key] : by_estimate) {
+      if (table_.MemoryBytes() <= options_->worker_budget_bytes) break;
+      DemoteLocked(key);
+    }
+  }
+
+  const StreamingQuery* query_;
+  const StreamingOptions* options_;
+  FileManager* files_;
+  MetricRegistry* metrics_;
+  int id_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::string> queue_;
+  bool closing_ = false;
+
+  mutable std::mutex state_mu_;
+  StateTable table_;
+  std::unique_ptr<SpaceSaving> sketch_;
+  std::unique_ptr<RecordSink> cold_;
+  std::filesystem::path cold_path_;
+  std::vector<std::filesystem::path> spill_runs_;
+
+  std::atomic<std::uint64_t> pairs_{0};
+  std::atomic<std::uint64_t> early_{0};
+
+  std::jthread thread_;  // last member: joins before the rest destructs
+};
+
+// --- StreamingJob ----------------------------------------------------------------
+
+StreamingJob::StreamingJob(StreamingQuery query, StreamingOptions options,
+                           int num_workers)
+    : query_(std::move(query)),
+      options_(std::move(options)),
+      files_(FileManager::CreateTemp("opmr-stream")) {
+  if (!query_.map) {
+    throw std::invalid_argument("StreamingQuery: map function required");
+  }
+  if (query_.aggregator == nullptr) {
+    throw std::invalid_argument(
+        "StreamingQuery: streaming requires an Aggregator (holistic reduce "
+        "functions cannot answer before end-of-stream)");
+  }
+  if (num_workers <= 0) {
+    throw std::invalid_argument("StreamingJob: need at least one worker");
+  }
+  workers_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(&query_, &options_, &files_,
+                                                &metrics_, w));
+  }
+}
+
+StreamingJob::~StreamingJob() {
+  try {
+    if (!finished_.load()) Finish();
+  } catch (...) {
+    // Destructor must not throw; spills are cleaned by FileManager anyway.
+  }
+}
+
+void StreamingJob::Ingest(Slice record) {
+  if (finished_.load(std::memory_order_relaxed)) {
+    throw std::logic_error("StreamingJob: ingest after Finish()");
+  }
+  // Local class: routes map output to the owning worker as framed pairs
+  // (local classes of member functions share the class's access rights).
+  class RoutingCollector final : public OutputCollector {
+   public:
+    explicit RoutingCollector(StreamingJob* job) : job_(job) {}
+    void Emit(Slice key, Slice value) override {
+      std::string framed;
+      framed.reserve(8 + key.size() + value.size());
+      AppendU32(framed, static_cast<std::uint32_t>(key.size()));
+      AppendU32(framed, static_cast<std::uint32_t>(value.size()));
+      framed.append(key.data(), key.size());
+      framed.append(value.data(), value.size());
+      const auto w =
+          PartitionOf(key, static_cast<int>(job_->workers_.size()));
+      job_->workers_[w]->Enqueue(std::move(framed));
+    }
+
+   private:
+    StreamingJob* job_;
+  } collector(this);
+  query_.map(record, collector);
+  records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<std::string> StreamingJob::Query(Slice key) const {
+  const auto w = PartitionOf(key, static_cast<int>(workers_.size()));
+  return workers_[w]->Query(key);
+}
+
+std::vector<std::pair<std::string, std::string>> StreamingJob::TopAnswers(
+    std::size_t n) const {
+  std::vector<std::pair<std::string, std::string>> all;
+  for (const auto& worker : workers_) worker->CollectTop(&all);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    const std::uint64_t av =
+        a.second.size() == 8 ? DecodeU64(a.second.data()) : 0;
+    const std::uint64_t bv =
+        b.second.size() == 8 ? DecodeU64(b.second.data()) : 0;
+    if (av != bv) return av > bv;
+    return a.first < b.first;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::uint64_t StreamingJob::records_ingested() const {
+  return records_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t StreamingJob::pairs_routed() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->pairs();
+  return total;
+}
+
+std::uint64_t StreamingJob::early_answers() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->early_answers();
+  return total;
+}
+
+std::vector<std::pair<std::string, std::string>> StreamingJob::Finish() {
+  if (finished_.exchange(true)) return final_results_;
+  for (auto& worker : workers_) worker->Finish(&final_results_);
+  return final_results_;
+}
+
+}  // namespace opmr

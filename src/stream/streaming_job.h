@@ -1,0 +1,115 @@
+// Streaming execution — the platform the paper's conclusion promises:
+// "near real-time stream processing that obviates the need for data
+// loading and returns pipelined answers as data arrives".
+//
+// A StreamingJob is a long-lived MapReduce query with no pre-loaded input:
+// records are Ingest()ed as they arrive, the map function runs inline on
+// the ingesting thread, and the emitted pairs are routed to R parallel
+// reducer workers that maintain incremental per-key aggregator states
+// (plain or hot-key, with disk spilling under memory pressure — the same
+// §V techniques as the batch runtime).  At any moment the live states can
+// be queried:
+//
+//   StreamingJob job(query, options, /*reducers=*/4);
+//   job.Ingest(record);               // any thread, any time
+//   auto count = job.Query("u00042"); // live answer, current as of now
+//   auto top = job.TopAnswers(10);    // live top-k by aggregate
+//   auto all = job.Finish();          // drain, resolve spills, exact result
+//
+// Early emission works as in batch: an early_emit policy fires answers into
+// the emission callback the moment their condition is met.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/aggregators.h"
+#include "engine/job.h"
+#include "engine/state_table.h"
+#include "frequent/space_saving.h"
+#include "metrics/counters.h"
+#include "storage/file_manager.h"
+
+namespace opmr {
+
+struct StreamingOptions {
+  // Per-worker byte budget for resident states; exceeding it spills
+  // (plain mode) or demotes cold keys (hot-key mode).
+  std::size_t worker_budget_bytes = 16u << 20;
+
+  // Enable the Space-Saving hot-key optimization with this capacity per
+  // worker (0 = plain incremental states).
+  std::size_t hot_key_capacity = 0;
+
+  // Bounded ingest queue per worker (records); Ingest blocks when full —
+  // the streaming analogue of HOP's back-pressure.
+  std::size_t queue_capacity = 8192;
+
+  // Fired from worker threads the moment `early_emit` approves a key.
+  std::function<bool(Slice key, Slice state)> early_emit;
+  std::function<void(Slice key, Slice value)> on_early_answer;
+
+  bool compress_spills = false;
+};
+
+// A streaming query: map + aggregator (streaming needs the algebraic form;
+// holistic reduces cannot produce answers before end-of-stream).
+struct StreamingQuery {
+  std::string name;
+  MapFn map;
+  std::shared_ptr<Aggregator> aggregator;
+};
+
+class StreamingJob {
+ public:
+  StreamingJob(StreamingQuery query, StreamingOptions options,
+               int num_workers);
+  ~StreamingJob();
+
+  StreamingJob(const StreamingJob&) = delete;
+  StreamingJob& operator=(const StreamingJob&) = delete;
+
+  // Applies the map function to one arriving record and routes its output.
+  // Thread-safe; blocks under back-pressure.  Throws after Finish().
+  void Ingest(Slice record);
+
+  // Live point lookup: the key's current aggregate, if its state is
+  // resident right now (approximate in hot-key mode if parts were demoted).
+  [[nodiscard]] std::optional<std::string> Query(Slice key) const;
+
+  // Live top-n answers by aggregate value (u64-decoded), largest first.
+  // A snapshot of the resident states — the "pipelined answers" surface.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> TopAnswers(
+      std::size_t n) const;
+
+  // Total records ingested and key/value pairs routed so far.
+  [[nodiscard]] std::uint64_t records_ingested() const;
+  [[nodiscard]] std::uint64_t pairs_routed() const;
+  [[nodiscard]] std::uint64_t early_answers() const;
+
+  // Ends the stream: drains queues, resolves spilled partial states and
+  // returns the exact final (key, value) results.  Idempotent.
+  std::vector<std::pair<std::string, std::string>> Finish();
+
+ private:
+  class Worker;
+
+  StreamingQuery query_;
+  StreamingOptions options_;
+  FileManager files_;
+  MetricRegistry metrics_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<bool> finished_{false};
+  std::vector<std::pair<std::string, std::string>> final_results_;
+};
+
+}  // namespace opmr

@@ -1,0 +1,111 @@
+#include "workloads/clickstream.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace opmr {
+
+std::string UserKey(std::uint32_t user) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%06u", user);
+  return buf;
+}
+
+std::string UrlKey(std::uint32_t url) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/page/%05u.html", url);
+  return buf;
+}
+
+ClickRecord ParseClick(Slice record, ClickFormat format) {
+  ClickRecord out;
+  if (format == ClickFormat::kBinary) {
+    if (record.size() != kBinaryClickBytes) {
+      throw std::runtime_error("ParseClick: bad binary record size");
+    }
+    out.timestamp = DecodeU64(record.data());
+    out.user = DecodeU32(record.data() + 8);
+    out.url = DecodeU32(record.data() + 12);
+    return out;
+  }
+  // Text: "<timestamp>\tu<user>\t/page/<url>.html"
+  const char* p = record.data();
+  const char* end = p + record.size();
+  std::uint64_t ts = 0;
+  while (p < end && *p != '\t') {
+    if (*p < '0' || *p > '9') {
+      throw std::runtime_error("ParseClick: bad timestamp");
+    }
+    ts = ts * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++p;
+  }
+  if (p >= end || *p != '\t') throw std::runtime_error("ParseClick: no user");
+  ++p;  // tab
+  if (p >= end || *p != 'u') throw std::runtime_error("ParseClick: no 'u'");
+  ++p;
+  std::uint32_t user = 0;
+  while (p < end && *p != '\t') {
+    if (*p < '0' || *p > '9') throw std::runtime_error("ParseClick: bad user");
+    user = user * 10 + static_cast<std::uint32_t>(*p - '0');
+    ++p;
+  }
+  if (p >= end || *p != '\t') throw std::runtime_error("ParseClick: no url");
+  ++p;  // tab
+  // "/page/NNNNN.html": the digits start at offset 6.
+  std::uint32_t url = 0;
+  const char* q = p + 6;
+  while (q < end && *q >= '0' && *q <= '9') {
+    url = url * 10 + static_cast<std::uint32_t>(*q - '0');
+    ++q;
+  }
+  out.timestamp = ts;
+  out.user = user;
+  out.url = url;
+  return out;
+}
+
+std::uint64_t GenerateClickStream(Dfs& dfs, const std::string& name,
+                                  const ClickStreamOptions& options) {
+  ZipfSampler users(options.num_users, options.user_theta, options.seed);
+  ZipfSampler urls(options.num_urls, options.url_theta, options.seed ^ 0xabcd);
+  Rng rng(options.seed ^ 0x5151);
+
+  auto writer = dfs.Create(name);
+  std::string line;
+  std::string binary(kBinaryClickBytes, '\0');
+  std::uint64_t timestamp = 894'000'000;  // a 1998 epoch, WorldCup flavour
+
+  for (std::uint64_t i = 0; i < options.num_records; ++i) {
+    // Clicks arrive in globally non-decreasing time with small jitter;
+    // users interleave, which is exactly why sessionization must reorder
+    // the log by user (the paper's motivating task).
+    timestamp += rng.Uniform(3);
+    std::uint32_t user;
+    if (options.tail_fraction > 0 &&
+        rng.NextDouble() < options.tail_fraction) {
+      user = static_cast<std::uint32_t>(options.num_users +
+                                        rng.Uniform(options.tail_universe));
+    } else {
+      user = static_cast<std::uint32_t>(users.Sample());
+    }
+    const auto url = static_cast<std::uint32_t>(urls.Sample());
+
+    if (options.format == ClickFormat::kText) {
+      line.clear();
+      char buf[64];
+      const int n = std::snprintf(buf, sizeof(buf), "%llu\tu%06u\t/page/%05u.html",
+                                  static_cast<unsigned long long>(timestamp),
+                                  user, url);
+      line.assign(buf, static_cast<std::size_t>(n));
+      writer->Append(line);
+    } else {
+      EncodeU64(binary.data(), timestamp);
+      EncodeU32(binary.data() + 8, user);
+      EncodeU32(binary.data() + 12, url);
+      writer->Append(binary);
+    }
+  }
+  return writer->Close();
+}
+
+}  // namespace opmr

@@ -1,0 +1,63 @@
+// Synthetic click-stream generator — the WorldCup-98 stand-in.
+//
+// Produces click-log records (timestamp, user, url) with Zipf-distributed
+// users and URLs and session-structured timestamps.  The two on-disk
+// formats mirror the paper's §III-B.1 parsing experiment:
+//   * kText   — tab-separated text lines; the map function must parse.
+//   * kBinary — pre-parsed fixed-width fields (the SequenceFile analogue);
+//               the map function reads fields at fixed offsets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/slice.h"
+#include "dfs/dfs.h"
+
+namespace opmr {
+
+enum class ClickFormat { kText, kBinary };
+
+struct ClickStreamOptions {
+  std::uint64_t num_records = 100'000;
+  std::uint64_t num_users = 10'000;
+  std::uint64_t num_urls = 5'000;
+  double user_theta = 0.9;  // Zipf skew of user activity
+  double url_theta = 1.0;   // Zipf skew of page popularity
+
+  // Long-tail mixture: with probability `tail_fraction` a click comes from
+  // a one-off visitor drawn uniformly from `tail_universe` extra user ids
+  // (appended after the Zipf head).  Real web traffic is exactly this
+  // shape: a heavy head of repeat visitors plus a vast trickle of
+  // singletons — the regime where the paper's hot-key technique shines.
+  double tail_fraction = 0.0;
+  std::uint64_t tail_universe = 0;
+
+  std::uint64_t seed = 1234;
+  ClickFormat format = ClickFormat::kText;
+};
+
+// Binary click record layout: [u64 timestamp][u32 user][u32 url].
+inline constexpr std::size_t kBinaryClickBytes = 16;
+
+struct ClickRecord {
+  std::uint64_t timestamp = 0;
+  std::uint32_t user = 0;
+  std::uint32_t url = 0;
+};
+
+// Parses either format; used by the map functions and by tests.
+ClickRecord ParseClick(Slice record, ClickFormat format);
+
+// Formats a user id the way the generator does ("u000123"); key format for
+// sessionization / per-user counting.
+std::string UserKey(std::uint32_t user);
+std::string UrlKey(std::uint32_t url);
+
+// Generates `options.num_records` clicks into DFS file `name`.
+// Returns total bytes written.
+std::uint64_t GenerateClickStream(Dfs& dfs, const std::string& name,
+                                  const ClickStreamOptions& options);
+
+}  // namespace opmr

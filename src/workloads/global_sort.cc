@@ -1,0 +1,81 @@
+#include "workloads/global_sort.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace opmr {
+
+std::vector<std::string> SampleRangeBoundaries(Platform& platform,
+                                               const std::string& input,
+                                               int num_reducers,
+                                               std::size_t max_samples) {
+  // Reservoir-sample record keys across all blocks (a full scan of block
+  // data would defeat the point at scale; per-block early-out keeps the
+  // sample cheap while covering the whole key range because blocks are
+  // written in input order).
+  std::vector<std::string> sample;
+  sample.reserve(max_samples);
+  Rng rng(0x5a17);
+  std::size_t seen = 0;
+  for (const auto& block : platform.dfs().ListBlocks(input)) {
+    auto reader = platform.dfs().OpenBlock(block);
+    Slice record;
+    std::size_t from_this_block = 0;
+    while (reader->Next(&record) && from_this_block < max_samples / 4) {
+      ++seen;
+      ++from_this_block;
+      if (sample.size() < max_samples) {
+        sample.emplace_back(record.view());
+      } else {
+        const std::size_t j = rng.Uniform(seen);
+        if (j < max_samples) sample[j] = record.ToString();
+      }
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+
+  std::vector<std::string> boundaries;
+  boundaries.reserve(num_reducers - 1);
+  for (int r = 1; r < num_reducers; ++r) {
+    if (sample.empty()) break;
+    boundaries.push_back(sample[sample.size() * r / num_reducers]);
+  }
+  return boundaries;
+}
+
+std::function<std::uint32_t(Slice, int)> RangePartitioner(
+    std::vector<std::string> boundaries) {
+  return [boundaries = std::move(boundaries)](Slice key, int num_reducers) {
+    // First boundary > key determines the range; keys beyond the last
+    // boundary land in the final reducer.
+    const auto it = std::upper_bound(
+        boundaries.begin(), boundaries.end(), key,
+        [](Slice k, const std::string& b) { return k.compare(b) < 0; });
+    const auto range = static_cast<std::uint32_t>(it - boundaries.begin());
+    return std::min(range, static_cast<std::uint32_t>(num_reducers - 1));
+  };
+}
+
+JobSpec GlobalSortJob(Platform& platform, const std::string& input,
+                      const std::string& output, int num_reducers) {
+  JobSpec spec;
+  spec.name = "global_sort";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+  spec.partitioner =
+      RangePartitioner(SampleRangeBoundaries(platform, input, num_reducers));
+
+  spec.map = [](Slice record, OutputCollector& out) {
+    out.Emit(record, Slice());  // key = whole record, empty value
+  };
+  spec.reduce = [](Slice key, ValueIterator& values, OutputCollector& out) {
+    // Identity: one output row per input record (duplicates preserved).
+    Slice v;
+    while (values.Next(&v)) out.Emit(key, v);
+  };
+  return spec;
+}
+
+}  // namespace opmr

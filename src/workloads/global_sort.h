@@ -1,0 +1,36 @@
+// Global sort (the TeraSort pattern): sample the input to pick range
+// boundaries, range-partition keys so reducer r holds keys in
+// [boundary[r-1], boundary[r]), and let the sort-merge runtime order each
+// partition — concatenating part 0..R-1 yields one globally sorted file.
+//
+// The sort-merge machinery this rides on is exactly the Hadoop group-by
+// implementation the paper benchmarks; global sort is its canonical
+// non-aggregation application.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/opmr.h"
+#include "engine/job.h"
+
+namespace opmr {
+
+// Samples up to `max_samples` record keys from `input` and returns
+// num_reducers-1 ascending boundary keys (evenly spaced quantiles).
+// `key_of` extracts the sort key from a record (whole record by default).
+std::vector<std::string> SampleRangeBoundaries(
+    Platform& platform, const std::string& input, int num_reducers,
+    std::size_t max_samples = 4096);
+
+// A partitioner mapping each key to the range it falls in.
+std::function<std::uint32_t(Slice, int)> RangePartitioner(
+    std::vector<std::string> boundaries);
+
+// The global-sort job: identity map keyed by the whole record, range
+// partitioner, identity reduce.  Run on the sort-merge runtime; then
+// ReadOutput parts in order are globally sorted.
+JobSpec GlobalSortJob(Platform& platform, const std::string& input,
+                      const std::string& output, int num_reducers);
+
+}  // namespace opmr

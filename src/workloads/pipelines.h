@@ -1,0 +1,72 @@
+// Multi-job pipelines — the classic MapReduce patterns the paper's §IV
+// raises as open questions for incremental processing, built on the OPMR
+// public API:
+//
+//   * global top-k : counting job → single-reducer TopKAggregator job.
+//     Demonstrates that top-k admits a combine function with O(k) state,
+//     answering the paper's "how to support the combine function for
+//     complex analytical tasks such as top-k" question.
+//   * repartition join : click stream ⋈ user profiles on user id, followed
+//     by a per-country rollup — a two-dataset job via JobSpec::extra_inputs
+//     plus a chained aggregation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/opmr.h"
+#include "engine/aggregators.h"
+#include "workloads/clickstream.h"
+
+namespace opmr {
+
+// Decodes one output frame ([klen][vlen][key][value]) of a previous job —
+// the record format chained jobs consume.
+void DecodeOutputFrame(Slice record, Slice* key, Slice* value);
+
+// All reducer part files of a finished job, for chaining into extra_inputs.
+std::vector<std::string> OutputParts(const std::string& output_prefix,
+                                     int num_reducers);
+
+// Job 2 of the top-k pipeline: reads the framed (key, count) output of a
+// counting job and selects the k keys with the largest counts via a single
+// reducer running TopKAggregator (combiners prune candidates map-side).
+JobSpec TopKFromCountsJob(const std::string& counts_prefix, int counts_parts,
+                          const std::string& output, std::size_t k);
+
+// Runs `counting_job` under `options`, then the top-k selection, and
+// returns the winners (score = count, payload = key), largest first.
+std::vector<ScoredEntry> RunTopKPipeline(Platform& platform,
+                                         const JobSpec& counting_job,
+                                         const JobOptions& options,
+                                         std::size_t k);
+
+// --- Repartition join ---------------------------------------------------------
+
+// Profile record format: "P\t<user key>\t<country>".
+std::string CountryKey(std::uint32_t country);
+
+struct UserProfileOptions {
+  std::uint64_t num_users = 10'000;
+  std::uint32_t num_countries = 30;
+  std::uint64_t seed = 55;
+};
+
+// One profile record per user, country assigned pseudo-randomly.
+std::uint64_t GenerateUserProfiles(Dfs& dfs, const std::string& name,
+                                   const UserProfileOptions& options);
+
+// Joins clicks with profiles on user id.  Output: (user, "country\tclicks").
+// Users without a profile get country "unknown"; profiles without clicks
+// are dropped (inner-join semantics on the click side).
+JobSpec JoinClicksWithProfilesJob(const std::string& clicks,
+                                  const std::string& profiles,
+                                  const std::string& output,
+                                  int num_reducers);
+
+// Rolls the join output up to per-country click totals.
+JobSpec CountryClickCountJob(const std::string& join_prefix, int join_parts,
+                             const std::string& output, int num_reducers);
+
+}  // namespace opmr

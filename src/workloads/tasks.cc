@@ -1,0 +1,292 @@
+#include "workloads/tasks.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "engine/aggregators.h"
+#include "engine/hll.h"
+
+namespace opmr {
+
+namespace {
+
+// Sessionization value payload: [u64 timestamp][url bytes].
+void EncodeClickValue(std::string& out, std::uint64_t ts, Slice url) {
+  out.clear();
+  AppendU64(out, ts);
+  out.append(url.data(), url.size());
+}
+
+// Extracts the raw url field of a text click record (third tab field).
+Slice TextUrlField(Slice record) {
+  std::size_t tabs = 0;
+  std::size_t i = 0;
+  for (; i < record.size(); ++i) {
+    if (record[i] == '\t' && ++tabs == 2) break;
+  }
+  return {record.data() + i + 1, record.size() - i - 1};
+}
+
+// Extracts the raw user field of a text click record (second tab field).
+Slice TextUserField(Slice record) {
+  std::size_t first = 0;
+  while (first < record.size() && record[first] != '\t') ++first;
+  std::size_t second = first + 1;
+  while (second < record.size() && record[second] != '\t') ++second;
+  return {record.data() + first + 1, second - first - 1};
+}
+
+}  // namespace
+
+JobSpec SessionizationJob(const std::string& input, const std::string& output,
+                          int num_reducers, ClickFormat format,
+                          std::uint64_t session_gap) {
+  JobSpec spec;
+  spec.name = "sessionization";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+
+  spec.map = [format](Slice record, OutputCollector& out) {
+    // Group click logs by user id; the value carries everything the
+    // sessionization algorithm needs (paper §III-A).
+    if (format == ClickFormat::kText) {
+      const ClickRecord click = ParseClick(record, format);
+      std::string value;
+      EncodeClickValue(value, click.timestamp, TextUrlField(record));
+      out.Emit(TextUserField(record), value);
+    } else {
+      // Pre-parsed input: fields are re-emitted at fixed offsets with no
+      // parsing or formatting at all (the SequenceFile advantage §III-B.1
+      // investigates).
+      char value[12];
+      std::memcpy(value, record.data(), 8);       // timestamp
+      std::memcpy(value + 8, record.data() + 12, 4);  // url id
+      out.Emit(Slice(record.data() + 8, 4), Slice(value, sizeof(value)));
+    }
+  };
+
+  spec.reduce = [session_gap](Slice user, ValueIterator& values,
+                              OutputCollector& out) {
+    // Values are either [u64 ts][url text] (text input) or
+    // [u64 ts][u32 url] (binary input); the algorithm treats the url
+    // payload as opaque bytes either way.
+    // The sessionization algorithm: order this user's clicks by time and
+    // cut a new session whenever the inter-click gap exceeds the limit.
+    struct Click {
+      std::uint64_t ts;
+      std::string url;
+    };
+    std::vector<Click> clicks;
+    Slice v;
+    while (values.Next(&v)) {
+      if (v.size() < 8) throw std::runtime_error("sessionization: bad value");
+      clicks.push_back(
+          {DecodeU64(v.data()), std::string(v.data() + 8, v.size() - 8)});
+    }
+    std::sort(clicks.begin(), clicks.end(),
+              [](const Click& a, const Click& b) { return a.ts < b.ts; });
+
+    std::uint32_t session = 0;
+    std::string value;
+    for (std::size_t i = 0; i < clicks.size(); ++i) {
+      if (i > 0 && clicks[i].ts - clicks[i - 1].ts > session_gap) ++session;
+      value.clear();
+      char buf[32];
+      const int n =
+          std::snprintf(buf, sizeof(buf), "s%u\t%llu\t", session,
+                        static_cast<unsigned long long>(clicks[i].ts));
+      value.append(buf, static_cast<std::size_t>(n));
+      value += clicks[i].url;
+      out.Emit(user, value);
+    }
+  };
+  return spec;
+}
+
+JobSpec SessionizationSecondarySortJob(const std::string& input,
+                                       const std::string& output,
+                                       int num_reducers,
+                                       std::uint64_t session_gap) {
+  JobSpec spec;
+  spec.name = "sessionization_ss";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+  spec.grouping_prefix = 7;  // "uNNNNNN": the user id field
+
+  spec.map = [](Slice record, OutputCollector& out) {
+    const ClickRecord click = ParseClick(record, ClickFormat::kText);
+    // Composite key: user then big-endian timestamp, so byte order == time
+    // order within the user's group.
+    std::string key;
+    key.reserve(15);
+    key += TextUserField(record).view();
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      key.push_back(static_cast<char>((click.timestamp >> shift) & 0xff));
+    }
+    std::string value;
+    EncodeClickValue(value, click.timestamp, TextUrlField(record));
+    out.Emit(key, value);
+  };
+
+  spec.reduce = [session_gap](Slice first_key, ValueIterator& values,
+                              OutputCollector& out) {
+    // Values arrive time-ordered: stream them with O(1) state — no
+    // buffering, no per-user sort.
+    const Slice user(first_key.data(), 7);
+    std::uint32_t session = 0;
+    std::uint64_t last_ts = 0;
+    bool first = true;
+    std::string entry;
+    Slice v;
+    while (values.Next(&v)) {
+      if (v.size() < 8) throw std::runtime_error("sessionization_ss: value");
+      const std::uint64_t ts = DecodeU64(v.data());
+      if (!first && ts - last_ts > session_gap) ++session;
+      first = false;
+      last_ts = ts;
+      entry.clear();
+      char buf[32];
+      const int n = std::snprintf(buf, sizeof(buf), "s%u\t%llu\t", session,
+                                  static_cast<unsigned long long>(ts));
+      entry.append(buf, static_cast<std::size_t>(n));
+      entry.append(v.data() + 8, v.size() - 8);
+      out.Emit(user, entry);
+    }
+  };
+  return spec;
+}
+
+JobSpec PageFrequencyJob(const std::string& input, const std::string& output,
+                         int num_reducers, ClickFormat format) {
+  JobSpec spec;
+  spec.name = "page_frequency";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+  spec.aggregator = std::make_shared<SumAggregator>();
+
+  spec.map = [format](Slice record, OutputCollector& out) {
+    // SELECT COUNT(*) FROM visits GROUP BY url  (paper §II).
+    static thread_local std::string one = EncodeValueU64(1);
+    if (format == ClickFormat::kText) {
+      out.Emit(TextUrlField(record), one);
+    } else {
+      out.Emit(Slice(record.data() + 12, 4), one);  // raw url id field
+    }
+  };
+  return spec;
+}
+
+JobSpec PerUserCountJob(const std::string& input, const std::string& output,
+                        int num_reducers, ClickFormat format) {
+  JobSpec spec;
+  spec.name = "per_user_count";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+  spec.aggregator = std::make_shared<SumAggregator>();
+
+  spec.map = [format](Slice record, OutputCollector& out) {
+    // Emits ("user id", 1) pairs — the workload whose map phase spends up
+    // to 48 % of CPU cycles sorting in stock Hadoop (Table II).
+    static thread_local std::string one = EncodeValueU64(1);
+    if (format == ClickFormat::kText) {
+      out.Emit(TextUserField(record), one);
+    } else {
+      out.Emit(Slice(record.data() + 8, 4), one);  // raw user id field
+    }
+  };
+  return spec;
+}
+
+JobSpec InvertedIndexJob(const std::string& input, const std::string& output,
+                         int num_reducers) {
+  JobSpec spec;
+  spec.name = "inverted_index";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+
+  spec.map = [](Slice record, OutputCollector& out) {
+    // "<doc_id>\t<w1> <w2> ..." → (word, "doc:position") per token.
+    std::size_t tab = 0;
+    while (tab < record.size() && record[tab] != '\t') ++tab;
+    const Slice doc(record.data(), tab);
+
+    std::string value;
+    std::uint32_t position = 0;
+    std::size_t i = tab + 1;
+    while (i < record.size()) {
+      std::size_t j = i;
+      while (j < record.size() && record[j] != ' ') ++j;
+      if (j > i) {
+        value.assign(doc.data(), doc.size());
+        value += ':';
+        char buf[16];
+        const int n = std::snprintf(buf, sizeof(buf), "%u", position);
+        value.append(buf, static_cast<std::size_t>(n));
+        out.Emit(Slice(record.data() + i, j - i), value);
+        ++position;
+      }
+      i = j + 1;
+    }
+  };
+
+  spec.reduce = [](Slice word, ValueIterator& values, OutputCollector& out) {
+    // Concatenate the posting list for this word.
+    std::string postings;
+    Slice v;
+    while (values.Next(&v)) {
+      if (!postings.empty()) postings += ' ';
+      postings.append(v.data(), v.size());
+    }
+    out.Emit(word, postings);
+  };
+  return spec;
+}
+
+JobSpec DistinctVisitorsJob(const std::string& input,
+                            const std::string& output, int num_reducers,
+                            unsigned hll_precision) {
+  JobSpec spec;
+  spec.name = "distinct_visitors";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+  spec.aggregator = std::make_shared<HllAggregator>(hll_precision);
+
+  spec.map = [](Slice record, OutputCollector& out) {
+    // (url, user): the aggregator sketches the distinct users per url.
+    out.Emit(TextUrlField(record), TextUserField(record));
+  };
+  return spec;
+}
+
+JobSpec WordCountJob(const std::string& input, const std::string& output,
+                     int num_reducers) {
+  JobSpec spec;
+  spec.name = "word_count";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+  spec.aggregator = std::make_shared<SumAggregator>();
+
+  spec.map = [](Slice record, OutputCollector& out) {
+    static thread_local std::string one = EncodeValueU64(1);
+    std::size_t tab = 0;
+    while (tab < record.size() && record[tab] != '\t') ++tab;
+    std::size_t i = tab + 1;
+    while (i < record.size()) {
+      std::size_t j = i;
+      while (j < record.size() && record[j] != ' ') ++j;
+      if (j > i) out.Emit(Slice(record.data() + i, j - i), one);
+      i = j + 1;
+    }
+  };
+  return spec;
+}
+
+}  // namespace opmr

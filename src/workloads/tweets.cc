@@ -1,0 +1,104 @@
+#include "workloads/tweets.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "engine/aggregators.h"
+
+namespace opmr {
+
+std::string HashtagKey(std::uint32_t tag) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "#tag%05u", tag);
+  return buf;
+}
+
+std::uint64_t GenerateTweetStream(Dfs& dfs, const std::string& name,
+                                  const TweetStreamOptions& options) {
+  ZipfSampler tags(options.num_hashtags, options.hashtag_theta, options.seed);
+  Rng rng(options.seed ^ 0x1e57);
+
+  static constexpr const char* kFiller[] = {
+      "just",   "saw",  "the",   "match",  "today", "cannot", "believe",
+      "what",   "a",    "great", "moment", "wow",   "this",   "is",
+      "really", "nice", "check", "it",     "out",
+  };
+  constexpr std::size_t kFillerWords = sizeof(kFiller) / sizeof(kFiller[0]);
+
+  auto writer = dfs.Create(name);
+  std::string line;
+  std::uint64_t timestamp = 1'300'000'000;  // 2011, Twitter's era
+  for (std::uint64_t i = 0; i < options.num_tweets; ++i) {
+    timestamp += rng.Uniform(2);
+    line.clear();
+    char buf[48];
+    int n = std::snprintf(buf, sizeof(buf), "%llu\tu%06llu\t",
+                          static_cast<unsigned long long>(timestamp),
+                          static_cast<unsigned long long>(
+                              rng.Uniform(options.num_users)));
+    line.append(buf, static_cast<std::size_t>(n));
+
+    // A few filler words...
+    const std::uint64_t words = 2 + rng.Uniform(6);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      line += kFiller[rng.Uniform(kFillerWords)];
+      line += ' ';
+    }
+    // ...then 0-4 hashtags whose ranking drifts over the stream.
+    const auto phase = static_cast<std::uint32_t>(i / options.drift_period);
+    std::uint64_t num_tags = 0;
+    const double dice = rng.NextDouble();
+    // Mean ~1.5 tags: P(0)=.15, P(1)=.4, P(2)=.3, P(3)=.1, P(4)=.05
+    if (dice < 0.15) num_tags = 0;
+    else if (dice < 0.55) num_tags = 1;
+    else if (dice < 0.85) num_tags = 2;
+    else if (dice < 0.95) num_tags = 3;
+    else num_tags = 4;
+    for (std::uint64_t t = 0; t < num_tags; ++t) {
+      const auto rank = static_cast<std::uint32_t>(tags.Sample());
+      // Drift: rotate the identity of each popularity rank per phase.
+      const auto tag = static_cast<std::uint32_t>(
+          (rank + phase * 37) % options.num_hashtags);
+      line += HashtagKey(tag);
+      if (t + 1 < num_tags) line += ' ';
+    }
+    writer->Append(line);
+  }
+  return writer->Close();
+}
+
+JobSpec HashtagCountJob(const std::string& input, const std::string& output,
+                        int num_reducers) {
+  JobSpec spec;
+  spec.name = "hashtag_count";
+  spec.input_file = input;
+  spec.output_file = output;
+  spec.num_reducers = num_reducers;
+  spec.aggregator = std::make_shared<SumAggregator>();
+
+  spec.map = [](Slice record, OutputCollector& out) {
+    static thread_local std::string one = EncodeValueU64(1);
+    // Scan the tweet text (third tab field) for '#'-tokens.
+    std::size_t i = 0;
+    int tabs = 0;
+    while (i < record.size() && tabs < 2) {
+      if (record[i] == '\t') ++tabs;
+      ++i;
+    }
+    while (i < record.size()) {
+      if (record[i] == '#') {
+        std::size_t j = i + 1;
+        while (j < record.size() && record[j] != ' ' && record[j] != '\t') {
+          ++j;
+        }
+        if (j > i + 1) out.Emit(Slice(record.data() + i, j - i), one);
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  };
+  return spec;
+}
+
+}  // namespace opmr

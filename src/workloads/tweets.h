@@ -1,0 +1,42 @@
+// Synthetic tweet-stream generator and hashtag analytics — the "Twitter
+// feed analysis" extension the paper lists as ongoing benchmark work
+// (§III-A footnote).
+//
+// Tweet record: "<timestamp>\t<user>\t<text with #hashtags>".
+// Hashtag popularity is Zipfian with a drifting head: the hottest tags
+// change over the stream, which is what makes *online* trending detection
+// (incremental counting + hot-key pinning + top-k) interesting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dfs/dfs.h"
+#include "engine/job.h"
+
+namespace opmr {
+
+struct TweetStreamOptions {
+  std::uint64_t num_tweets = 100'000;
+  std::uint64_t num_users = 20'000;
+  std::uint64_t num_hashtags = 5'000;
+  double hashtag_theta = 1.1;
+  // Mean hashtags per tweet (0..4 actual, most tweets carry 1-2).
+  double mean_hashtags = 1.5;
+  // Every `drift_period` tweets the popularity ranking rotates, so the
+  // trending set changes over time.
+  std::uint64_t drift_period = 25'000;
+  std::uint64_t seed = 404;
+};
+
+std::string HashtagKey(std::uint32_t tag);
+
+std::uint64_t GenerateTweetStream(Dfs& dfs, const std::string& name,
+                                  const TweetStreamOptions& options);
+
+// (hashtag, 1) counting job over a tweet stream; SUM aggregator, so it runs
+// fully incrementally on the one-pass runtime.
+JobSpec HashtagCountJob(const std::string& input, const std::string& output,
+                        int num_reducers);
+
+}  // namespace opmr

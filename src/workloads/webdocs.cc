@@ -1,0 +1,43 @@
+#include "workloads/webdocs.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace opmr {
+
+std::string WordKey(std::uint32_t word_rank) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "w%06u", word_rank);
+  return buf;
+}
+
+std::uint64_t GenerateWebDocs(Dfs& dfs, const std::string& name,
+                              const WebDocsOptions& options) {
+  ZipfSampler words(options.vocabulary, options.word_theta, options.seed);
+  Rng rng(options.seed ^ 0x77);
+
+  auto writer = dfs.Create(name);
+  std::string line;
+  for (std::uint64_t d = 0; d < options.num_docs; ++d) {
+    line.clear();
+    char buf[32];
+    int n = std::snprintf(buf, sizeof(buf), "d%08llu",
+                          static_cast<unsigned long long>(d));
+    line.append(buf, static_cast<std::size_t>(n));
+    line += '\t';
+    // Uniform in [mean/2, 3*mean/2]: keeps block record counts varied.
+    const std::uint64_t len =
+        options.mean_doc_words / 2 + rng.Uniform(options.mean_doc_words + 1);
+    for (std::uint64_t w = 0; w < len; ++w) {
+      if (w > 0) line += ' ';
+      n = std::snprintf(buf, sizeof(buf), "w%06u",
+                        static_cast<std::uint32_t>(words.Sample()));
+      line.append(buf, static_cast<std::size_t>(n));
+    }
+    writer->Append(line);
+  }
+  return writer->Close();
+}
+
+}  // namespace opmr

@@ -1,0 +1,31 @@
+// Synthetic web-document generator — the GOV2 crawl stand-in.
+//
+// Documents are "<doc_id>\t<w1> <w2> ..." lines with a Zipf-distributed
+// vocabulary; document length varies uniformly around the configured mean.
+// Inverted-index construction over this corpus reproduces the paper's
+// intermediate/input ratio (~70 %) because postings carry (doc, position)
+// for every token while the index groups them compactly per word.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dfs/dfs.h"
+
+namespace opmr {
+
+struct WebDocsOptions {
+  std::uint64_t num_docs = 2'000;
+  std::uint64_t vocabulary = 20'000;
+  std::uint64_t mean_doc_words = 120;
+  double word_theta = 1.0;  // Zipf skew of word frequency
+  std::uint64_t seed = 99;
+};
+
+std::string WordKey(std::uint32_t word_rank);
+
+// Generates the corpus into DFS file `name`; returns total bytes.
+std::uint64_t GenerateWebDocs(Dfs& dfs, const std::string& name,
+                              const WebDocsOptions& options);
+
+}  // namespace opmr

@@ -1,0 +1,89 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace opmr {
+namespace {
+
+TEST(Arena, AllocationsAreWritable) {
+  Arena arena;
+  char* p = arena.Allocate(16);
+  std::memset(p, 'x', 16);
+  EXPECT_EQ(p[0], 'x');
+  EXPECT_EQ(p[15], 'x');
+}
+
+TEST(Arena, PointersStayStableAcrossChunkGrowth) {
+  Arena arena(/*chunk_bytes=*/64);
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    char* p = arena.Allocate(16);
+    std::memset(p, static_cast<char>('a' + i % 26), 16);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ptrs[i][0], static_cast<char>('a' + i % 26)) << i;
+  }
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedChunk) {
+  Arena arena(/*chunk_bytes=*/32);
+  char* small = arena.Allocate(8);
+  std::memset(small, 's', 8);
+  char* big = arena.Allocate(1000);  // > chunk size
+  std::memset(big, 'b', 1000);
+  char* small2 = arena.Allocate(8);  // bump chunk must still work
+  std::memset(small2, 't', 8);
+  EXPECT_EQ(small[0], 's');
+  EXPECT_EQ(big[999], 'b');
+  EXPECT_EQ(small2[0], 't');
+}
+
+TEST(Arena, CopyProducesStableEqualSlice) {
+  Arena arena(/*chunk_bytes=*/16);
+  std::string source = "the quick brown fox";
+  Slice copy = arena.Copy(source);
+  source.assign(source.size(), '!');  // clobber the original
+  EXPECT_EQ(copy.ToString(), "the quick brown fox");
+}
+
+TEST(Arena, CopyEmptyIsEmpty) {
+  Arena arena;
+  EXPECT_TRUE(arena.Copy({}).empty());
+}
+
+TEST(Arena, AccountingGrowsWithAllocations) {
+  Arena arena(1024);
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  arena.Allocate(100);
+  const auto after_one = arena.allocated_bytes();
+  EXPECT_GE(after_one, 100u);
+  arena.Allocate(2048);  // oversized
+  EXPECT_GE(arena.allocated_bytes(), after_one + 2048);
+}
+
+TEST(Arena, ResetReleasesEverything) {
+  Arena arena(64);
+  for (int i = 0; i < 50; ++i) arena.Allocate(32);
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  // And the arena is reusable afterwards.
+  char* p = arena.Allocate(8);
+  std::memset(p, 'z', 8);
+  EXPECT_EQ(p[7], 'z');
+}
+
+TEST(Arena, UsedBytesNeverExceedsAllocated) {
+  Arena arena(128);
+  for (int i = 1; i <= 40; ++i) {
+    arena.Allocate(static_cast<std::size_t>(i));
+    EXPECT_LE(arena.used_bytes(), arena.allocated_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace opmr

@@ -1,0 +1,196 @@
+#include "dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/file_manager.h"
+
+namespace opmr {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest() : files_(FileManager::CreateTemp("opmr-dfs")) {}
+
+  Dfs MakeDfs(DfsOptions options = {}) {
+    return Dfs(&files_, &metrics_, options);
+  }
+
+  static std::vector<std::string> ReadAll(Dfs& dfs, const std::string& name) {
+    std::vector<std::string> out;
+    for (const auto& block : dfs.ListBlocks(name)) {
+      auto reader = dfs.OpenBlock(block);
+      Slice record;
+      while (reader->Next(&record)) out.push_back(record.ToString());
+    }
+    return out;
+  }
+
+  FileManager files_;
+  MetricRegistry metrics_;
+};
+
+TEST_F(DfsTest, RoundTripPreservesRecordsAndOrder) {
+  auto dfs = MakeDfs({.block_bytes = 256, .num_nodes = 3});
+  auto writer = dfs.Create("f");
+  std::vector<std::string> expected;
+  for (int i = 0; i < 100; ++i) {
+    expected.push_back("record-" + std::to_string(i));
+    writer->Append(expected.back());
+  }
+  writer->Close();
+  EXPECT_EQ(ReadAll(dfs, "f"), expected);
+}
+
+TEST_F(DfsTest, BlocksRespectSizeLimitAndRecordBoundaries) {
+  auto dfs = MakeDfs({.block_bytes = 100, .num_nodes = 2});
+  auto writer = dfs.Create("f");
+  for (int i = 0; i < 50; ++i) writer->Append(std::string(30, 'x'));
+  writer->Close();
+
+  const auto blocks = dfs.ListBlocks("f");
+  EXPECT_GT(blocks.size(), 1u);
+  for (const auto& b : blocks) {
+    EXPECT_LE(b.length, 100u);
+    // Each block must contain a whole number of records (34 bytes framed).
+    EXPECT_EQ(b.length % 34, 0u) << "record split across blocks";
+  }
+}
+
+TEST_F(DfsTest, BlockOffsetsAreContiguous) {
+  auto dfs = MakeDfs({.block_bytes = 128, .num_nodes = 2});
+  auto writer = dfs.Create("f");
+  for (int i = 0; i < 40; ++i) writer->Append("0123456789");
+  const auto total = writer->Close();
+
+  std::uint64_t expected_offset = 0;
+  for (const auto& b : dfs.ListBlocks("f")) {
+    EXPECT_EQ(b.offset, expected_offset);
+    expected_offset += b.length;
+  }
+  EXPECT_EQ(expected_offset, total);
+  EXPECT_EQ(dfs.FileBytes("f"), total);
+}
+
+TEST_F(DfsTest, ReplicationPlacesDistinctNodesInRange) {
+  auto dfs = MakeDfs({.block_bytes = 64, .replication = 3, .num_nodes = 5});
+  auto writer = dfs.Create("f");
+  for (int i = 0; i < 200; ++i) writer->Append("abcdefgh");
+  writer->Close();
+
+  for (const auto& b : dfs.ListBlocks("f")) {
+    EXPECT_EQ(b.replica_nodes.size(), 3u);
+    std::set<int> distinct(b.replica_nodes.begin(), b.replica_nodes.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (int n : b.replica_nodes) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 5);
+    }
+  }
+}
+
+TEST_F(DfsTest, PlacementSpreadsAcrossNodes) {
+  auto dfs = MakeDfs({.block_bytes = 64, .num_nodes = 4});
+  auto writer = dfs.Create("f");
+  for (int i = 0; i < 400; ++i) writer->Append("0123456789abcdef");
+  writer->Close();
+
+  std::vector<int> per_node(4, 0);
+  for (const auto& b : dfs.ListBlocks("f")) ++per_node[b.replica_nodes[0]];
+  for (int c : per_node) EXPECT_GT(c, 0);
+}
+
+TEST_F(DfsTest, DuplicateCreateThrows) {
+  auto dfs = MakeDfs();
+  dfs.Create("dup")->Close();
+  EXPECT_THROW(dfs.Create("dup"), std::runtime_error);
+}
+
+TEST_F(DfsTest, UnknownFileThrows) {
+  auto dfs = MakeDfs();
+  EXPECT_THROW(dfs.ListBlocks("nope"), std::runtime_error);
+  EXPECT_THROW(dfs.FileBytes("nope"), std::runtime_error);
+  EXPECT_FALSE(dfs.Exists("nope"));
+}
+
+TEST_F(DfsTest, FileVisibleOnlyAfterClose) {
+  auto dfs = MakeDfs();
+  auto writer = dfs.Create("pending");
+  writer->Append("x");
+  EXPECT_FALSE(dfs.Exists("pending"));
+  writer->Close();
+  EXPECT_TRUE(dfs.Exists("pending"));
+}
+
+TEST_F(DfsTest, EmptyFileHasNoBlocks) {
+  auto dfs = MakeDfs();
+  dfs.Create("empty")->Close();
+  EXPECT_TRUE(dfs.Exists("empty"));
+  EXPECT_TRUE(dfs.ListBlocks("empty").empty());
+  EXPECT_EQ(dfs.FileBytes("empty"), 0u);
+}
+
+TEST_F(DfsTest, RecordLargerThanBlockGetsOwnBlock) {
+  auto dfs = MakeDfs({.block_bytes = 64, .num_nodes = 2});
+  auto writer = dfs.Create("big");
+  writer->Append("small");
+  const std::string huge(1000, 'H');
+  writer->Append(huge);
+  writer->Append("tail");
+  writer->Close();
+
+  const auto records = ReadAll(dfs, "big");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1], huge);
+}
+
+TEST_F(DfsTest, ReadsAndWritesAreAccounted) {
+  auto dfs = MakeDfs();
+  auto writer = dfs.Create("acct");
+  writer->Append(std::string(1000, 'z'));
+  writer->Close();
+  EXPECT_GE(metrics_.Value(device::kDfsWrite), 1000);
+  ReadAll(dfs, "acct");
+  EXPECT_GE(metrics_.Value(device::kDfsRead), 1000);
+}
+
+TEST_F(DfsTest, InvalidOptionsRejected) {
+  EXPECT_THROW(MakeDfs({.replication = 0}), std::invalid_argument);
+  EXPECT_THROW(MakeDfs({.replication = 5, .num_nodes = 3}),
+               std::invalid_argument);
+  EXPECT_THROW(MakeDfs({.num_nodes = 0}), std::invalid_argument);
+}
+
+TEST_F(DfsTest, AbandonedWriterPublishesNothing) {
+  auto dfs = MakeDfs();
+  {
+    auto writer = dfs.Create("abandoned");
+    writer->Append("data");
+    // destructor without Close(): file still becomes visible via the
+    // destructor's best-effort Close — verify it is at least consistent.
+  }
+  // Either published completely or not at all; if published, readable.
+  if (dfs.Exists("abandoned")) {
+    EXPECT_EQ(ReadAll(dfs, "abandoned").size(), 1u);
+  }
+}
+
+TEST_F(DfsTest, ManyFilesCoexist) {
+  auto dfs = MakeDfs();
+  for (int i = 0; i < 20; ++i) {
+    auto writer = dfs.Create("file" + std::to_string(i));
+    writer->Append("payload" + std::to_string(i));
+    writer->Close();
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto records = ReadAll(dfs, "file" + std::to_string(i));
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0], "payload" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace opmr

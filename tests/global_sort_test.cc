@@ -1,0 +1,98 @@
+#include "workloads/global_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace opmr {
+namespace {
+
+TEST(RangePartitioner, RoutesKeysToRanges) {
+  const auto part = RangePartitioner({"g", "n", "t"});
+  EXPECT_EQ(part("a", 4), 0u);
+  EXPECT_EQ(part("g", 4), 1u);  // boundary key goes right
+  EXPECT_EQ(part("m", 4), 1u);
+  EXPECT_EQ(part("n", 4), 2u);
+  EXPECT_EQ(part("s", 4), 2u);
+  EXPECT_EQ(part("z", 4), 3u);
+}
+
+TEST(RangePartitioner, EmptyBoundariesMeansOneRange) {
+  const auto part = RangePartitioner({});
+  EXPECT_EQ(part("anything", 3), 0u);
+}
+
+TEST(GlobalSort, OutputIsGloballySortedAndComplete) {
+  Platform platform({.num_nodes = 2, .block_bytes = 128u << 10});
+  Rng rng(77);
+  std::vector<std::string> records;
+  auto writer = platform.dfs().Create("in");
+  for (int i = 0; i < 30'000; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "rec-%010llu",
+                  static_cast<unsigned long long>(rng.Next() % 1'000'000));
+    records.emplace_back(buf);
+    writer->Append(records.back());
+  }
+  writer->Close();
+
+  constexpr int kReducers = 5;
+  const auto spec = GlobalSortJob(platform, "in", "sorted", kReducers);
+  const auto result = platform.Run(spec, HadoopOptions());
+  EXPECT_EQ(result.output_records, records.size());
+
+  // Parts concatenated in order must be one globally sorted sequence.
+  std::vector<std::string> sorted_out;
+  for (int r = 0; r < kReducers; ++r) {
+    const auto part =
+        platform.ReadOutputFile("sorted.part" + std::to_string(r));
+    for (const auto& [key, value] : part) sorted_out.push_back(key);
+  }
+  ASSERT_EQ(sorted_out.size(), records.size());
+  EXPECT_TRUE(std::is_sorted(sorted_out.begin(), sorted_out.end()));
+
+  // And it is a permutation of the input (duplicates preserved).
+  std::sort(records.begin(), records.end());
+  EXPECT_EQ(sorted_out, records);
+}
+
+TEST(GlobalSort, RangePartitioningBalancesSkewlessKeys) {
+  Platform platform({.num_nodes = 2, .block_bytes = 128u << 10});
+  Rng rng(78);
+  auto writer = platform.dfs().Create("in");
+  for (int i = 0; i < 20'000; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%08llu",
+                  static_cast<unsigned long long>(rng.Next() % 100'000'000));
+    writer->Append(Slice(buf, 8));
+  }
+  writer->Close();
+
+  const auto spec = GlobalSortJob(platform, "in", "bal", 4);
+  const auto result = platform.Run(spec, HadoopOptions());
+  EXPECT_LT(result.ReducerImbalance(), 1.35)
+      << "sampled range boundaries should balance uniform keys";
+}
+
+TEST(GlobalSort, HandlesTinyInputs) {
+  Platform platform({.num_nodes = 1, .block_bytes = 64u << 10});
+  auto writer = platform.dfs().Create("in");
+  writer->Append("b");
+  writer->Append("a");
+  writer->Close();
+  const auto spec = GlobalSortJob(platform, "in", "tiny", 3);
+  platform.Run(spec, HadoopOptions());
+  std::vector<std::string> keys;
+  for (int r = 0; r < 3; ++r) {
+    for (const auto& [k, v] :
+         platform.ReadOutputFile("tiny.part" + std::to_string(r))) {
+      keys.push_back(k);
+    }
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace opmr

@@ -1,0 +1,270 @@
+// Multi-job pipeline tests: global top-k (TopKAggregator) and the
+// repartition join + rollup — chained jobs over JobSpec::extra_inputs.
+#include "workloads/pipelines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "workloads/tasks.h"
+#include "workloads/tweets.h"
+
+namespace opmr {
+namespace {
+
+// --- TopKAggregator unit behaviour --------------------------------------------
+
+TEST(TopKAggregator, KeepsLargestKInOrder) {
+  TopKAggregator agg(3);
+  std::string state;
+  agg.Init(EncodeScored(5, "e"), &state);
+  agg.Update(&state, EncodeScored(9, "a"));
+  agg.Update(&state, EncodeScored(2, "x"));
+  agg.Update(&state, EncodeScored(7, "b"));
+  agg.Update(&state, EncodeScored(1, "y"));
+
+  const auto entries = DecodeTopKState(state);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].score, 9u);
+  EXPECT_EQ(entries[0].payload, "a");
+  EXPECT_EQ(entries[1].score, 7u);
+  EXPECT_EQ(entries[2].score, 5u);
+}
+
+TEST(TopKAggregator, MergeIsOrderInsensitive) {
+  TopKAggregator agg(4);
+  std::string a, b;
+  agg.Init(EncodeScored(10, "p"), &a);
+  agg.Update(&a, EncodeScored(3, "q"));
+  agg.Init(EncodeScored(7, "r"), &b);
+  agg.Update(&b, EncodeScored(8, "s"));
+
+  std::string ab = a, ba = b;
+  agg.Merge(&ab, b);
+  agg.Merge(&ba, a);
+  EXPECT_EQ(ab, ba);
+  const auto entries = DecodeTopKState(ab);
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].payload, "p");
+  EXPECT_EQ(entries[1].payload, "s");
+}
+
+TEST(TopKAggregator, TieBreaksByPayloadAscending) {
+  TopKAggregator agg(2);
+  std::string state;
+  agg.Init(EncodeScored(5, "zzz"), &state);
+  agg.Update(&state, EncodeScored(5, "aaa"));
+  agg.Update(&state, EncodeScored(5, "mmm"));
+  const auto entries = DecodeTopKState(state);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].payload, "aaa");
+  EXPECT_EQ(entries[1].payload, "mmm");
+}
+
+TEST(TopKAggregator, DuplicateCandidatesCollapse) {
+  TopKAggregator agg(8);
+  std::string state;
+  agg.Init(EncodeScored(4, "dup"), &state);
+  agg.Update(&state, EncodeScored(4, "dup"));
+  EXPECT_EQ(DecodeTopKState(state).size(), 1u);
+}
+
+TEST(TopKAggregator, RejectsBadInput) {
+  EXPECT_THROW(TopKAggregator agg(0), std::invalid_argument);
+  TopKAggregator agg(2);
+  std::string state;
+  EXPECT_THROW(agg.Init(Slice("tiny"), &state), std::runtime_error);
+  EXPECT_THROW(DecodeTopKState(Slice("junk-state")), std::runtime_error);
+}
+
+// --- Frame helpers --------------------------------------------------------------
+
+TEST(Pipelines, DecodeOutputFrameRoundTrip) {
+  std::string frame;
+  AppendU32(frame, 3);
+  AppendU32(frame, 5);
+  frame += "key";
+  frame += "value";
+  Slice key, value;
+  DecodeOutputFrame(frame, &key, &value);
+  EXPECT_EQ(key.ToString(), "key");
+  EXPECT_EQ(value.ToString(), "value");
+  EXPECT_THROW(DecodeOutputFrame(Slice("xx"), &key, &value),
+               std::runtime_error);
+}
+
+TEST(Pipelines, OutputPartsNaming) {
+  const auto parts = OutputParts("job", 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "job.part0");
+  EXPECT_EQ(parts[2], "job.part2");
+}
+
+// --- End-to-end pipelines --------------------------------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : platform_({.num_nodes = 2, .block_bytes = 256u << 10}) {}
+  Platform platform_;
+};
+
+TEST_F(PipelineTest, TopKPipelineMatchesReferenceOnAllRuntimes) {
+  ClickStreamOptions gen;
+  gen.num_records = 40'000;
+  gen.num_urls = 2'000;
+  gen.url_theta = 1.0;
+  GenerateClickStream(platform_.dfs(), "clicks", gen);
+
+  // Reference: count in memory, take top 10 with the same tie rule.
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& block : platform_.dfs().ListBlocks("clicks")) {
+    auto reader = platform_.dfs().OpenBlock(block);
+    Slice record;
+    while (reader->Next(&record)) {
+      ++counts[UrlKey(ParseClick(record, ClickFormat::kText).url)];
+    }
+  }
+  std::vector<ScoredEntry> expected;
+  for (const auto& [url, c] : counts) expected.push_back({c, url});
+  std::sort(expected.begin(), expected.end(),
+            [](const ScoredEntry& a, const ScoredEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.payload < b.payload;
+            });
+  expected.resize(10);
+
+  int i = 0;
+  for (const auto& options : {HadoopOptions(), HashOnePassOptions()}) {
+    SCOPED_TRACE(i);
+    const auto spec =
+        PageFrequencyJob("clicks", "counts_" + std::to_string(i++), 4);
+    const auto winners = RunTopKPipeline(platform_, spec, options, 10);
+    ASSERT_EQ(winners.size(), 10u);
+    EXPECT_EQ(winners, expected);
+  }
+}
+
+TEST_F(PipelineTest, TopKSmallerThanKeySpaceReturnsEverything) {
+  ClickStreamOptions gen;
+  gen.num_records = 1'000;
+  gen.num_urls = 5;
+  GenerateClickStream(platform_.dfs(), "tiny", gen);
+  const auto winners = RunTopKPipeline(
+      platform_, PageFrequencyJob("tiny", "tiny_counts", 2),
+      HashOnePassOptions(), 50);
+  EXPECT_EQ(winners.size(), 5u);  // only 5 distinct urls exist
+  for (std::size_t j = 1; j < winners.size(); ++j) {
+    EXPECT_GE(winners[j - 1].score, winners[j].score);
+  }
+}
+
+TEST_F(PipelineTest, JoinAndCountryRollupMatchReference) {
+  ClickStreamOptions clicks;
+  clicks.num_records = 30'000;
+  clicks.num_users = 2'000;
+  GenerateClickStream(platform_.dfs(), "clicks", clicks);
+
+  UserProfileOptions profiles;
+  profiles.num_users = 1'500;  // 500 users click without a profile
+  profiles.num_countries = 12;
+  GenerateUserProfiles(platform_.dfs(), "profiles", profiles);
+
+  // Reference join + rollup in memory.
+  std::map<std::string, std::string> user_country;
+  for (const auto& block : platform_.dfs().ListBlocks("profiles")) {
+    auto reader = platform_.dfs().OpenBlock(block);
+    Slice record;
+    while (reader->Next(&record)) {
+      const std::string line = record.ToString();
+      const auto t1 = line.find('\t', 2);
+      user_country[line.substr(2, t1 - 2)] = line.substr(t1 + 1);
+    }
+  }
+  std::map<std::string, std::uint64_t> expected;
+  std::uint64_t expected_joined_users = 0;
+  {
+    std::map<std::string, std::uint64_t> per_user;
+    for (const auto& block : platform_.dfs().ListBlocks("clicks")) {
+      auto reader = platform_.dfs().OpenBlock(block);
+      Slice record;
+      while (reader->Next(&record)) {
+        ++per_user[UserKey(ParseClick(record, ClickFormat::kText).user)];
+      }
+    }
+    expected_joined_users = per_user.size();
+    for (const auto& [user, n] : per_user) {
+      auto it = user_country.find(user);
+      expected[it == user_country.end() ? "unknown" : it->second] += n;
+    }
+  }
+
+  // Pipeline: join, then rollup.
+  const auto join_spec =
+      JoinClicksWithProfilesJob("clicks", "profiles", "joined", 3);
+  const auto join_result = platform_.Run(join_spec, HadoopOptions());
+  EXPECT_EQ(join_result.output_records, expected_joined_users);
+
+  const auto rollup_spec = CountryClickCountJob("joined", 3, "by_country", 2);
+  platform_.Run(rollup_spec, HashOnePassOptions());
+
+  std::map<std::string, std::uint64_t> actual;
+  for (const auto& [country, v] : platform_.ReadOutput("by_country", 2)) {
+    actual[country] = DecodeValueU64(v);
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_GT(actual["unknown"], 0u) << "profile-less users must surface";
+}
+
+TEST_F(PipelineTest, HashtagCountOverTweets) {
+  TweetStreamOptions gen;
+  gen.num_tweets = 20'000;
+  gen.num_hashtags = 500;
+  GenerateTweetStream(platform_.dfs(), "tweets", gen);
+
+  // Reference hashtag counts.
+  std::map<std::string, std::uint64_t> expected;
+  std::uint64_t total_tags = 0;
+  for (const auto& block : platform_.dfs().ListBlocks("tweets")) {
+    auto reader = platform_.dfs().OpenBlock(block);
+    Slice record;
+    while (reader->Next(&record)) {
+      const std::string line = record.ToString();
+      std::size_t pos = 0;
+      while ((pos = line.find('#', pos)) != std::string::npos) {
+        auto end = line.find(' ', pos);
+        if (end == std::string::npos) end = line.size();
+        ++expected[line.substr(pos, end - pos)];
+        ++total_tags;
+        pos = end;
+      }
+    }
+  }
+  ASSERT_GT(total_tags, 10'000u);
+
+  platform_.Run(HashtagCountJob("tweets", "tags", 3), HashOnePassOptions());
+  std::map<std::string, std::uint64_t> actual;
+  for (const auto& [tag, v] : platform_.ReadOutput("tags", 3)) {
+    actual[tag] = DecodeValueU64(v);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(PipelineTest, TrendingTagsViaTopKPipeline) {
+  TweetStreamOptions gen;
+  gen.num_tweets = 30'000;
+  gen.hashtag_theta = 1.2;
+  GenerateTweetStream(platform_.dfs(), "tweets", gen);
+
+  const auto winners = RunTopKPipeline(
+      platform_, HashtagCountJob("tweets", "trend_counts", 3),
+      HotKeyOnePassOptions(1024), 5);
+  ASSERT_EQ(winners.size(), 5u);
+  for (const auto& w : winners) {
+    EXPECT_EQ(w.payload[0], '#');
+    EXPECT_GT(w.score, 100u) << "trending tags must be genuinely frequent";
+  }
+}
+
+}  // namespace
+}  // namespace opmr

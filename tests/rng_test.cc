@@ -1,0 +1,112 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace opmr {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99), b(99), c(100);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.01);  // covers the low end
+  EXPECT_GT(max, 0.99);  // and the high end
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9'300);
+    EXPECT_LT(c, 10'700);
+  }
+}
+
+TEST(Zipf, RankZeroIsMostFrequent) {
+  ZipfSampler zipf(1'000, 1.0, 5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf.Sample()];
+  int max_count = 0;
+  std::uint64_t max_rank = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 0u);
+}
+
+TEST(Zipf, EmpiricalFrequenciesTrackTheoretical) {
+  ZipfSampler zipf(100, 1.0, 6);
+  constexpr int kSamples = 200'000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample()];
+  for (std::uint64_t r : {0ull, 1ull, 4ull, 20ull}) {
+    const double expected = zipf.Probability(r) * kSamples;
+    EXPECT_NEAR(counts[r], expected, 6 * std::sqrt(expected) + 6)
+        << "rank " << r;
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler zipf(50, 0.0, 7);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.Sample()];
+  for (int c : counts) {
+    EXPECT_GT(c, 2000 - 400);
+    EXPECT_LT(c, 2000 + 400);
+  }
+}
+
+TEST(Zipf, HigherThetaConcentratesMass) {
+  ZipfSampler mild(1'000, 0.5, 8);
+  ZipfSampler heavy(1'000, 1.5, 8);
+  int mild_top = 0, heavy_top = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (mild.Sample() < 10) ++mild_top;
+    if (heavy.Sample() < 10) ++heavy_top;
+  }
+  EXPECT_GT(heavy_top, 2 * mild_top);
+}
+
+TEST(Zipf, ProbabilitiesAreMonotoneNonIncreasing) {
+  ZipfSampler zipf(200, 0.9, 9);
+  for (std::uint64_t r = 1; r < 200; ++r) {
+    EXPECT_LE(zipf.Probability(r), zipf.Probability(r - 1) + 1e-12);
+  }
+}
+
+TEST(Zipf, SamplesStayInUniverse) {
+  ZipfSampler zipf(37, 1.2, 10);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf.Sample(), 37u);
+  }
+}
+
+}  // namespace
+}  // namespace opmr

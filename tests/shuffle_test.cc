@@ -1,0 +1,183 @@
+#include "engine/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/file_manager.h"
+#include "storage/io.h"
+
+namespace opmr {
+namespace {
+
+class ShuffleTest : public ::testing::Test {
+ protected:
+  ShuffleTest() : files_(FileManager::CreateTemp("opmr-shuffle")) {}
+
+  // Writes a map-output file with the given per-partition payloads.
+  MapOutputFile WriteFile(int map_task,
+                          const std::vector<std::string>& partitions) {
+    MapOutputFile file;
+    file.map_task = map_task;
+    file.sorted = true;
+    file.path = files_.NewFile("map_out");
+    SequentialWriter w(file.path, IoChannel(&metrics_, "t.bytes"));
+    for (const auto& payload : partitions) {
+      Segment seg;
+      seg.offset = w.bytes_written();
+      seg.bytes = payload.size();
+      seg.records = 1;
+      w.Append(payload);
+      file.partitions.push_back(seg);
+    }
+    w.Close();
+    return file;
+  }
+
+  FileManager files_;
+  MetricRegistry metrics_;
+};
+
+TEST_F(ShuffleTest, PullDeliversSegmentsToRightReducers) {
+  ShuffleService service(1, 2, &metrics_, 4);
+  service.RegisterFile(WriteFile(0, {"part0-data", "part1-data"}));
+  service.MapTaskDone(0);
+
+  ShuffleItem item;
+  ASSERT_TRUE(service.NextItem(0, &item));
+  EXPECT_TRUE(item.from_file);
+  EXPECT_EQ(item.segment.bytes, 10u);
+  EXPECT_EQ(item.map_task, 0);
+  EXPECT_FALSE(service.NextItem(0, &item));  // complete
+
+  ASSERT_TRUE(service.NextItem(1, &item));
+  EXPECT_EQ(item.segment.offset, 10u);
+  EXPECT_FALSE(service.NextItem(1, &item));
+}
+
+TEST_F(ShuffleTest, EmptySegmentsAreSkipped) {
+  ShuffleService service(1, 2, &metrics_, 4);
+  service.RegisterFile(WriteFile(0, {"", "only-partition-1"}));
+  service.MapTaskDone(0);
+  ShuffleItem item;
+  EXPECT_FALSE(service.NextItem(0, &item));
+  EXPECT_TRUE(service.NextItem(1, &item));
+}
+
+TEST_F(ShuffleTest, PushRespectsBackpressureBound) {
+  ShuffleService service(1, 1, &metrics_, /*push_queue_chunks=*/2);
+  ShuffleItem chunk;
+  chunk.map_task = 0;
+  chunk.bytes = "xyz";
+  EXPECT_TRUE(service.TryPush(0, chunk));
+  EXPECT_TRUE(service.TryPush(0, chunk));
+  EXPECT_FALSE(service.TryPush(0, chunk)) << "third push must be rejected";
+
+  // Consuming one frees a slot.
+  ShuffleItem item;
+  ASSERT_TRUE(service.NextItem(0, &item));
+  EXPECT_TRUE(service.TryPush(0, chunk));
+}
+
+TEST_F(ShuffleTest, FileItemsDoNotCountTowardBackpressure) {
+  ShuffleService service(1, 1, &metrics_, /*push_queue_chunks=*/1);
+  service.RegisterFile(WriteFile(0, {"abc"}));
+  service.RegisterFile(WriteFile(0, {"def"}));
+  ShuffleItem chunk;
+  chunk.bytes = "mem";
+  EXPECT_TRUE(service.TryPush(0, chunk));
+}
+
+TEST_F(ShuffleTest, ConsumingPushedChunkChargesShuffleRead) {
+  ShuffleService service(1, 1, &metrics_, 4);
+  ShuffleItem chunk;
+  chunk.bytes = std::string(500, 'p');
+  service.TryPush(0, std::move(chunk));
+  ShuffleItem item;
+  service.NextItem(0, &item);
+  EXPECT_EQ(metrics_.Value(device::kShuffleRead), 500);
+}
+
+TEST_F(ShuffleTest, NextItemBlocksUntilDataThenCompletes) {
+  ShuffleService service(1, 1, &metrics_, 4);
+  std::atomic<int> got{0};
+  std::jthread reducer([&] {
+    ShuffleItem item;
+    while (service.NextItem(0, &item)) got.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0);  // still blocked
+  service.RegisterFile(WriteFile(0, {"hello"}));
+  service.MapTaskDone(0);
+  reducer.join();
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST_F(ShuffleTest, MapsDoneFractionAdvances) {
+  ShuffleService service(4, 1, &metrics_, 4);
+  EXPECT_DOUBLE_EQ(service.MapsDoneFraction(), 0.0);
+  service.MapTaskDone(0);
+  service.MapTaskDone(1);
+  EXPECT_DOUBLE_EQ(service.MapsDoneFraction(), 0.5);
+}
+
+TEST_F(ShuffleTest, TooManyCompletionsThrow) {
+  ShuffleService service(1, 1, &metrics_, 4);
+  service.MapTaskDone(0);
+  EXPECT_THROW(service.MapTaskDone(1), std::logic_error);
+}
+
+TEST_F(ShuffleTest, AbortUnblocksAndThrows) {
+  ShuffleService service(2, 1, &metrics_, 4);
+  std::atomic<bool> threw{false};
+  std::jthread reducer([&] {
+    try {
+      ShuffleItem item;
+      service.NextItem(0, &item);
+    } catch (const std::runtime_error&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  service.Abort("test failure");
+  reducer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST_F(ShuffleTest, RegisterSegmentDeliversDivertedChunk) {
+  ShuffleService service(1, 2, &metrics_, 4);
+  const auto file = WriteFile(0, {"0123456789"});
+  Segment seg;
+  seg.offset = 2;
+  seg.bytes = 5;
+  seg.records = 1;
+  service.RegisterSegment(0, file.path, 1, seg, /*sorted=*/false);
+  service.MapTaskDone(0);
+
+  ShuffleItem item;
+  ASSERT_TRUE(service.NextItem(1, &item));
+  EXPECT_TRUE(item.from_file);
+  EXPECT_FALSE(item.sorted);
+  EXPECT_EQ(item.segment.offset, 2u);
+  EXPECT_EQ(item.size_bytes(), 5u);
+}
+
+TEST_F(ShuffleTest, ReducersAreIsolated) {
+  ShuffleService service(1, 3, &metrics_, 4);
+  ShuffleItem chunk;
+  chunk.bytes = "only-for-2";
+  service.TryPush(2, std::move(chunk));
+  service.MapTaskDone(0);
+  ShuffleItem item;
+  EXPECT_FALSE(service.NextItem(0, &item));
+  EXPECT_FALSE(service.NextItem(1, &item));
+  EXPECT_TRUE(service.NextItem(2, &item));
+}
+
+TEST_F(ShuffleTest, RequiresAtLeastOneReducer) {
+  EXPECT_THROW(ShuffleService(1, 0, &metrics_, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opmr

@@ -1,0 +1,240 @@
+// Cluster-simulator tests: conservation laws, phase structure, and the
+// qualitative paper findings every figure bench depends on.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/workload.h"
+
+namespace opmr::sim {
+namespace {
+
+// Small, fast workload for structural tests (2 GB instead of 256 GB).
+SimWorkload SmallSessionization() {
+  SimWorkload w = Sessionization256();
+  w.input_bytes = 8e9;
+  w.num_reduce_tasks = 8;
+  return w;
+}
+
+SimConfig SmallConfig() {
+  SimConfig c;
+  c.num_nodes = 4;
+  // Scale reducer memory with the scaled-down input so the run/merge
+  // structure matches the paper-scale configuration (~35 runs/reducer).
+  c.reduce_memory_bytes = 30e6;
+  return c;
+}
+
+TEST(Simulator, CompletesAndConservesBytes) {
+  const auto r = SimulateJob(SmallSessionization(), SmallConfig());
+  EXPECT_GT(r.completion_s, 0.0);
+  EXPECT_GT(r.map_phase_end_s, 0.0);
+  EXPECT_LT(r.map_phase_end_s, r.completion_s);
+
+  const auto w = SmallSessionization();
+  // Input read equals the block-rounded input size.
+  EXPECT_NEAR(r.input_read_bytes, w.input_bytes, 64e6 * 4);
+  // Map output equals input times the ratio.
+  EXPECT_NEAR(r.map_output_write_bytes, w.input_bytes * w.map_output_ratio,
+              64e6 * 4);
+  // Everything written as spill is read back at least once (merges + final).
+  EXPECT_GE(r.spill_read_bytes, r.spill_write_bytes * 0.99);
+  EXPECT_NEAR(r.output_write_bytes, w.input_bytes * w.output_ratio, 1e6);
+}
+
+TEST(Simulator, TaskCountsMatchLayout) {
+  const auto w = SmallSessionization();
+  const auto r = SimulateJob(w, SmallConfig());
+  EXPECT_EQ(r.num_map_tasks,
+            static_cast<int>(std::ceil(w.input_bytes / (64.0 * (1 << 20)))));
+  EXPECT_EQ(r.num_reduce_tasks, 8);
+}
+
+TEST(Simulator, SeriesCoverTheWholeRun) {
+  const auto r = SimulateJob(SmallSessionization(), SmallConfig());
+  ASSERT_FALSE(r.cpu_util.empty());
+  EXPECT_EQ(r.cpu_util.size(), r.cpu_iowait.size());
+  EXPECT_EQ(r.cpu_util.size(), r.read_rate.size());
+  EXPECT_NEAR(r.cpu_util.back().time_s, r.completion_s, 2.0);
+  for (const auto& s : r.cpu_util) {
+    EXPECT_GE(s.value, 0.0);
+    EXPECT_LE(s.value, 1.0 + 1e-9);
+  }
+}
+
+TEST(Simulator, TimelineIntervalsAreWellFormed) {
+  const auto r = SimulateJob(SmallSessionization(), SmallConfig());
+  bool saw_map = false, saw_reduce = false, saw_merge = false;
+  for (const auto& iv : r.timeline) {
+    EXPECT_GE(iv.begin_s, 0.0);
+    EXPECT_LE(iv.end_s, r.completion_s + 1.0);
+    EXPECT_LE(iv.begin_s, iv.end_s);
+    if (iv.kind == opmr::TaskKind::kMap) saw_map = true;
+    if (iv.kind == opmr::TaskKind::kReduce) saw_reduce = true;
+    if (iv.kind == opmr::TaskKind::kMerge) saw_merge = true;
+  }
+  EXPECT_TRUE(saw_map);
+  EXPECT_TRUE(saw_reduce);
+  EXPECT_TRUE(saw_merge) << "sessionization must trigger background merges";
+}
+
+TEST(Simulator, BlockingMergeValleyExistsForSortMerge) {
+  // The paper's central observation: after maps finish, CPUs idle while the
+  // multi-pass merge grinds the disk (Fig. 2b/2c).
+  const auto r = SimulateJob(SmallSessionization(), SmallConfig());
+  const double map_util = r.MeanCpuUtil(0, r.map_phase_end_s);
+  const double valley =
+      r.MinWindowCpuUtil(r.map_phase_end_s, r.completion_s * 0.95, 60);
+  EXPECT_LT(valley, map_util * 0.5) << "no merge valley found";
+  const double valley_iowait =
+      r.MeanIowait(r.map_phase_end_s,
+                   r.map_phase_end_s +
+                       0.3 * (r.completion_s - r.map_phase_end_s));
+  EXPECT_GT(valley_iowait, 0.3) << "iowait spike missing";
+}
+
+TEST(Simulator, HashRuntimeAvoidsSortSpillAndFinishesFaster) {
+  const auto w = SmallSessionization();
+  auto cfg = SmallConfig();
+  const auto hadoop = SimulateJob(w, cfg);
+  cfg.runtime = SimRuntime::kHashOnePass;
+  const auto hash = SimulateJob(w, cfg);
+  EXPECT_EQ(hash.spill_write_bytes, 0.0);
+  EXPECT_EQ(hash.merge_operations, 0);
+  EXPECT_LT(hash.completion_s, hadoop.completion_s);
+}
+
+TEST(Simulator, HashRuntimeSpillFractionIsHonoured) {
+  auto cfg = SmallConfig();
+  cfg.runtime = SimRuntime::kHashOnePass;
+  cfg.hash_spill_fraction = 0.1;
+  const auto w = SmallSessionization();
+  const auto r = SimulateJob(w, cfg);
+  EXPECT_NEAR(r.spill_write_bytes,
+              0.1 * w.input_bytes * w.map_output_ratio,
+              0.02 * w.input_bytes);
+}
+
+TEST(Simulator, HopTakesSnapshotsAndAddsIo) {
+  const auto w = SmallSessionization();
+  auto cfg = SmallConfig();
+  const auto hadoop = SimulateJob(w, cfg);
+
+  cfg.runtime = SimRuntime::kHop;
+  cfg.snapshot_interval = 0.25;
+  cfg.push_overhead = 1.15;
+  const auto hop = SimulateJob(w, cfg);
+
+  EXPECT_GT(hop.snapshots, 0);
+  EXPECT_GT(hop.spill_read_bytes, hadoop.spill_read_bytes)
+      << "snapshot re-merges must add read I/O";
+  EXPECT_GE(hop.completion_s, hadoop.completion_s * 0.95)
+      << "pipelining must not magically beat the blocking sort-merge";
+}
+
+TEST(Simulator, LowerMergeFactorMeansMorePassesAndIo) {
+  const auto w = SmallSessionization();
+  auto cfg = SmallConfig();
+  cfg.merge_factor = 4;
+  const auto f4 = SimulateJob(w, cfg);
+  cfg.merge_factor = 16;
+  const auto f16 = SimulateJob(w, cfg);
+  EXPECT_GT(f4.merge_operations, f16.merge_operations);
+  EXPECT_GT(f4.spill_write_bytes, f16.spill_write_bytes);
+  EXPECT_GE(f4.completion_s, f16.completion_s);
+}
+
+TEST(Simulator, SsdForIntermediateDataShortensTheJob) {
+  const auto w = SmallSessionization();
+  auto cfg = SmallConfig();
+  const auto hdd = SimulateJob(w, cfg);
+  cfg.storage = StorageArch::kHddPlusSsd;
+  const auto ssd = SimulateJob(w, cfg);
+  EXPECT_LT(ssd.completion_s, hdd.completion_s);
+  // But blocking persists (paper §III-C conclusion).
+  const double valley =
+      ssd.MinWindowCpuUtil(ssd.map_phase_end_s, ssd.completion_s * 0.95, 60);
+  EXPECT_LT(valley, 0.5);
+}
+
+TEST(Simulator, SeparateStorageStillBlocks) {
+  auto w = SmallSessionization();
+  w.input_bytes /= 2;
+  auto cfg = SmallConfig();
+  cfg.storage = StorageArch::kSeparate;
+  const auto r = SimulateJob(w, cfg);
+  EXPECT_GT(r.completion_s, 0.0);
+  const double valley =
+      r.MinWindowCpuUtil(r.map_phase_end_s, r.completion_s * 0.95, 60);
+  EXPECT_LT(valley, 0.3);
+}
+
+TEST(Simulator, CountingWorkloadHasNoMergePhase) {
+  SimWorkload w = PerUserCount256();
+  w.input_bytes = 8e9;
+  w.num_reduce_tasks = 8;
+  const auto r = SimulateJob(w, SmallConfig());
+  EXPECT_EQ(r.merge_operations, 0) << "1% intermediate data fits in memory";
+  // Reduce phase is tiny: job ends shortly after the map phase.
+  EXPECT_LT(r.completion_s - r.map_phase_end_s, 0.2 * r.completion_s);
+}
+
+TEST(Simulator, StragglersExtendTheJob) {
+  SimWorkload w = PerUserCount256();
+  w.input_bytes = 3e9;
+  w.num_reduce_tasks = 8;
+  auto cfg = SmallConfig();
+  const auto clean = SimulateJob(w, cfg);
+  cfg.straggler_fraction = 0.03;
+  cfg.straggler_factor = 0.125;
+  const auto straggled = SimulateJob(w, cfg);
+  EXPECT_GT(straggled.stragglers, 0);
+  EXPECT_GT(straggled.completion_s, clean.completion_s * 1.3);
+}
+
+TEST(Simulator, SpeculativeExecutionRecoversStragglerLoss) {
+  SimWorkload w = PerUserCount256();
+  w.input_bytes = 3e9;
+  w.num_reduce_tasks = 8;
+  auto cfg = SmallConfig();
+  cfg.straggler_fraction = 0.03;
+  cfg.straggler_factor = 0.125;
+  cfg.speculation_threshold = 1.3;
+  const auto straggled = SimulateJob(w, cfg);
+  cfg.speculative_execution = true;
+  const auto speculative = SimulateJob(w, cfg);
+  EXPECT_GT(speculative.speculative_launched, 0);
+  EXPECT_GT(speculative.speculative_wins, 0);
+  EXPECT_LT(speculative.completion_s, straggled.completion_s * 0.8);
+  // Duplicated work must not double-count data: byte conservation holds.
+  EXPECT_NEAR(speculative.input_read_bytes / straggled.input_read_bytes, 1.0,
+              0.2);
+}
+
+TEST(Simulator, SpeculationIdleWithoutStragglers) {
+  const auto w = SmallSessionization();
+  auto cfg = SmallConfig();
+  cfg.speculative_execution = true;
+  const auto r = SimulateJob(w, cfg);
+  // Homogeneous tasks: few if any duplicates, and results unchanged.
+  EXPECT_LE(r.speculative_wins, r.speculative_launched);
+  EXPECT_GT(r.completion_s, 0.0);
+}
+
+TEST(Simulator, ThrowsOnRunawayConfiguration) {
+  SimWorkload w = SmallSessionization();
+  SimConfig cfg = SmallConfig();
+  cfg.max_sim_seconds = 5;  // absurdly small
+  EXPECT_THROW(SimulateJob(w, cfg), std::runtime_error);
+}
+
+TEST(Simulator, MeanHelpersHandleEmptyWindows) {
+  const auto r = SimulateJob(SmallSessionization(), SmallConfig());
+  EXPECT_DOUBLE_EQ(r.MeanCpuUtil(1e9, 2e9), 0.0);
+  EXPECT_DOUBLE_EQ(r.MeanIowait(1e9, 2e9), 0.0);
+}
+
+}  // namespace
+}  // namespace opmr::sim

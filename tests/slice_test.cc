@@ -1,0 +1,87 @@
+#include "common/slice.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace opmr {
+namespace {
+
+TEST(Slice, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Slice, FromStringAndCString) {
+  std::string owned = "hello";
+  Slice a(owned);
+  Slice b("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.ToString(), "hello");
+}
+
+TEST(Slice, FromStringView) {
+  std::string_view sv = "payload";
+  Slice s(sv);
+  EXPECT_EQ(s.view(), sv);
+}
+
+TEST(Slice, IndexingAndRemovePrefix) {
+  Slice s("abcdef");
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s[5], 'f');
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  s.RemovePrefix(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Slice, LexicographicCompare) {
+  EXPECT_LT(Slice("abc"), Slice("abd"));
+  EXPECT_LT(Slice("ab"), Slice("abc"));   // prefix is smaller
+  EXPECT_LT(Slice(""), Slice("a"));
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+}
+
+TEST(Slice, EqualityHandlesEmbeddedNulBytes) {
+  const char raw1[] = {'a', '\0', 'b'};
+  const char raw2[] = {'a', '\0', 'c'};
+  EXPECT_NE(Slice(raw1, 3), Slice(raw2, 3));
+  EXPECT_EQ(Slice(raw1, 3), Slice(raw1, 3));
+}
+
+TEST(Slice, EmptySlicesCompareEqual) {
+  EXPECT_EQ(Slice(), Slice("x", 0));
+}
+
+TEST(SliceCodec, U32RoundTrip) {
+  char buf[4];
+  for (std::uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EncodeU32(buf, v);
+    EXPECT_EQ(DecodeU32(buf), v);
+  }
+}
+
+TEST(SliceCodec, U64RoundTrip) {
+  char buf[8];
+  for (std::uint64_t v :
+       {0ull, 1ull, 0x0123456789abcdefull, ~0ull}) {
+    EncodeU64(buf, v);
+    EXPECT_EQ(DecodeU64(buf), v);
+  }
+}
+
+TEST(SliceCodec, AppendHelpersFrameInOrder) {
+  std::string out;
+  AppendU32(out, 7);
+  AppendU64(out, 9);
+  ASSERT_EQ(out.size(), 12u);
+  EXPECT_EQ(DecodeU32(out.data()), 7u);
+  EXPECT_EQ(DecodeU64(out.data() + 4), 9u);
+}
+
+}  // namespace
+}  // namespace opmr

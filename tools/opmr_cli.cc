@@ -1,0 +1,275 @@
+// opmr_cli — command-line driver for the OPMR platform.
+//
+//   opmr_cli run workload=<w> runtime=<r> [records=N] [reducers=R]
+//                [nodes=N] [combine=0|1] [compress=0|1] [reduce_buffer=BYTES]
+//       Generates a synthetic dataset for <w>, runs it on runtime <r>, and
+//       prints the job report (wall/CPU/I-O/emission metrics).
+//       workloads: sessionization | sessionization_ss | page_frequency |
+//                  per_user_count | inverted_index | word_count |
+//                  distinct_visitors | hashtag_count
+//       runtimes : hadoop | mr_online | hash | hotkey
+//
+//   opmr_cli sim workload=<w> runtime=<r> [storage=hdd|hdd+ssd|separate]
+//                [merge_factor=F] [nodes=N]
+//       Replays the workload at paper scale on the cluster simulator and
+//       prints the completion/phase/I-O summary plus ASCII traces.
+//
+//   opmr_cli topk workload=<w> k=N [records=N]
+//       Runs the two-job top-k pipeline and prints the winners.
+//
+//   opmr_cli sort [records=N] [reducers=R]
+//       TeraSort demo: random records, sampled range boundaries, globally
+//       sorted output; verifies and reports the order.
+#include <cstdio>
+#include <string>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/format.h"
+#include "core/opmr.h"
+#include "metrics/timeseries.h"
+#include "sim/simulator.h"
+#include "workloads/global_sort.h"
+#include "workloads/pipelines.h"
+#include "workloads/tasks.h"
+#include "workloads/tweets.h"
+#include "workloads/webdocs.h"
+
+namespace {
+
+using namespace opmr;
+
+JobOptions RuntimeByName(const std::string& name) {
+  if (name == "hadoop") return HadoopOptions();
+  if (name == "mr_online") return MapReduceOnlineOptions();
+  if (name == "hash") return HashOnePassOptions();
+  if (name == "hotkey") return HotKeyOnePassOptions();
+  throw std::invalid_argument("unknown runtime: " + name);
+}
+
+// Generates the right dataset and returns the job spec for `workload`.
+JobSpec PrepareWorkload(Platform& platform, const std::string& workload,
+                        std::uint64_t records, int reducers) {
+  if (workload == "inverted_index" || workload == "word_count") {
+    WebDocsOptions gen;
+    gen.num_docs = std::max<std::uint64_t>(1, records / 120);
+    GenerateWebDocs(platform.dfs(), "input", gen);
+    return workload == "inverted_index"
+               ? InvertedIndexJob("input", "output", reducers)
+               : WordCountJob("input", "output", reducers);
+  }
+  if (workload == "hashtag_count") {
+    TweetStreamOptions gen;
+    gen.num_tweets = records;
+    GenerateTweetStream(platform.dfs(), "input", gen);
+    return HashtagCountJob("input", "output", reducers);
+  }
+  ClickStreamOptions gen;
+  gen.num_records = records;
+  gen.num_users = std::max<std::uint64_t>(100, records / 20);
+  gen.num_urls = std::max<std::uint64_t>(100, records / 50);
+  GenerateClickStream(platform.dfs(), "input", gen);
+  if (workload == "sessionization") {
+    return SessionizationJob("input", "output", reducers);
+  }
+  if (workload == "sessionization_ss") {
+    return SessionizationSecondarySortJob("input", "output", reducers);
+  }
+  if (workload == "page_frequency") {
+    return PageFrequencyJob("input", "output", reducers);
+  }
+  if (workload == "per_user_count") {
+    return PerUserCountJob("input", "output", reducers);
+  }
+  if (workload == "distinct_visitors") {
+    return DistinctVisitorsJob("input", "output", reducers);
+  }
+  throw std::invalid_argument("unknown workload: " + workload);
+}
+
+void PrintJobReport(const JobResult& r) {
+  TextTable table;
+  table.AddRow({"metric", "value"});
+  table.AddRow({"wall time", HumanSeconds(r.wall_seconds)});
+  table.AddRow({"total CPU", HumanSeconds(r.total_cpu_seconds)});
+  table.AddRow({"input records", std::to_string(r.input_records)});
+  table.AddRow({"map output records", std::to_string(r.map_output_records)});
+  table.AddRow({"output records", std::to_string(r.output_records)});
+  table.AddRow({"map tasks (local)",
+                std::to_string(r.num_map_tasks) + " (" +
+                    std::to_string(r.local_map_tasks) + ")"});
+  table.AddRow({"first output at",
+                r.first_output_seconds < 0
+                    ? "-"
+                    : HumanSeconds(r.first_output_seconds)});
+  table.AddRow({"dfs read", HumanBytes(double(r.Bytes(device::kDfsRead)))});
+  table.AddRow({"map output bytes",
+                HumanBytes(double(r.Bytes(device::kMapOutputWrite)))});
+  table.AddRow({"shuffle bytes",
+                HumanBytes(double(r.Bytes(device::kShuffleRead)))});
+  table.AddRow({"reduce spill",
+                HumanBytes(double(r.Bytes(device::kSpillWrite)))});
+  table.AddRow({"dfs written", HumanBytes(double(r.Bytes(device::kDfsWrite)))});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nper-phase CPU seconds:\n");
+  for (const auto& [phase, secs] : r.cpu_seconds) {
+    std::printf("  %-18s %8.3f\n", phase.c_str(), secs);
+  }
+}
+
+int CmdRun(const Config& cfg) {
+  const auto workload = cfg.GetString("workload", "per_user_count");
+  const auto runtime = cfg.GetString("runtime", "hash");
+  const auto records =
+      static_cast<std::uint64_t>(cfg.GetInt("records", 1'000'000));
+  const int reducers = static_cast<int>(cfg.GetInt("reducers", 4));
+
+  Platform platform({.num_nodes = static_cast<int>(cfg.GetInt("nodes", 4)),
+                     .block_bytes = static_cast<std::uint64_t>(
+                         cfg.GetInt("block_bytes", 4 << 20))});
+  std::printf("generating %s input (%llu records)...\n", workload.c_str(),
+              static_cast<unsigned long long>(records));
+  const auto spec = PrepareWorkload(platform, workload, records, reducers);
+
+  JobOptions options = RuntimeByName(runtime);
+  options.map_side_combine = cfg.GetBool("combine", true);
+  options.compress_spills = cfg.GetBool("compress", false);
+  options.reduce_buffer_bytes = static_cast<std::size_t>(cfg.GetInt(
+      "reduce_buffer", static_cast<std::int64_t>(options.reduce_buffer_bytes)));
+
+  std::printf("running '%s' on runtime '%s'...\n", spec.name.c_str(),
+              runtime.c_str());
+  const auto result = platform.Run(spec, options);
+  PrintJobReport(result);
+  return 0;
+}
+
+int CmdSim(const Config& cfg) {
+  const auto workload = cfg.GetString("workload", "sessionization");
+  const auto runtime = cfg.GetString("runtime", "hadoop");
+  const auto storage = cfg.GetString("storage", "hdd");
+
+  sim::SimWorkload w;
+  if (workload == "sessionization") w = sim::Sessionization256();
+  else if (workload == "page_frequency") w = sim::PageFrequency508();
+  else if (workload == "per_user_count") w = sim::PerUserCount256();
+  else if (workload == "inverted_index") w = sim::InvertedIndex427();
+  else throw std::invalid_argument("unknown sim workload: " + workload);
+
+  sim::SimConfig config;
+  config.num_nodes = static_cast<int>(cfg.GetInt("nodes", 10));
+  config.merge_factor = static_cast<int>(cfg.GetInt("merge_factor", 10));
+  if (runtime == "hadoop") config.runtime = sim::SimRuntime::kHadoop;
+  else if (runtime == "mr_online") {
+    config.runtime = sim::SimRuntime::kHop;
+    config.snapshot_interval = 0.25;
+    config.push_overhead = 1.15;
+  } else if (runtime == "hash") {
+    config.runtime = sim::SimRuntime::kHashOnePass;
+  } else {
+    throw std::invalid_argument("unknown sim runtime: " + runtime);
+  }
+  if (storage == "hdd+ssd") config.storage = sim::StorageArch::kHddPlusSsd;
+  else if (storage == "separate") {
+    config.storage = sim::StorageArch::kSeparate;
+    w.input_bytes /= 2;
+  }
+
+  const auto r = sim::SimulateJob(w, config);
+  std::printf("completion %s | map phase end %.0f s | merges %d | "
+              "snapshots %d\n",
+              HumanSeconds(r.completion_s).c_str(), r.map_phase_end_s,
+              r.merge_operations, r.snapshots);
+  std::printf("input %s | map out %s | spill w/r %s / %s | output %s\n",
+              HumanBytes(r.input_read_bytes).c_str(),
+              HumanBytes(r.map_output_write_bytes).c_str(),
+              HumanBytes(r.spill_write_bytes).c_str(),
+              HumanBytes(r.spill_read_bytes).c_str(),
+              HumanBytes(r.output_write_bytes).c_str());
+  TimeSeries util("CPU utilization");
+  for (const auto& s : r.cpu_util) util.Append(s.time_s, s.value);
+  std::printf("%s", AsciiPlot(util, 78, 10, 1.0).c_str());
+  return 0;
+}
+
+int CmdTopK(const Config& cfg) {
+  const auto workload = cfg.GetString("workload", "page_frequency");
+  const auto k = static_cast<std::size_t>(cfg.GetInt("k", 10));
+  const auto records =
+      static_cast<std::uint64_t>(cfg.GetInt("records", 1'000'000));
+
+  Platform platform({.num_nodes = 4});
+  const auto spec = PrepareWorkload(platform, workload, records, 4);
+  const auto winners =
+      RunTopKPipeline(platform, spec, HashOnePassOptions(), k);
+  std::printf("top %zu of '%s':\n", k, workload.c_str());
+  int rank = 1;
+  for (const auto& w : winners) {
+    std::printf("  %2d. %-24s %llu\n", rank++, w.payload.c_str(),
+                static_cast<unsigned long long>(w.score));
+  }
+  return 0;
+}
+
+int CmdSort(const Config& cfg) {
+  const auto records =
+      static_cast<std::uint64_t>(cfg.GetInt("records", 1'000'000));
+  const int reducers = static_cast<int>(cfg.GetInt("reducers", 8));
+
+  Platform platform({.num_nodes = 4});
+  Rng rng(1);
+  auto writer = platform.dfs().Create("input");
+  for (std::uint64_t i = 0; i < records; ++i) {
+    char buf[28];
+    std::snprintf(buf, sizeof(buf), "%016llx-%08llx",
+                  static_cast<unsigned long long>(rng.Next()),
+                  static_cast<unsigned long long>(i));
+    writer->Append(Slice(buf, 25));
+  }
+  writer->Close();
+
+  const auto spec = GlobalSortJob(platform, "input", "sorted", reducers);
+  const auto result = platform.Run(spec, HadoopOptions());
+
+  std::string prev;
+  std::uint64_t rows = 0;
+  bool ordered = true;
+  for (int r = 0; r < reducers; ++r) {
+    for (const auto& [key, value] :
+         platform.ReadOutputFile("sorted.part" + std::to_string(r))) {
+      ordered = ordered && prev <= key;
+      prev = key;
+      ++rows;
+    }
+  }
+  std::printf("sorted %llu records in %s across %d range partitions; "
+              "globally ordered: %s; reducer imbalance %.2fx\n",
+              static_cast<unsigned long long>(rows),
+              HumanSeconds(result.wall_seconds).c_str(), reducers,
+              ordered ? "yes" : "NO", result.ReducerImbalance());
+  return ordered && rows == records ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: opmr_cli <run|sim|topk> [key=value ...]\n"
+                 "see the header of tools/opmr_cli.cc for the full flags\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto cfg = opmr::Config::FromArgs(argc - 1, argv + 1);
+  try {
+    if (command == "run") return CmdRun(cfg);
+    if (command == "sim") return CmdSim(cfg);
+    if (command == "topk") return CmdTopK(cfg);
+    if (command == "sort") return CmdSort(cfg);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
