@@ -1,0 +1,105 @@
+// Ablation A7 — fault rate × recovery policy (real engine, chaos plane).
+//
+// Sweeps a seeded FaultPlan's per-record map-crash rate (plus one injected
+// slow node) against three recovery policies: none (a single attempt — any
+// fault kills the job), retry (3 attempts with backoff), and retry plus
+// speculative straggler backups.  The paper's Table III frames this
+// trade-off qualitatively; this bench puts numbers on what re-execution
+// costs and what speculation buys back under the pull-shuffle model.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/config.h"
+#include "core/opmr.h"
+#include "metrics/report.h"
+#include "workloads/tasks.h"
+
+int main(int argc, char** argv) {
+  using namespace opmr;
+  const auto cfg = Config::FromArgs(argc, argv);
+
+  bench::Banner("Ablation A7: fault rate x recovery policy "
+                "(real engine, per-user count, seeded chaos plane)");
+
+  const auto records =
+      static_cast<std::uint64_t>(cfg.GetInt("records", 200'000));
+
+  struct Policy {
+    const char* name;
+    int attempts;
+    bool speculate;
+  };
+  const std::vector<Policy> policies = {
+      {"no_recovery", 1, false},
+      {"retry", 3, false},
+      {"retry_spec", 3, true},
+  };
+  const std::vector<double> rates = {0.0, 1e-5, 5e-5};
+
+  TextTable table;
+  table.AddRow({"Fault rate", "Policy", "Status", "Wall time", "Map retries",
+                "Reduce retries", "Spec (wins)", "Faults"});
+  CsvWriter csv(bench::OutDir() / "ablation_faults.csv");
+  {
+    std::vector<std::string> header = {"rate", "policy", "status", "wall_s"};
+    const auto recovery = RecoveryCsvHeader();
+    header.insert(header.end(), recovery.begin(), recovery.end());
+    csv.WriteRow(header);
+  }
+
+  for (double rate : rates) {
+    for (const auto& policy : policies) {
+      // Fresh platform per cell: a failed job must not poison the next run,
+      // and each cell regenerates input so DFS namespaces never collide.
+      PlatformOptions popts;
+      popts.num_nodes = 3;
+      popts.block_bytes = 512u << 10;
+      popts.max_task_attempts = policy.attempts;
+      popts.speculative_execution = policy.speculate;
+      popts.retry_backoff_base_ms = 0.5;
+      popts.retry_backoff_max_ms = 10.0;
+      if (rate > 0.0) {
+        popts.fault_plan = "seed=11;map_crash:rate=" + std::to_string(rate) +
+                           ";slow_node:node=0,delay_ms=0.05";
+      }
+      Platform platform(popts);
+      ClickStreamOptions gen;
+      gen.num_records = records;
+      gen.num_users = 10'000;
+      GenerateClickStream(platform.dfs(), "clicks", gen);
+
+      JobResult r;
+      std::string status = "ok";
+      try {
+        r = platform.Run(PerUserCountJob("clicks", "out", 4),
+                         HadoopOptions());
+      } catch (const std::exception&) {
+        status = "failed";
+      }
+      table.AddRow({std::to_string(rate), policy.name, status,
+                    status == "ok" ? HumanSeconds(r.wall_seconds) : "-",
+                    std::to_string(r.map_task_retries),
+                    std::to_string(r.reduce_task_retries),
+                    std::to_string(r.speculative_launched) + " (" +
+                        std::to_string(r.speculative_wins) + ")",
+                    std::to_string(r.faults_injected)});
+      std::vector<std::string> row = {std::to_string(rate), policy.name,
+                                      status, std::to_string(r.wall_seconds)};
+      const auto recovery =
+          RecoveryCsvCells(r.map_task_retries, r.reduce_task_retries,
+                           r.speculative_launched, r.speculative_wins,
+                           r.faults_injected);
+      row.insert(row.end(), recovery.begin(), recovery.end());
+      csv.WriteRow(row);
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: without recovery any nonzero fault rate kills the "
+      "job; retries\nabsorb every fault at a modest wall-time cost, and "
+      "speculation claws back most of\nthe slow-node penalty in the final "
+      "wave.\n");
+  return 0;
+}

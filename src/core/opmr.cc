@@ -62,8 +62,25 @@ Platform::Platform(PlatformOptions options) {
   cluster.num_nodes = options.num_nodes;
   cluster.map_slots_per_node = options.map_slots_per_node;
   cluster.max_task_attempts = options.max_task_attempts;
+  cluster.retry_backoff_base_ms = options.retry_backoff_base_ms;
+  cluster.retry_backoff_max_ms = options.retry_backoff_max_ms;
+  cluster.speculative_execution = options.speculative_execution;
+  cluster.speculation_threshold = options.speculation_threshold;
   executor_ = std::make_unique<ClusterExecutor>(dfs_.get(), files_.get(),
                                                 metrics_.get(), cluster);
+  if (!options.fault_plan.empty()) {
+    SetFaultPlan(FaultPlan::Load(options.fault_plan));
+  }
+}
+
+void Platform::SetFaultPlan(FaultPlan plan) {
+  if (plan.empty()) {
+    injector_.reset();
+    executor_->set_fault_injector(nullptr);
+    return;
+  }
+  injector_ = std::make_unique<FaultInjector>(std::move(plan), metrics_.get());
+  executor_->set_fault_injector(injector_.get());
 }
 
 JobResult Platform::Run(const JobSpec& spec, const JobOptions& options) {

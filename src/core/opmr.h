@@ -23,6 +23,7 @@
 #include "dfs/dfs.h"
 #include "engine/cluster.h"
 #include "engine/job.h"
+#include "fault/fault.h"
 #include "metrics/counters.h"
 #include "storage/file_manager.h"
 
@@ -33,8 +34,16 @@ struct PlatformOptions {
   int map_slots_per_node = 2;
   std::uint64_t block_bytes = 4ull << 20;  // laptop-scale default block
   int replication = 1;
-  // Map-task re-execution attempts (pull shuffle only; see ClusterOptions).
+  // Task re-execution attempts (pull shuffle only; see ClusterOptions).
   int max_task_attempts = 1;
+  // Retry pacing and straggler backup attempts (see ClusterOptions).
+  double retry_backoff_base_ms = 5.0;
+  double retry_backoff_max_ms = 250.0;
+  bool speculative_execution = false;
+  double speculation_threshold = 2.0;
+  // Chaos plane: FaultPlan spec string or plan-file path (see
+  // FaultPlan::Load); empty = no injection.
+  std::string fault_plan;
   std::string workspace;  // empty → unique temp directory
 };
 
@@ -65,6 +74,16 @@ class Platform {
   // Runs a job under the given runtime options.
   JobResult Run(const JobSpec& spec, const JobOptions& options);
 
+  // Installs (replaces) the chaos-plane fault plan for subsequent runs; an
+  // empty plan clears injection.  Also reachable declaratively through
+  // PlatformOptions::fault_plan.
+  void SetFaultPlan(FaultPlan plan);
+
+  // The active injector, or nullptr when no plan is installed.
+  [[nodiscard]] FaultInjector* fault_injector() noexcept {
+    return injector_.get();
+  }
+
   // Reads a job's output back as (key, value) string pairs, across all
   // reducer parts of `output_prefix` (unordered across parts).
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> ReadOutput(
@@ -79,6 +98,7 @@ class Platform {
   std::unique_ptr<MetricRegistry> metrics_;
   std::unique_ptr<Dfs> dfs_;
   std::unique_ptr<ClusterExecutor> executor_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace opmr

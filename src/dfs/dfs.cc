@@ -80,11 +80,17 @@ DfsFileWriter::DfsFileWriter(Dfs* dfs, std::string name)
     : dfs_(dfs), name_(std::move(name)) {}
 
 DfsFileWriter::~DfsFileWriter() {
+  // An abandoned writer (destroyed without Close()) must NOT publish: a
+  // failed task attempt's partial output would become visible in the
+  // namespace and collide with the re-execution's Create().  The physical
+  // block bytes stay on disk until the workspace is cleaned up.
+  if (closed_) return;
+  closed_ = true;
   try {
-    if (!closed_) Close();
+    if (current_ != nullptr) current_->Close();
   } catch (...) {
-    // Swallow: an abandoned writer leaves a partial file that is never
-    // published into the namespace.
+    // Swallow: flushing a partial block may fail; the file is discarded
+    // anyway.
   }
 }
 

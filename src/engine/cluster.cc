@@ -2,16 +2,55 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
+#include "common/rng.h"
 #include "engine/map_task.h"
 #include "engine/reduce_hash.h"
 #include "engine/reduce_incremental.h"
 #include "engine/reduce_sortmerge.h"
+#include "fault/fault.h"
 
 namespace opmr {
+
+namespace {
+
+// Installs the chaos injector as the process-global I/O hook for the
+// duration of one Run(); clean runs install nothing and pay nothing.
+class IoFaultHookGuard {
+ public:
+  explicit IoFaultHookGuard(IoFaultHook* hook) : installed_(hook != nullptr) {
+    if (installed_) SetIoFaultHook(hook);
+  }
+  ~IoFaultHookGuard() {
+    if (installed_) SetIoFaultHook(nullptr);
+  }
+  IoFaultHookGuard(const IoFaultHookGuard&) = delete;
+  IoFaultHookGuard& operator=(const IoFaultHookGuard&) = delete;
+
+ private:
+  bool installed_;
+};
+
+// One logical map task: its input block plus the coordination state rival
+// attempts (original + speculative backup) race on.  `published` makes the
+// publish step exactly-once; the losing attempt's output is discarded
+// without ever becoming visible to reducers.
+struct MapTaskEntry {
+  BlockInfo block;
+  int task_id = 0;
+  double started_s = 0.0;
+  std::atomic<bool> done{false};
+  std::atomic<bool> speculated{false};
+  std::atomic<bool> published{false};
+};
+
+}  // namespace
 
 // --- BlockScheduler ----------------------------------------------------------
 
@@ -91,25 +130,63 @@ void ClusterExecutor::Validate(const JobSpec& spec,
   if (cluster_.max_task_attempts > 1 && options.shuffle == Shuffle::kPush) {
     throw std::invalid_argument(
         "task retries require pull shuffle: pushed output is visible before "
-        "task completion and cannot be recalled");
+        "task completion and cannot be recalled (the pipelining / "
+        "fault-tolerance trade-off of paper Table III)");
   }
   if (cluster_.max_task_attempts < 1) {
     throw std::invalid_argument("max_task_attempts must be at least 1");
   }
+  if (cluster_.speculative_execution && options.shuffle == Shuffle::kPush) {
+    throw std::invalid_argument(
+        "speculative re-execution requires pull shuffle: a duplicate "
+        "attempt's pushed output cannot be recalled");
+  }
+  if (cluster_.max_task_attempts > 1 && options.snapshot_interval > 0.0) {
+    throw std::invalid_argument(
+        "task retries with snapshots are unsupported: a re-executed reducer "
+        "would collide with snapshot files already published by the failed "
+        "attempt");
+  }
+}
+
+void ClusterExecutor::RetryBackoff(int attempt, std::uint64_t salt) const {
+  if (cluster_.retry_backoff_base_ms <= 0.0) return;
+  double ms = cluster_.retry_backoff_base_ms *
+              std::pow(2.0, std::max(0, attempt - 1));
+  ms = std::min(ms, cluster_.retry_backoff_max_ms);
+  // Deterministic jitter in [0.5, 1): decorrelates retries of tasks that
+  // failed together (e.g. a node-wide fault) without sacrificing
+  // reproducibility.
+  Rng rng(salt * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(attempt));
+  ms *= 0.5 + 0.5 * rng.NextDouble();
+  metrics_->Get("retry.backoff_ms")->Add(static_cast<std::int64_t>(ms));
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
 JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   Validate(spec, options);
+
+  FaultInjector* fault = cluster_.fault_injector;
+  IoFaultHookGuard hook_guard(fault);
+
+  // Snapshot before replica filtering so faults injected during scheduling
+  // setup are part of this job's counter delta.
+  const auto counters_before = metrics_->Snapshot();
 
   auto blocks = dfs_->ListBlocks(spec.input_file);
   for (const auto& extra : spec.extra_inputs) {
     const auto more = dfs_->ListBlocks(extra);
     blocks.insert(blocks.end(), more.begin(), more.end());
   }
+  if (fault != nullptr) {
+    // Replica loss degrades locality metadata before scheduling; the block
+    // data itself survives (the scheduler falls back to remote reads).
+    for (auto& block : blocks) {
+      fault->FilterReplicas(&block.replica_nodes, block.block_id);
+    }
+  }
   const int num_maps = static_cast<int>(blocks.size());
   const int num_reducers = spec.num_reducers;
-
-  const auto counters_before = metrics_->Snapshot();
 
   WallTimer job_start;
   PhaseProfiler profiler;
@@ -117,6 +194,15 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   EmissionLog emissions(&job_start);
   ShuffleService shuffle(num_maps, num_reducers, metrics_,
                          options.push_queue_chunks);
+
+  const bool reduce_retry_enabled =
+      options.shuffle == Shuffle::kPull && cluster_.max_task_attempts > 1;
+  if (reduce_retry_enabled) shuffle.EnableReplay();
+  if (fault != nullptr) {
+    shuffle.SetFetchProbe([fault](int reducer, int map_task) {
+      fault->OnShuffleFetch(reducer, map_task);
+    });
+  }
 
   RuntimeEnv env;
   env.dfs = dfs_;
@@ -127,6 +213,7 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   env.timeline = &timeline;
   env.emissions = &emissions;
   env.job_start = &job_start;
+  env.fault = fault;
 
   BlockScheduler scheduler(blocks, dfs_->options().num_nodes);
 
@@ -141,8 +228,10 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   std::atomic<std::uint64_t> map_output_records{0};
   std::atomic<std::uint64_t> output_records{0};
   std::vector<std::uint64_t> per_reducer_records(num_reducers, 0);
-  std::atomic<int> next_map_task{0};
   std::atomic<int> map_retries{0};
+  std::atomic<int> reduce_retries{0};
+  std::atomic<int> spec_launched{0};
+  std::atomic<int> spec_wins{0};
   std::atomic<bool> maps_failed{false};
 
   // --- Reducer threads (start immediately: reducers shuffle while maps run).
@@ -150,37 +239,184 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   reducer_threads.reserve(num_reducers);
   for (int r = 0; r < num_reducers; ++r) {
     reducer_threads.emplace_back([&, r] {
-      try {
-        std::uint64_t records = 0;
+      auto run_reducer = [&]() -> std::uint64_t {
         if (options.group_by == GroupBy::kSortMerge) {
           SortMergeReducer reducer(r, spec, options, env);
-          records = reducer.Run();
-        } else {
-          switch (options.hash_reduce) {
-            case HashReduce::kHybridHash: {
-              HybridHashReducer reducer(r, spec, options, env);
-              records = reducer.Run();
-              break;
-            }
-            case HashReduce::kIncremental: {
-              IncrementalHashReducer reducer(r, spec, options, env);
-              records = reducer.Run();
-              break;
-            }
-            case HashReduce::kHotKeyIncremental: {
-              HotKeyIncrementalReducer reducer(r, spec, options, env);
-              records = reducer.Run();
-              break;
-            }
+          return reducer.Run();
+        }
+        switch (options.hash_reduce) {
+          case HashReduce::kHybridHash: {
+            HybridHashReducer reducer(r, spec, options, env);
+            return reducer.Run();
+          }
+          case HashReduce::kIncremental: {
+            IncrementalHashReducer reducer(r, spec, options, env);
+            return reducer.Run();
+          }
+          case HashReduce::kHotKeyIncremental: {
+            HotKeyIncrementalReducer reducer(r, spec, options, env);
+            return reducer.Run();
           }
         }
-        output_records.fetch_add(records, std::memory_order_relaxed);
-        per_reducer_records[r] = records;  // one writer per slot
-      } catch (...) {
-        record_failure(std::current_exception());
+        return 0;  // unreachable
+      };
+      // Attempt loop: a failed attempt's partial reducer state (hash
+      // tables, spill runs, unpublished output writers) dies with the
+      // reducer object; Rewind re-delivers every published map output.
+      for (int attempt = 1;; ++attempt) {
+        FaultScope scope(FaultScope::Kind::kReduce, r, attempt);
+        try {
+          const std::uint64_t records = run_reducer();
+          output_records.fetch_add(records, std::memory_order_relaxed);
+          per_reducer_records[r] = records;  // one writer per slot
+          return;
+        } catch (...) {
+          const bool retryable = reduce_retry_enabled &&
+                                 attempt < cluster_.max_task_attempts &&
+                                 !maps_failed.load(std::memory_order_relaxed);
+          if (!retryable) {
+            record_failure(std::current_exception());
+            return;
+          }
+          reduce_retries.fetch_add(1, std::memory_order_relaxed);
+          metrics_->Get("retry.reduce_task")->Increment();
+          shuffle.Rewind(r);
+          RetryBackoff(attempt, 0x5edce5ull + static_cast<std::uint64_t>(r));
+        }
       }
     });
   }
+
+  // --- Map task table: rival attempts (retry waves, speculative backups)
+  // coordinate through these entries.
+  std::deque<MapTaskEntry> task_entries;
+  std::mutex entries_mu;
+  std::atomic<std::uint64_t> completed_maps{0};
+  std::atomic<std::int64_t> completed_us_total{0};
+
+  auto register_entry = [&](BlockInfo block) -> MapTaskEntry* {
+    std::scoped_lock lock(entries_mu);
+    MapTaskEntry& entry = task_entries.emplace_back();
+    entry.block = std::move(block);
+    entry.task_id = static_cast<int>(task_entries.size()) - 1;
+    entry.started_s = job_start.Seconds();
+    return &entry;
+  };
+
+  auto all_entries_done = [&] {
+    std::scoped_lock lock(entries_mu);
+    if (static_cast<int>(task_entries.size()) < num_maps) return false;
+    for (const auto& entry : task_entries) {
+      if (!entry.done.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+
+  // An idle slot picks the longest-overdue running task that nobody has
+  // backed up yet (elapsed > threshold x mean completed-task time).
+  auto pick_straggler = [&]() -> MapTaskEntry* {
+    const std::uint64_t done_n = completed_maps.load();
+    if (done_n == 0) return nullptr;
+    const double mean_s =
+        static_cast<double>(completed_us_total.load()) / 1e6 / done_n;
+    const double now = job_start.Seconds();
+    std::scoped_lock lock(entries_mu);
+    for (auto& entry : task_entries) {
+      if (entry.done.load(std::memory_order_acquire)) continue;
+      if (now - entry.started_s < cluster_.speculation_threshold * mean_s) {
+        continue;
+      }
+      if (entry.speculated.exchange(true)) continue;
+      return &entry;
+    }
+    return nullptr;
+  };
+
+  // Runs one task's attempt loop on `node`.  Speculative backups get a
+  // single attempt numbered past max_task_attempts (so budgeted faults do
+  // not re-fire) and never fail the job — the original attempt still owns
+  // recovery.
+  auto run_map_attempts = [&](MapTaskEntry* entry, int node,
+                              bool speculative) {
+    const int task_id = entry->task_id;
+    const double begin = job_start.Seconds();
+    const int first_attempt =
+        speculative ? cluster_.max_task_attempts + 1 : 1;
+    for (int attempt = first_attempt;; ++attempt) {
+      FaultScope scope(FaultScope::Kind::kMap, task_id, attempt, node);
+      std::unique_ptr<MapOutputSink> sink;
+      if (options.shuffle == Shuffle::kPush) {
+        sink = std::make_unique<PushSink>(task_id, files_, metrics_, &shuffle,
+                                          num_reducers,
+                                          options.push_chunk_bytes);
+      } else {
+        sink = std::make_unique<FileSink>(
+            task_id, files_, metrics_, &shuffle, num_reducers,
+            options.map_buffer_bytes, cluster_.sync_map_output);
+      }
+      MapTask task(task_id, spec, options, env, entry->block, sink.get());
+      MapTask::Stats stats;
+      try {
+        stats = task.Run();
+      } catch (...) {
+        // Drop the attempt's buffered output first: once the exception is
+        // caught, a later sink destructor would no longer be unwinding, and
+        // its cleanup flush must not write — or re-fire the fault hook for —
+        // bytes of a dead attempt.
+        sink->Abandon();
+        if (entry->done.load(std::memory_order_acquire)) return;  // lost race
+        if (speculative) return;  // backup failures never fail the job
+        if (sink->publishes_eagerly()) {
+          // The paper's Table III trade-off, demonstrated: this attempt's
+          // output already reached reducers, so re-execution would
+          // duplicate records.  Fail fast with the diagnosis.
+          std::string why = "unknown error";
+          try {
+            throw;
+          } catch (const std::exception& e) {
+            why = e.what();
+          } catch (...) {
+          }
+          throw std::runtime_error(
+              "map task " + std::to_string(task_id) +
+              " failed under push (pipelined) shuffle and cannot be "
+              "re-executed: its output was already pipelined to reducers "
+              "before completion, so a retry would duplicate records — the "
+              "pipelining / fault-tolerance trade-off of paper Table III. "
+              "Re-run with pull shuffle and max_task_attempts > 1 to "
+              "recover. Original failure: " +
+              why);
+        }
+        if (attempt >= cluster_.max_task_attempts) throw;
+        map_retries.fetch_add(1, std::memory_order_relaxed);
+        metrics_->Get("retry.map_task")->Increment();
+        RetryBackoff(attempt, static_cast<std::uint64_t>(task_id));
+        continue;
+      }
+      // Success: publish exactly once across rival attempts; the loser's
+      // output was never registered and is simply discarded.
+      if (!entry->published.exchange(true)) {
+        sink->Publish();
+        shuffle.MapTaskDone(task_id);
+        entry->done.store(true, std::memory_order_release);
+        const double end = job_start.Seconds();
+        completed_maps.fetch_add(1, std::memory_order_relaxed);
+        completed_us_total.fetch_add(
+            static_cast<std::int64_t>((end - begin) * 1e6),
+            std::memory_order_relaxed);
+        if (speculative) {
+          spec_wins.fetch_add(1, std::memory_order_relaxed);
+          metrics_->Get("speculation.wins")->Increment();
+        }
+        input_records.fetch_add(stats.input_records,
+                                std::memory_order_relaxed);
+        map_output_records.fetch_add(stats.output_records,
+                                     std::memory_order_relaxed);
+        timeline.Record(TaskKind::kMap, begin, end);
+      }
+      return;
+    }
+  };
 
   // --- Map worker threads: num_nodes × map_slots_per_node slots.
   {
@@ -195,41 +431,20 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
           while (!maps_failed.load(std::memory_order_relaxed)) {
             bool was_local = false;
             auto block = scheduler.Next(node, &was_local);
-            if (!block) break;
-            const int task_id = next_map_task.fetch_add(1);
-            const double begin = job_start.Seconds();
-
-            // Attempt loop: a failed attempt publishes nothing, so the
-            // re-execution is invisible to reducers.
-            MapTask::Stats stats;
-            for (int attempt = 1;; ++attempt) {
-              std::unique_ptr<MapOutputSink> sink;
-              if (options.shuffle == Shuffle::kPush) {
-                sink = std::make_unique<PushSink>(task_id, files_, metrics_,
-                                                  &shuffle, num_reducers,
-                                                  options.push_chunk_bytes);
-              } else {
-                sink = std::make_unique<FileSink>(
-                    task_id, files_, metrics_, &shuffle, num_reducers,
-                    options.map_buffer_bytes, cluster_.sync_map_output);
-              }
-              MapTask task(task_id, spec, options, env, *block, sink.get());
-              try {
-                stats = task.Run();
-                sink->Publish();
-                break;
-              } catch (...) {
-                if (attempt >= cluster_.max_task_attempts) throw;
-                map_retries.fetch_add(1, std::memory_order_relaxed);
-              }
+            if (block) {
+              run_map_attempts(register_entry(std::move(*block)), node,
+                               /*speculative=*/false);
+              continue;
             }
-            shuffle.MapTaskDone(task_id);
-
-            input_records.fetch_add(stats.input_records,
-                                    std::memory_order_relaxed);
-            map_output_records.fetch_add(stats.output_records,
-                                         std::memory_order_relaxed);
-            timeline.Record(TaskKind::kMap, begin, job_start.Seconds());
+            if (!cluster_.speculative_execution) break;
+            if (all_entries_done()) break;
+            if (MapTaskEntry* victim = pick_straggler()) {
+              spec_launched.fetch_add(1, std::memory_order_relaxed);
+              metrics_->Get("speculation.launched")->Increment();
+              run_map_attempts(victim, node, /*speculative=*/true);
+            } else {
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
           }
         } catch (...) {
           maps_failed.store(true, std::memory_order_relaxed);
@@ -260,6 +475,9 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.num_reduce_tasks = num_reducers;
   result.local_map_tasks = scheduler.local_count();
   result.map_task_retries = map_retries.load();
+  result.reduce_task_retries = reduce_retries.load();
+  result.speculative_launched = spec_launched.load();
+  result.speculative_wins = spec_wins.load();
   result.reducer_output_records = std::move(per_reducer_records);
   result.input_records = input_records.load();
   result.map_output_records = map_output_records.load();
@@ -276,6 +494,7 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
     const std::int64_t before = it == counters_before.end() ? 0 : it->second;
     result.counters[name] = value - before;
   }
+  result.faults_injected = result.Bytes("faults.injected");
   return result;
 }
 

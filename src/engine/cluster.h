@@ -19,18 +19,42 @@
 
 namespace opmr {
 
+class FaultInjector;
+
 struct ClusterOptions {
   int num_nodes = 4;
   int map_slots_per_node = 2;
   // Hadoop syncs map output before a task reports complete; HOP persists
   // asynchronously.  Exposed for the map-output-cost microbench (M2).
   bool sync_map_output = true;
-  // Map-task re-execution on failure (Hadoop's fault-tolerance model).
-  // Only valid with pull shuffle: a failed attempt's output was never
-  // published, so the retry is invisible to reducers.  Push pipelining
-  // exposes output before task completion and therefore cannot retry —
-  // the weakness the paper attributes to eager pipelining.
+  // Task re-execution on failure (Hadoop's fault-tolerance model), for both
+  // map attempts and reduce attempts.  Only valid with pull shuffle: a
+  // failed map attempt's output was never published and a restarted reducer
+  // can re-fetch the registered map outputs, so the retry is invisible.
+  // Push pipelining exposes output before task completion and therefore
+  // cannot retry — the weakness the paper attributes to eager pipelining
+  // (Table III).
   int max_task_attempts = 1;
+
+  // Exponential backoff between retry attempts: sleep
+  // min(base * 2^(attempt-1), max) * jitter, where jitter in [0.5, 1) is a
+  // deterministic function of (task, attempt).  Base <= 0 disables backoff.
+  double retry_backoff_base_ms = 5.0;
+  double retry_backoff_max_ms = 250.0;
+
+  // Speculative re-execution of straggler map tasks (paper §VI on [35]):
+  // once the block pool is drained, an idle map slot launches a backup
+  // attempt of any running task whose elapsed time exceeds
+  // speculation_threshold x the mean completed-task time; the first attempt
+  // to finish publishes, the loser's output is discarded unpublished.
+  // Pull shuffle only — a duplicate pushed attempt cannot be recalled.
+  bool speculative_execution = false;
+  double speculation_threshold = 2.0;
+
+  // Chaos plane: when set, the injector is installed as the global I/O
+  // fault hook for the duration of Run() and consulted at every engine
+  // fault site (see src/fault/fault.h).  Not owned.
+  FaultInjector* fault_injector = nullptr;
 };
 
 struct JobResult {
@@ -55,7 +79,13 @@ struct JobResult {
   int num_map_tasks = 0;
   int num_reduce_tasks = 0;
   int local_map_tasks = 0;   // scheduled on a node holding the block
-  int map_task_retries = 0;  // failed attempts that were re-executed
+
+  // Recovery activity (all zero in a clean run).
+  int map_task_retries = 0;     // failed map attempts that were re-executed
+  int reduce_task_retries = 0;  // failed reduce attempts that were re-run
+  int speculative_launched = 0; // backup map attempts started
+  int speculative_wins = 0;     // backups that published before the original
+  std::int64_t faults_injected = 0;  // chaos-plane faults fired (all points)
 
   // Per-reducer output records: the partition-skew signal (related work
   // [19] targets exactly this imbalance).
@@ -113,8 +143,16 @@ class ClusterExecutor {
   // configuration or task failure.
   JobResult Run(const JobSpec& spec, const JobOptions& options);
 
+  // Installs (or clears) the chaos-plane injector used by subsequent runs.
+  void set_fault_injector(FaultInjector* injector) {
+    cluster_.fault_injector = injector;
+  }
+
  private:
   void Validate(const JobSpec& spec, const JobOptions& options) const;
+
+  // Deterministically jittered exponential backoff before retry `attempt`.
+  void RetryBackoff(int attempt, std::uint64_t salt) const;
 
   Dfs* dfs_;
   FileManager* files_;

@@ -140,6 +140,14 @@ void FileSink::Publish() {
   pending_files_.clear();
 }
 
+void FileSink::Abandon() noexcept {
+  if (writer_ != nullptr) writer_->Abandon();
+  writer_.reset();
+  for (auto& buf : stream_buffers_) buf.clear();
+  stream_bytes_ = 0;
+  pending_files_.clear();  // never registered; FileManager reclaims the files
+}
+
 // --- PushSink ----------------------------------------------------------------
 
 PushSink::PushSink(int map_task, FileManager* files, MetricRegistry* metrics,
@@ -225,6 +233,10 @@ void PushSink::EmitAllPartialChunks() {
 void PushSink::Close() {
   EmitAllPartialChunks();
   writer_->Close();
+}
+
+void PushSink::Abandon() noexcept {
+  if (writer_ != nullptr) writer_->Abandon();
 }
 
 }  // namespace opmr

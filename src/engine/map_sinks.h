@@ -48,6 +48,11 @@ class MapOutputSink {
   // validation time.
   virtual void Publish() = 0;
 
+  // Discards a failed attempt's buffered output without flushing it.  The
+  // executor calls this before retrying so cleanup never writes (or passes
+  // through the I/O fault hook) bytes belonging to a dead attempt.
+  virtual void Abandon() noexcept = 0;
+
   // True when output becomes visible before Publish() (push pipelining).
   [[nodiscard]] virtual bool publishes_eagerly() const = 0;
 
@@ -68,6 +73,7 @@ class FileSink final : public MapOutputSink {
                        Slice value) override;
   void Close() override;
   void Publish() override;
+  void Abandon() noexcept override;
   [[nodiscard]] bool publishes_eagerly() const override { return false; }
   [[nodiscard]] std::uint64_t bytes_out() const override { return bytes_out_; }
 
@@ -113,6 +119,7 @@ class PushSink final : public MapOutputSink {
                        Slice value) override;
   void Close() override;
   void Publish() override {}  // chunks were pushed/registered eagerly
+  void Abandon() noexcept override;
   [[nodiscard]] bool publishes_eagerly() const override { return true; }
   [[nodiscard]] std::uint64_t bytes_out() const override { return bytes_out_; }
 

@@ -162,7 +162,9 @@ void MapTask::RunSortPath(DfsBlockReader& reader) {
   BufferCollector collector(&buffer, &spec_, &stats_);
   Slice record;
   ThreadCpuTimer cpu;
+  std::uint64_t record_no = 0;
   while (reader.Next(&record)) {
+    if (env_.fault != nullptr) env_.fault->OnMapRecord(task_id_, ++record_no);
     spec_.map(record, collector);
     ++stats_.input_records;
     if (buffer.MemoryBytes() > options_.map_buffer_bytes) {
@@ -194,7 +196,9 @@ void MapTask::RunHashCombinePath(DfsBlockReader& reader) {
     }
     cpu.Restart();
   };
+  std::uint64_t record_no = 0;
   while (reader.Next(&record)) {
+    if (env_.fault != nullptr) env_.fault->OnMapRecord(task_id_, ++record_no);
     spec_.map(record, collector);
     ++stats_.input_records;
     if (table.MemoryBytes() > options_.map_buffer_bytes) flush();
@@ -207,7 +211,9 @@ void MapTask::RunPartitionOnlyPath(DfsBlockReader& reader) {
   collector.partitioner_ = spec_.partitioner;
   Slice record;
   ThreadCpuTimer cpu;
+  std::uint64_t record_no = 0;
   while (reader.Next(&record)) {
+    if (env_.fault != nullptr) env_.fault->OnMapRecord(task_id_, ++record_no);
     spec_.map(record, collector);
     ++stats_.input_records;
   }

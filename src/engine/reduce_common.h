@@ -15,6 +15,7 @@
 #include "dfs/dfs.h"
 #include "engine/job.h"
 #include "engine/shuffle.h"
+#include "fault/fault.h"
 #include "metrics/phase_profiler.h"
 #include "metrics/timeline.h"
 #include "metrics/timeseries.h"
@@ -80,6 +81,7 @@ struct RuntimeEnv {
   TimelineRecorder* timeline = nullptr;
   EmissionLog* emissions = nullptr;
   const WallTimer* job_start = nullptr;
+  FaultInjector* fault = nullptr;  // chaos plane; nullptr in clean runs
 };
 
 // Writes one reducer's output into the DFS and logs emission times.
@@ -89,6 +91,7 @@ class ReducerOutput final : public OutputCollector {
       : env_(env), writer_(env.dfs->Create(dfs_file)) {}
 
   void Emit(Slice key, Slice value) override {
+    if (env_.fault != nullptr) env_.fault->OnReduceRecord(records_ + 1);
     frame_.clear();
     AppendU32(frame_, static_cast<std::uint32_t>(key.size()));
     AppendU32(frame_, static_cast<std::uint32_t>(value.size()));

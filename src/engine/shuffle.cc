@@ -103,10 +103,41 @@ bool ShuffleService::NextItem(int reducer, ShuffleItem* item) {
     --q.pushed_outstanding;
     // A pushed chunk crosses the (simulated) network when consumed.
     shuffle_read_.Add(static_cast<std::int64_t>(item->bytes.size()));
+    if (replay_) q.replay_broken = true;
+  } else if (replay_) {
+    // File items are cheap descriptors (no payload); retaining them lets a
+    // failed reduce attempt re-fetch the shuffle feed from the start.
+    q.consumed.push_back(*item);
   }
   lock.unlock();
   cv_.notify_all();
+  if (fetch_probe_ && item->map_task >= 0) {
+    fetch_probe_(reducer, item->map_task);
+  }
   return true;
+}
+
+void ShuffleService::EnableReplay() {
+  std::scoped_lock lock(mu_);
+  replay_ = true;
+}
+
+void ShuffleService::Rewind(int reducer) {
+  {
+    std::scoped_lock lock(mu_);
+    if (!replay_) {
+      throw std::logic_error("ShuffleService: Rewind without EnableReplay");
+    }
+    ReducerQueue& q = queues_.at(reducer);
+    if (q.replay_broken) {
+      throw std::logic_error(
+          "ShuffleService: cannot replay a pushed (pipelined) feed — reduce "
+          "re-execution requires pull shuffle");
+    }
+    q.items.insert(q.items.begin(), q.consumed.begin(), q.consumed.end());
+    q.consumed.clear();
+  }
+  cv_.notify_all();
 }
 
 double ShuffleService::MapsDoneFraction() const {

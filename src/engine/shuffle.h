@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -74,6 +75,22 @@ class ShuffleService {
   // has consumed everything.  Charges the shuffle-read channel.
   bool NextItem(int reducer, ShuffleItem* item);
 
+  // Reduce-task re-execution support (pull shuffle only).  With replay
+  // enabled, every consumed file item is retained so a failed reduce
+  // attempt can Rewind() and re-fetch the published map outputs from the
+  // beginning — the Hadoop recovery move the paper contrasts with eager
+  // pipelining (Table III).  In-memory pushed chunks are consumed
+  // destructively and cannot be replayed; Rewind() throws if one was seen.
+  void EnableReplay();
+  void Rewind(int reducer);
+
+  // Optional probe invoked (outside the lock) after each successful
+  // NextItem, with (reducer, map_task).  The fault plane uses it to inject
+  // fetch stalls.  Set before reducer threads start; may sleep.
+  void SetFetchProbe(std::function<void(int reducer, int map_task)> probe) {
+    fetch_probe_ = std::move(probe);
+  }
+
   // Fraction of map tasks completed (drives HOP snapshot points).
   [[nodiscard]] double MapsDoneFraction() const;
 
@@ -89,6 +106,8 @@ class ShuffleService {
   struct ReducerQueue {
     std::deque<ShuffleItem> items;
     std::size_t pushed_outstanding = 0;  // in-memory chunks awaiting consume
+    std::vector<ShuffleItem> consumed;   // replay log (file descriptors only)
+    bool replay_broken = false;          // a pushed chunk was consumed
   };
 
   void Enqueue(int reducer, ShuffleItem item);
@@ -104,6 +123,8 @@ class ShuffleService {
   int maps_done_ = 0;
   std::string abort_reason_;
   bool aborted_ = false;
+  bool replay_ = false;
+  std::function<void(int, int)> fetch_probe_;
 };
 
 }  // namespace opmr

@@ -49,4 +49,21 @@ inline void WriteSeriesCsv(const std::filesystem::path& path,
   }
 }
 
+// Recovery-activity columns shared by the chaos bench and the CLI report,
+// so every consumer prints the same counters under the same names.
+inline std::vector<std::string> RecoveryCsvHeader() {
+  return {"map_task_retries", "reduce_task_retries", "speculative_launched",
+          "speculative_wins", "faults_injected"};
+}
+
+inline std::vector<std::string> RecoveryCsvCells(int map_retries,
+                                                 int reduce_retries,
+                                                 int spec_launched,
+                                                 int spec_wins,
+                                                 std::int64_t faults) {
+  return {std::to_string(map_retries), std::to_string(reduce_retries),
+          std::to_string(spec_launched), std::to_string(spec_wins),
+          std::to_string(faults)};
+}
+
 }  // namespace opmr

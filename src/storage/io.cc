@@ -1,5 +1,6 @@
 #include "storage/io.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -14,7 +15,17 @@ namespace {
   throw std::runtime_error(what + " " + path.string() + ": " +
                            std::strerror(errno));
 }
+
+std::atomic<IoFaultHook*> g_io_fault_hook{nullptr};
 }  // namespace
+
+void SetIoFaultHook(IoFaultHook* hook) {
+  g_io_fault_hook.store(hook, std::memory_order_release);
+}
+
+IoFaultHook* GetIoFaultHook() noexcept {
+  return g_io_fault_hook.load(std::memory_order_acquire);
+}
 
 SequentialWriter::SequentialWriter(const std::filesystem::path& path,
                                    IoChannel channel, std::size_t buffer_bytes)
@@ -64,6 +75,9 @@ void SequentialWriter::AppendU64(std::uint64_t v) {
 void SequentialWriter::Flush(bool sync) {
   if (file_ == nullptr) throw std::logic_error("Flush on closed writer");
   if (!buffer_.empty()) {
+    if (auto* hook = GetIoFaultHook()) {
+      hook->BeforeWrite(path_, bytes_written_ - buffer_.size(), buffer_.size());
+    }
     const std::size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
     if (n != buffer_.size()) ThrowErrno("SequentialWriter: short write", path_);
     channel_.Add(static_cast<std::int64_t>(buffer_.size()));
@@ -75,6 +89,14 @@ void SequentialWriter::Flush(bool sync) {
     if (::fdatasync(::fileno(file_)) != 0) {
       ThrowErrno("SequentialWriter: fdatasync", path_);
     }
+  }
+}
+
+void SequentialWriter::Abandon() noexcept {
+  buffer_.clear();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
   }
 }
 
@@ -110,6 +132,7 @@ SequentialReader::~SequentialReader() {
 }
 
 bool SequentialReader::ReadExact(char* dst, std::size_t n) {
+  if (auto* hook = GetIoFaultHook()) hook->BeforeRead(path_, bytes_read_, n);
   const std::size_t got = std::fread(dst, 1, n, file_);
   if (got == 0 && std::feof(file_)) return false;
   if (got != n) {
@@ -136,8 +159,11 @@ bool SequentialReader::ReadU64(std::uint64_t* v) {
 }
 
 void SequentialReader::Seek(std::uint64_t offset) {
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    ThrowErrno("SequentialReader: fseek", path_);
+  // fseeko/off_t, not fseek/long: on 32-bit long platforms (and Windows)
+  // fseek narrows the offset and a > 2 GiB spill run would seek to the
+  // wrong position.
+  if (::fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    ThrowErrno("SequentialReader: fseeko", path_);
   }
 }
 

@@ -15,6 +15,29 @@
 
 namespace opmr {
 
+// Chaos-plane seam: a process-global hook consulted before every physical
+// write and read that flows through SequentialWriter/SequentialReader.  The
+// fault-injection subsystem (src/fault) installs an implementation for the
+// duration of a chaos run; production runs pay one relaxed atomic load per
+// buffered I/O operation (not per record).  A hook may throw to simulate a
+// device error — the failure then surfaces exactly where a real EIO would.
+class IoFaultHook {
+ public:
+  virtual ~IoFaultHook() = default;
+
+  // `offset` is the logical byte offset of the operation within the file
+  // (bytes written/read so far); `bytes` the size of this physical op.
+  virtual void BeforeWrite(const std::filesystem::path& path,
+                           std::uint64_t offset, std::size_t bytes) = 0;
+  virtual void BeforeRead(const std::filesystem::path& path,
+                          std::uint64_t offset, std::size_t bytes) = 0;
+};
+
+// Installs (or, with nullptr, removes) the global hook.  The caller keeps
+// ownership and must uninstall before destroying the hook.
+void SetIoFaultHook(IoFaultHook* hook);
+[[nodiscard]] IoFaultHook* GetIoFaultHook() noexcept;
+
 class SequentialWriter {
  public:
   SequentialWriter(const std::filesystem::path& path, IoChannel channel,
@@ -37,6 +60,12 @@ class SequentialWriter {
 
   // Flushes and closes; further writes are invalid.  Idempotent.
   void Close();
+
+  // Discards buffered bytes and closes without flushing.  For abandoning a
+  // failed attempt's output: the partial file is dead weight for FileManager
+  // cleanup, and writing the remaining buffer would re-enter the I/O fault
+  // hook for an attempt that has already failed.
+  void Abandon() noexcept;
 
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
     return bytes_written_;

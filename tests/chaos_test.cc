@@ -1,0 +1,191 @@
+// Chaos suite: every test runs a job under a seeded FaultPlan and asserts
+// the recovery machinery reproduces the fault-free answer byte for byte —
+// the exactness guarantee task re-execution must preserve (paper Table III:
+// pull shuffle permits re-execution; eager pipelining forfeits it).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/opmr.h"
+#include "fault/fault.h"
+#include "workloads/clickstream.h"
+#include "workloads/tasks.h"
+
+namespace opmr {
+namespace {
+
+using Rows = std::vector<std::pair<std::string, std::string>>;
+
+constexpr int kReducers = 2;
+
+// One platform per run: the chaos run and the clean reference run must not
+// share counters or a workspace.
+struct RunOutcome {
+  JobResult result;
+  Rows rows;
+};
+
+RunOutcome RunPerUserCount(const PlatformOptions& popts,
+                           const std::string& fault_plan,
+                           const JobOptions& options,
+                           std::uint64_t records = 20'000) {
+  PlatformOptions with_plan = popts;
+  with_plan.fault_plan = fault_plan;
+  Platform platform(with_plan);
+  ClickStreamOptions gen;
+  gen.num_records = records;
+  gen.num_users = 1'000;
+  GenerateClickStream(platform.dfs(), "clicks", gen);
+  RunOutcome out;
+  out.result =
+      platform.Run(PerUserCountJob("clicks", "out", kReducers), options);
+  for (int r = 0; r < kReducers; ++r) {
+    const auto part = platform.ReadOutputFile("out.part" + std::to_string(r));
+    out.rows.insert(out.rows.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+PlatformOptions ChaosPlatform() {
+  PlatformOptions popts;
+  popts.num_nodes = 3;
+  popts.block_bytes = 128u << 10;
+  popts.max_task_attempts = 3;
+  popts.retry_backoff_base_ms = 0.1;  // keep chaos tests fast
+  popts.retry_backoff_max_ms = 1.0;
+  return popts;
+}
+
+TEST(ChaosTest, SpillWriteFaultRecovers) {
+  const auto popts = ChaosPlatform();
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions());
+  const auto chaos = RunPerUserCount(
+      popts, "seed=3;io_write:tag=map_out,task=0,after_bytes=1",
+      HadoopOptions());
+  EXPECT_EQ(chaos.result.map_task_retries, 1);
+  EXPECT_EQ(chaos.result.faults_injected, 1);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+TEST(ChaosTest, DfsReadFaultRecovers) {
+  const auto popts = ChaosPlatform();
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions());
+  const auto chaos = RunPerUserCount(
+      popts, "seed=3;io_read:tag=dfs_block,task=1", HadoopOptions());
+  EXPECT_EQ(chaos.result.map_task_retries, 1);
+  EXPECT_EQ(chaos.result.faults_injected, 1);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+TEST(ChaosTest, MidTaskMapCrashRecovers) {
+  const auto popts = ChaosPlatform();
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions());
+  const auto chaos = RunPerUserCount(
+      popts, "seed=3;map_crash:task=2,record=100", HadoopOptions());
+  EXPECT_EQ(chaos.result.map_task_retries, 1);
+  EXPECT_EQ(chaos.result.faults_injected, 1);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+// The acceptance plan: all three fault classes in one run.
+TEST(ChaosTest, CombinedPlanIsByteIdenticalToCleanRun) {
+  const auto popts = ChaosPlatform();
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions());
+  const auto chaos = RunPerUserCount(
+      popts,
+      "seed=5;io_write:tag=map_out,task=0,after_bytes=1;"
+      "io_read:tag=dfs_block,task=1;map_crash:task=2,record=100",
+      HadoopOptions());
+  EXPECT_EQ(chaos.result.map_task_retries, 3);
+  EXPECT_EQ(chaos.result.faults_injected, 3);
+  EXPECT_GT(chaos.rows.size(), 0u);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+TEST(ChaosTest, PushPipelinedJobFailsFastWithDiagnostic) {
+  PlatformOptions popts;
+  popts.num_nodes = 3;
+  popts.block_bytes = 128u << 10;
+  popts.fault_plan = "seed=5;map_crash:task=0,record=100";
+  Platform platform(popts);
+  ClickStreamOptions gen;
+  gen.num_records = 20'000;
+  gen.num_users = 1'000;
+  GenerateClickStream(platform.dfs(), "clicks", gen);
+  try {
+    platform.Run(PerUserCountJob("clicks", "out", kReducers),
+                 HashOnePassOptions());
+    FAIL() << "push job under a map crash must not succeed";
+  } catch (const std::runtime_error& e) {
+    // The diagnostic must name the pipelining / fault-tolerance trade-off.
+    EXPECT_NE(std::string(e.what()).find("pipelin"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ChaosTest, ReduceCrashReExecutesFromReplayedShuffle) {
+  const auto popts = ChaosPlatform();
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions());
+  const auto chaos = RunPerUserCount(
+      popts, "seed=7;reduce_crash:task=0,record=50", HadoopOptions());
+  EXPECT_EQ(chaos.result.reduce_task_retries, 1);
+  EXPECT_EQ(chaos.result.map_task_retries, 0);
+  EXPECT_EQ(chaos.result.faults_injected, 1);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+TEST(ChaosTest, FetchStallsOnlyDelayTheJob) {
+  const auto popts = ChaosPlatform();
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions());
+  const auto chaos = RunPerUserCount(
+      popts, "seed=9;fetch_stall:rate=1,delay_ms=0.5", HadoopOptions());
+  EXPECT_GT(chaos.result.faults_injected, 0);
+  EXPECT_EQ(chaos.result.map_task_retries, 0);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+TEST(ChaosTest, ReplicaLossDegradesLocalityNotCorrectness) {
+  PlatformOptions popts = ChaosPlatform();
+  popts.replication = 2;
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions());
+  // Drop every replica of every block: no map task can be local, but the
+  // block data itself is intact and the job must still be exact.
+  const auto chaos = RunPerUserCount(popts, "seed=11;replica_loss",
+                                     HadoopOptions());
+  EXPECT_EQ(chaos.result.local_map_tasks, 0);
+  EXPECT_GT(chaos.result.faults_injected, 0);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+TEST(ChaosTest, SpeculationBeatsInjectedSlowNode) {
+  PlatformOptions popts;
+  popts.num_nodes = 2;
+  popts.block_bytes = 64u << 10;
+  popts.speculative_execution = true;
+  popts.speculation_threshold = 1.5;
+  const auto clean = RunPerUserCount(popts, "", HadoopOptions(), 10'000);
+  // Node 0 processes every record ~0.3 ms slower; once node 1 drains the
+  // block pool its idle slots launch full-speed backups that win.
+  const auto chaos = RunPerUserCount(
+      popts, "seed=13;slow_node:node=0,delay_ms=0.3", HadoopOptions(),
+      10'000);
+  EXPECT_GE(chaos.result.speculative_launched, 1);
+  EXPECT_GE(chaos.result.speculative_wins, 1);
+  EXPECT_EQ(chaos.rows, clean.rows);
+}
+
+TEST(ChaosTest, SamePlanInjectsIdenticallyAcrossRuns) {
+  const auto popts = ChaosPlatform();
+  // Rate draws keyed by (task, record) coordinates are scheduler-independent
+  // (io rate faults are keyed by file names, which are not).
+  const std::string plan = "seed=17;map_crash:rate=0.0005";
+  const auto a = RunPerUserCount(popts, plan, HadoopOptions());
+  const auto b = RunPerUserCount(popts, plan, HadoopOptions());
+  EXPECT_EQ(a.result.faults_injected, b.result.faults_injected);
+  EXPECT_EQ(a.result.map_task_retries, b.result.map_task_retries);
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+}  // namespace
+}  // namespace opmr

@@ -205,6 +205,39 @@ TEST_F(ClusterTest, FlakyMapTasksSucceedWithRetries) {
   EXPECT_EQ(clean.map_task_retries, 0);
 }
 
+TEST_F(ClusterTest, SingleTransientFailureRetriesExactlyOnce) {
+  Platform platform({.num_nodes = 2, .block_bytes = 256u << 10,
+                     .max_task_attempts = 3});
+  ClickStreamOptions gen;
+  gen.num_records = 8'000;
+  gen.num_users = 200;
+  GenerateClickStream(platform.dfs(), "clicks", gen);
+
+  // Exactly one attempt ever fails: the flag flips on the first record seen
+  // and stays flipped, so the re-execution (and every other task) succeeds.
+  auto tripped = std::make_shared<std::atomic<bool>>(false);
+  JobSpec flaky = PerUserCountJob("clicks", "flaky1_out", 2);
+  const MapFn inner = flaky.map;
+  flaky.map = [tripped, inner](Slice record, OutputCollector& out) {
+    if (!tripped->exchange(true)) {
+      throw std::runtime_error("one-shot transient fault");
+    }
+    inner(record, out);
+  };
+  const auto result = platform.Run(flaky, HadoopOptions());
+  EXPECT_EQ(result.map_task_retries, 1);
+  EXPECT_EQ(result.reduce_task_retries, 0);
+
+  // Byte-identical to a clean run, part by part (sort-merge output is
+  // deterministically ordered within each reducer).
+  platform.Run(PerUserCountJob("clicks", "clean1_out", 2), HadoopOptions());
+  for (int r = 0; r < 2; ++r) {
+    const auto part = ".part" + std::to_string(r);
+    EXPECT_EQ(platform.ReadOutputFile("flaky1_out" + part),
+              platform.ReadOutputFile("clean1_out" + part));
+  }
+}
+
 TEST_F(ClusterTest, PermanentFailureExhaustsRetries) {
   Platform platform({.num_nodes = 2, .block_bytes = 256u << 10,
                      .max_task_attempts = 2});

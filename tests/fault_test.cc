@@ -1,0 +1,206 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "metrics/counters.h"
+#include "storage/file_manager.h"
+
+namespace opmr {
+namespace {
+
+TEST(FaultPlanTest, ParsesSeedAndPoints) {
+  const auto plan = FaultPlan::Parse(
+      "seed=7;map_crash:task=0,record=500;io_write:tag=map_out,"
+      "after_bytes=64k;slow_node:node=2,delay_ms=0.5,rate=0.25");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.faults.size(), 3u);
+
+  EXPECT_EQ(plan.faults[0].point, FaultPoint::kMapCrash);
+  EXPECT_EQ(plan.faults[0].task, 0);
+  EXPECT_EQ(plan.faults[0].record, 500u);
+  EXPECT_EQ(plan.faults[0].attempts, 1);
+
+  EXPECT_EQ(plan.faults[1].point, FaultPoint::kIoWrite);
+  EXPECT_EQ(plan.faults[1].tag, "map_out");
+  EXPECT_EQ(plan.faults[1].after_bytes, 64u << 10);
+
+  EXPECT_EQ(plan.faults[2].point, FaultPoint::kSlowNode);
+  EXPECT_EQ(plan.faults[2].node, 2);
+  EXPECT_DOUBLE_EQ(plan.faults[2].delay_ms, 0.5);
+  EXPECT_DOUBLE_EQ(plan.faults[2].rate, 0.25);
+}
+
+TEST(FaultPlanTest, DefaultsAndEmpty) {
+  const auto empty = FaultPlan::Parse("");
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.seed, 1u);
+
+  const auto seed_only = FaultPlan::Parse("seed=42");
+  EXPECT_TRUE(seed_only.empty());
+  EXPECT_EQ(seed_only.seed, 42u);
+
+  const auto bare = FaultPlan::Parse("reduce_crash");
+  ASSERT_EQ(bare.faults.size(), 1u);
+  EXPECT_EQ(bare.faults[0].point, FaultPoint::kReduceCrash);
+  EXPECT_EQ(bare.faults[0].task, -1);
+  EXPECT_EQ(bare.faults[0].record, 0u);
+  EXPECT_DOUBLE_EQ(bare.faults[0].rate, 0.0);
+}
+
+TEST(FaultPlanTest, ByteSuffixes) {
+  const auto plan = FaultPlan::Parse(
+      "io_read:after_bytes=3;io_read:after_bytes=2k;"
+      "io_read:after_bytes=5m;io_read:after_bytes=1g");
+  ASSERT_EQ(plan.faults.size(), 4u);
+  EXPECT_EQ(plan.faults[0].after_bytes, 3u);
+  EXPECT_EQ(plan.faults[1].after_bytes, 2u << 10);
+  EXPECT_EQ(plan.faults[2].after_bytes, 5u << 20);
+  EXPECT_EQ(plan.faults[3].after_bytes, 1u << 30);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::Parse("not_a_point:task=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::Parse("map_crash:bogus_key=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::Parse("map_crash:task"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const std::string spec =
+      "seed=9;map_crash:task=3,record=100,attempts=2;"
+      "io_write:tag=reduce_spill,rate=0.01";
+  const auto plan = FaultPlan::Parse(spec);
+  const auto reparsed = FaultPlan::Parse(plan.ToString());
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  ASSERT_EQ(reparsed.faults.size(), plan.faults.size());
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    EXPECT_EQ(reparsed.faults[i].ToString(), plan.faults[i].ToString());
+  }
+}
+
+TEST(FaultPlanTest, LoadsPlanFile) {
+  FileManager files(std::filesystem::temp_directory_path() /
+                    "opmr-fault-test");
+  const auto path = files.NewFile("plan");
+  {
+    std::ofstream out(path);
+    out << "# a chaos plan\n";
+    out << "seed=13\n";
+    out << "map_crash:task=1,record=50\n";
+    out << "\n";
+    out << "io_read:tag=dfs_block,rate=0.5\n";
+  }
+  const auto plan = FaultPlan::Load(path.string());
+  EXPECT_EQ(plan.seed, 13u);
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(plan.faults[0].point, FaultPoint::kMapCrash);
+  EXPECT_EQ(plan.faults[1].point, FaultPoint::kIoRead);
+}
+
+TEST(FaultPlanTest, PointNames) {
+  EXPECT_STREQ(FaultPointName(FaultPoint::kMapCrash), "map_crash");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kReduceCrash), "reduce_crash");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kIoWrite), "io_write");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kIoRead), "io_read");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kReplicaLoss), "replica_loss");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kSlowNode), "slow_node");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kFetchStall), "fetch_stall");
+}
+
+TEST(FaultScopeTest, NestsAndRestores) {
+  EXPECT_EQ(FaultScope::Current().kind, FaultScope::Kind::kNone);
+  {
+    FaultScope outer(FaultScope::Kind::kMap, 3, 1, 0);
+    EXPECT_EQ(FaultScope::Current().kind, FaultScope::Kind::kMap);
+    EXPECT_EQ(FaultScope::Current().task, 3);
+    EXPECT_EQ(FaultScope::Current().attempt, 1);
+    EXPECT_EQ(FaultScope::Current().node, 0);
+    {
+      FaultScope inner(FaultScope::Kind::kReduce, 7, 2);
+      EXPECT_EQ(FaultScope::Current().kind, FaultScope::Kind::kReduce);
+      EXPECT_EQ(FaultScope::Current().task, 7);
+    }
+    EXPECT_EQ(FaultScope::Current().kind, FaultScope::Kind::kMap);
+    EXPECT_EQ(FaultScope::Current().task, 3);
+  }
+  EXPECT_EQ(FaultScope::Current().kind, FaultScope::Kind::kNone);
+}
+
+TEST(FaultInjectorTest, CrashFiresAtRecordWithinAttemptBudget) {
+  MetricRegistry metrics;
+  FaultInjector injector(FaultPlan::Parse("map_crash:task=2,record=10"),
+                         &metrics);
+  // Attempt 1: records before 10 pass, record 10 fires.
+  FaultScope scope(FaultScope::Kind::kMap, 2, 1);
+  for (std::uint64_t r = 1; r < 10; ++r) injector.OnMapRecord(2, r);
+  injector.OnMapRecord(3, 10);  // wrong task: no fire
+  EXPECT_THROW(injector.OnMapRecord(2, 10), InjectedFault);
+  EXPECT_EQ(injector.injected(), 1);
+}
+
+TEST(FaultInjectorTest, RetryAttemptEscapesBudget) {
+  MetricRegistry metrics;
+  FaultInjector injector(FaultPlan::Parse("map_crash:task=0,record=5"),
+                         &metrics);
+  {
+    FaultScope attempt1(FaultScope::Kind::kMap, 0, 1);
+    EXPECT_THROW(injector.OnMapRecord(0, 5), InjectedFault);
+  }
+  {
+    FaultScope attempt2(FaultScope::Kind::kMap, 0, 2);
+    injector.OnMapRecord(0, 5);  // budget exhausted: passes
+  }
+  EXPECT_EQ(injector.injected(), 1);
+}
+
+TEST(FaultInjectorTest, RateDrawsAreDeterministic) {
+  MetricRegistry m1, m2;
+  const auto plan = FaultPlan::Parse("seed=21;map_crash:rate=0.05");
+  FaultInjector a(plan, &m1);
+  FaultInjector b(plan, &m2);
+  FaultScope scope(FaultScope::Kind::kMap, 0, 1);
+  int fires_a = 0, fires_b = 0;
+  for (std::uint64_t r = 1; r <= 2'000; ++r) {
+    try {
+      a.OnMapRecord(0, r);
+    } catch (const InjectedFault&) {
+      ++fires_a;
+    }
+    try {
+      b.OnMapRecord(0, r);
+    } catch (const InjectedFault&) {
+      ++fires_b;
+    }
+  }
+  EXPECT_EQ(fires_a, fires_b);
+  EXPECT_GT(fires_a, 0);    // 0.05 x 2000 ≈ 100 expected
+  EXPECT_LT(fires_a, 400);  // and far from "always fires"
+}
+
+TEST(FaultInjectorTest, ReplicaLossDropsRequestedReplica) {
+  MetricRegistry metrics;
+  FaultInjector injector(FaultPlan::Parse("replica_loss:node=1"), &metrics);
+  std::vector<int> replicas{0, 1, 2};
+  injector.FilterReplicas(&replicas, /*block_id=*/4);
+  EXPECT_EQ(replicas, (std::vector<int>{0, 2}));
+  EXPECT_EQ(injector.injected(), 1);
+}
+
+TEST(FaultInjectorTest, IoFaultMatchesTagAndByteThreshold) {
+  MetricRegistry metrics;
+  FaultInjector injector(
+      FaultPlan::Parse("io_write:tag=map_out,after_bytes=100"), &metrics);
+  FaultScope scope(FaultScope::Kind::kMap, 0, 1);
+  const std::filesystem::path match = "/tmp/ws/map_out_000012.bin";
+  const std::filesystem::path other = "/tmp/ws/reduce_spill_000001.bin";
+  injector.BeforeWrite(other, 0, 4096);     // wrong tag
+  injector.BeforeWrite(match, 0, 50);       // does not cross 100
+  injector.BeforeWrite(match, 200, 50);     // already past 100
+  EXPECT_THROW(injector.BeforeWrite(match, 60, 50), InjectedFault);
+  EXPECT_EQ(injector.injected(), 1);
+}
+
+}  // namespace
+}  // namespace opmr

@@ -2,8 +2,13 @@
 //
 //   opmr_cli run workload=<w> runtime=<r> [records=N] [reducers=R]
 //                [nodes=N] [combine=0|1] [compress=0|1] [reduce_buffer=BYTES]
+//                [--max-attempts=N] [--speculate] [--fault-plan=<file|spec>]
 //       Generates a synthetic dataset for <w>, runs it on runtime <r>, and
 //       prints the job report (wall/CPU/I-O/emission metrics).
+//       --fault-plan takes a FaultPlan spec string or plan file (see
+//       src/fault/fault.h), e.g. --fault-plan='seed=7;map_crash:task=0,record=500';
+//       --max-attempts enables task re-execution (pull shuffle only) and
+//       --speculate turns on straggler backup attempts.
 //       workloads: sessionization | sessionization_ss | page_frequency |
 //                  per_user_count | inverted_index | word_count |
 //                  distinct_visitors | hashtag_count
@@ -110,6 +115,16 @@ void PrintJobReport(const JobResult& r) {
   table.AddRow({"reduce spill",
                 HumanBytes(double(r.Bytes(device::kSpillWrite)))});
   table.AddRow({"dfs written", HumanBytes(double(r.Bytes(device::kDfsWrite)))});
+  if (r.map_task_retries > 0 || r.reduce_task_retries > 0 ||
+      r.speculative_launched > 0 || r.faults_injected > 0) {
+    table.AddRow({"map task retries", std::to_string(r.map_task_retries)});
+    table.AddRow(
+        {"reduce task retries", std::to_string(r.reduce_task_retries)});
+    table.AddRow({"speculative (wins)",
+                  std::to_string(r.speculative_launched) + " (" +
+                      std::to_string(r.speculative_wins) + ")"});
+    table.AddRow({"faults injected", std::to_string(r.faults_injected)});
+  }
   std::printf("%s", table.ToString().c_str());
   std::printf("\nper-phase CPU seconds:\n");
   for (const auto& [phase, secs] : r.cpu_seconds) {
@@ -124,9 +139,19 @@ int CmdRun(const Config& cfg) {
       static_cast<std::uint64_t>(cfg.GetInt("records", 1'000'000));
   const int reducers = static_cast<int>(cfg.GetInt("reducers", 4));
 
-  Platform platform({.num_nodes = static_cast<int>(cfg.GetInt("nodes", 4)),
-                     .block_bytes = static_cast<std::uint64_t>(
-                         cfg.GetInt("block_bytes", 4 << 20))});
+  PlatformOptions popts;
+  popts.num_nodes = static_cast<int>(cfg.GetInt("nodes", 4));
+  popts.block_bytes =
+      static_cast<std::uint64_t>(cfg.GetInt("block_bytes", 4 << 20));
+  popts.max_task_attempts = static_cast<int>(cfg.GetInt("max-attempts", 1));
+  popts.speculative_execution = cfg.GetBool("speculate", false);
+  popts.fault_plan = cfg.GetString("fault-plan", "");
+
+  Platform platform(popts);
+  if (platform.fault_injector() != nullptr) {
+    std::printf("fault plan: %s\n",
+                platform.fault_injector()->plan().ToString().c_str());
+  }
   std::printf("generating %s input (%llu records)...\n", workload.c_str(),
               static_cast<unsigned long long>(records));
   const auto spec = PrepareWorkload(platform, workload, records, reducers);
