@@ -41,6 +41,15 @@ JobOptions HotKeyOnePassOptions(std::size_t hot_key_capacity) {
   return options;
 }
 
+JobOptions CheckpointedOnePassOptions(std::uint64_t interval_records,
+                                      int retain) {
+  JobOptions options = HashOnePassOptions();
+  options.checkpoint.enabled = true;
+  options.checkpoint.interval_records = interval_records;
+  options.checkpoint.retain = retain;
+  return options;
+}
+
 Platform::Platform(PlatformOptions options) {
   if (options.workspace.empty()) {
     std::random_device rd;

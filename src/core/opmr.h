@@ -63,6 +63,13 @@ JobOptions HashOnePassOptions();
 // memory-constrained runs (§V reduce technique 3).
 JobOptions HotKeyOnePassOptions(std::size_t hot_key_capacity = 1u << 12);
 
+// Hash runtime with periodic reducer checkpoints: keeps the pipelined push
+// shuffle AND tolerates reduce failures (the combination Table III says the
+// compared systems lack) by restoring reducer state from the latest image
+// and replaying only the un-acknowledged shuffle suffix.
+JobOptions CheckpointedOnePassOptions(std::uint64_t interval_records = 4096,
+                                      int retain = 2);
+
 class Platform {
  public:
   explicit Platform(PlatformOptions options = {});

@@ -127,14 +127,33 @@ void ClusterExecutor::Validate(const JobSpec& spec,
         "secondary sort (grouping_prefix) requires the sort-merge runtime "
         "and a holistic reduce function");
   }
-  if (cluster_.max_task_attempts > 1 && options.shuffle == Shuffle::kPush) {
-    throw std::invalid_argument(
-        "task retries require pull shuffle: pushed output is visible before "
-        "task completion and cannot be recalled (the pipelining / "
-        "fault-tolerance trade-off of paper Table III)");
-  }
   if (cluster_.max_task_attempts < 1) {
     throw std::invalid_argument("max_task_attempts must be at least 1");
+  }
+  if (options.checkpoint.enabled) {
+    if (options.group_by != GroupBy::kHash ||
+        options.hash_reduce != HashReduce::kIncremental) {
+      throw std::invalid_argument(
+          "checkpointing requires the incremental hash runtime (group_by == "
+          "kHash, hash_reduce == kIncremental): only per-key aggregator "
+          "state can be snapshotted and resumed");
+    }
+    if (options.early_emit) {
+      throw std::invalid_argument(
+          "checkpointing is incompatible with early_emit: answers emitted "
+          "before a failure cannot be recalled, so a restored attempt would "
+          "duplicate them");
+    }
+    if (options.checkpoint.retain < 1) {
+      throw std::invalid_argument("checkpoint.retain must be at least 1");
+    }
+    if (options.checkpoint.interval_records == 0 &&
+        options.checkpoint.interval_bytes == 0 &&
+        options.checkpoint.interval_seconds <= 0.0) {
+      throw std::invalid_argument(
+          "checkpointing enabled without an interval: set interval_records, "
+          "interval_bytes, or interval_seconds");
+    }
   }
   if (cluster_.speculative_execution && options.shuffle == Shuffle::kPush) {
     throw std::invalid_argument(
@@ -195,9 +214,20 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   ShuffleService shuffle(num_maps, num_reducers, metrics_,
                          options.push_queue_chunks);
 
-  const bool reduce_retry_enabled =
-      options.shuffle == Shuffle::kPull && cluster_.max_task_attempts > 1;
-  if (reduce_retry_enabled) shuffle.EnableReplay();
+  const bool checkpoint_enabled = options.checkpoint.enabled;
+  const bool reduce_retry_enabled = cluster_.max_task_attempts > 1;
+  if (checkpoint_enabled) {
+    // Retain every consumed shuffle item (spilling past the budget) until
+    // the consuming reducer's checkpoints cover it — reduce recovery works
+    // even for pipelined (push) feeds.
+    shuffle.EnableCheckpointReplay(files_->NewDir("shuffle_retain"),
+                                   options.checkpoint.retain_budget_bytes);
+  } else if (reduce_retry_enabled) {
+    // Classic Hadoop-style replay: file descriptors only.  A push job still
+    // runs, but a reduce failure after a pushed chunk was consumed becomes
+    // a structured Table III error instead of a recovery.
+    shuffle.EnableReplay();
+  }
   if (fault != nullptr) {
     shuffle.SetFetchProbe([fault](int reducer, int map_task) {
       fault->OnShuffleFetch(reducer, map_task);
@@ -214,6 +244,11 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   env.emissions = &emissions;
   env.job_start = &job_start;
   env.fault = fault;
+  if (checkpoint_enabled) {
+    env.checkpoint_dir = options.checkpoint.dir.empty()
+                             ? files_->NewDir("checkpoints")
+                             : std::filesystem::path(options.checkpoint.dir);
+  }
 
   BlockScheduler scheduler(blocks, dfs_->options().num_nodes);
 
@@ -270,6 +305,11 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
           output_records.fetch_add(records, std::memory_order_relaxed);
           per_reducer_records[r] = records;  // one writer per slot
           return;
+        } catch (const ReplayError&) {
+          // The feed is unrecoverable; another attempt would fail the same
+          // way (Table III).
+          record_failure(std::current_exception());
+          return;
         } catch (...) {
           const bool retryable = reduce_retry_enabled &&
                                  attempt < cluster_.max_task_attempts &&
@@ -278,9 +318,20 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
             record_failure(std::current_exception());
             return;
           }
+          if (!checkpoint_enabled) {
+            // Full replay from the start.  With checkpointing on, the next
+            // attempt restores its own checkpoint and rewinds to that
+            // watermark itself.
+            std::string why;
+            if (!shuffle.Rewind(r, /*from_ordinal=*/0, &why)) {
+              record_failure(std::make_exception_ptr(ReplayError(
+                  "reduce task " + std::to_string(r) +
+                  " cannot be re-executed: " + why)));
+              return;
+            }
+          }
           reduce_retries.fetch_add(1, std::memory_order_relaxed);
           metrics_->Get("retry.reduce_task")->Increment();
-          shuffle.Rewind(r);
           RetryBackoff(attempt, 0x5edce5ull + static_cast<std::uint64_t>(r));
         }
       }
@@ -495,6 +546,12 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
     result.counters[name] = value - before;
   }
   result.faults_injected = result.Bytes("faults.injected");
+  result.checkpoints_written = result.Bytes("checkpoint.written");
+  result.checkpoints_loaded = result.Bytes("checkpoint.loaded");
+  result.checkpoint_bytes = result.Bytes(device::kCheckpointWrite);
+  result.replay_records = result.Bytes("recovery.replay_records");
+  result.recover_seconds =
+      static_cast<double>(result.Bytes("checkpoint.recover_us")) / 1e6;
   return result;
 }
 

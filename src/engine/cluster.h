@@ -87,6 +87,13 @@ struct JobResult {
   int speculative_wins = 0;     // backups that published before the original
   std::int64_t faults_injected = 0;  // chaos-plane faults fired (all points)
 
+  // Checkpoint activity (all zero with checkpointing off).
+  std::int64_t checkpoints_written = 0;
+  std::int64_t checkpoints_loaded = 0;   // restores performed by retries
+  std::int64_t checkpoint_bytes = 0;     // bytes committed to checkpoints
+  std::int64_t replay_records = 0;       // shuffle records re-delivered
+  double recover_seconds = 0.0;          // time spent restoring checkpoints
+
   // Per-reducer output records: the partition-skew signal (related work
   // [19] targets exactly this imbalance).
   std::vector<std::uint64_t> reducer_output_records;

@@ -19,6 +19,7 @@
 #include <vector>
 #include <string>
 
+#include "checkpoint/options.h"
 #include "common/slice.h"
 
 namespace opmr {
@@ -129,6 +130,13 @@ struct JobOptions {
   // state immediately — the paper's "output a group as soon as the count of
   // its items has reached the threshold" example.
   std::function<bool(Slice key, Slice state)> early_emit;
+
+  // Reduce-state checkpointing (incremental hash runtime only): periodic
+  // snapshots of each reducer's state table let a failed reduce attempt
+  // resume from the last checkpoint and replay only the shuffle suffix —
+  // including under push shuffle, where the shuffle retains pushed chunks
+  // until a checkpoint covers them.  See src/checkpoint.
+  CheckpointOptions checkpoint;
 };
 
 struct JobSpec {

@@ -82,6 +82,8 @@ struct RuntimeEnv {
   EmissionLog* emissions = nullptr;
   const WallTimer* job_start = nullptr;
   FaultInjector* fault = nullptr;  // chaos plane; nullptr in clean runs
+  // Resolved checkpoint directory (empty when checkpointing is off).
+  std::filesystem::path checkpoint_dir;
 };
 
 // Writes one reducer's output into the DFS and logs emission times.

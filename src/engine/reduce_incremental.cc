@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "engine/reduce_hash.h"
+#include "fault/fault.h"
 
 namespace opmr {
 
@@ -31,6 +33,26 @@ void MergeStatesAndEmit(const Aggregator& agg, Slice key,
   out.Emit(key, final_value);
 }
 
+// Collects emissions into a vector so they can be sorted before reaching
+// the real output — checkpointed runs emit in key order, making output
+// bytes independent of hash-table iteration order (and therefore identical
+// between a clean run and a recovered one).
+class BufferingCollector final : public OutputCollector {
+ public:
+  void Emit(Slice key, Slice value) override {
+    rows_.emplace_back(std::string(key.view()), std::string(value.view()));
+  }
+
+  void DrainSorted(OutputCollector& out) {
+    std::sort(rows_.begin(), rows_.end());
+    for (const auto& [key, value] : rows_) out.Emit(key, value);
+    rows_.clear();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> rows_;
+};
+
 }  // namespace
 
 // --- IncrementalHashReducer --------------------------------------------------
@@ -45,7 +67,84 @@ IncrementalHashReducer::IncrementalHashReducer(int reducer_id,
       env_(env),
       values_are_states_(spec.has_aggregator() && options.map_side_combine),
       table_((RequireAggregator(spec, "IncrementalHashReducer"),
-              spec.aggregator.get())) {}
+              spec.aggregator.get())) {
+  if (options_.checkpoint.enabled) {
+    ckpt_ = std::make_unique<CheckpointManager>(
+        env_.checkpoint_dir, spec_.name, reducer_id_, options_.checkpoint,
+        env_.metrics);
+  }
+}
+
+std::uint64_t IncrementalHashReducer::PrepareCheckpoint() {
+  const FaultScope::Frame& frame = FaultScope::Current();
+  if (frame.attempt <= 1) {
+    // Fresh execution: stale images of a previous run must never restore.
+    ckpt_->Reset();
+    return 0;
+  }
+  std::uint64_t watermark = 0;
+  if (auto image = ckpt_->LoadLatest(); image.has_value()) {
+    RestoreFromImage(*image);
+    watermark = image->watermark;
+  }
+  // No (valid) checkpoint degrades to a full re-execution — feasible for
+  // retained-feed shuffles, a structured Table III error otherwise.
+  std::string why;
+  if (!env_.shuffle->Rewind(reducer_id_, watermark, &why)) {
+    throw ReplayError("reduce task " + std::to_string(reducer_id_) +
+                      " cannot resume from checkpoint watermark " +
+                      std::to_string(watermark) + ": " + why);
+  }
+  return watermark;
+}
+
+void IncrementalHashReducer::RestoreFromImage(const CheckpointImage& image) {
+  table_.Clear();
+  spill_runs_.clear();
+  feed_records_.clear();
+  for (const auto& entry : image.entries) {
+    table_.Fold(entry.key, entry.state, /*value_is_state=*/true)
+        .early_emitted = entry.early_emitted;
+  }
+  for (const auto& spill : image.spill_files) {
+    const std::filesystem::path path(spill.path);
+    if (!std::filesystem::exists(path)) {
+      throw std::runtime_error("checkpoint manifest references missing "
+                               "spill run " +
+                               spill.path);
+    }
+    // Appends made after the checkpoint belong to the failed epoch.
+    if (std::filesystem::file_size(path) > spill.committed_bytes) {
+      std::filesystem::resize_file(path, spill.committed_bytes);
+    }
+    spill_runs_.push_back(path);
+  }
+  table_spills_ = static_cast<int>(spill_runs_.size());
+  for (const auto& [feed, records] : image.feeds) feed_records_[feed] = records;
+}
+
+void IncrementalHashReducer::WriteCheckpoint(std::uint64_t watermark) {
+  PhaseScope cpu(env_.profiler, "checkpoint");
+  CheckpointImage image;
+  image.watermark = watermark;
+  image.feeds.assign(feed_records_.begin(), feed_records_.end());
+  for (const auto& path : spill_runs_) {
+    image.spill_files.push_back(
+        {path.string(), std::filesystem::file_size(path)});
+  }
+  image.entries.reserve(table_.size());
+  table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+    image.entries.push_back(
+        {std::string(key.view()), entry.state, entry.early_emitted});
+  });
+  ckpt_->Write(&image);
+  // Acknowledge up to the OLDEST retained checkpoint: any of the retained
+  // images can still restore, so the shuffle may release everything its
+  // watermark covers.
+  if (auto ack = ckpt_->OldestRetainedWatermark(); ack.has_value()) {
+    env_.shuffle->Acknowledge(reducer_id_, *ack);
+  }
+}
 
 void IncrementalHashReducer::SpillTable() {
   const double begin = env_.job_start->Seconds();
@@ -65,6 +164,7 @@ void IncrementalHashReducer::SpillTable() {
 std::uint64_t IncrementalHashReducer::Run() {
   const double shuffle_begin = env_.job_start->Seconds();
   IoChannel shuffle_read(env_.metrics, device::kShuffleRead);
+  std::uint64_t watermark = ckpt_ != nullptr ? PrepareCheckpoint() : 0;
   ReducerOutput out(env_,
                     spec_.output_file + ".part" + std::to_string(reducer_id_));
   std::string early_value;
@@ -73,23 +173,35 @@ std::uint64_t IncrementalHashReducer::Run() {
   std::uint64_t since_check = 0;
   while (env_.shuffle->NextItem(reducer_id_, &item)) {
     auto stream = OpenShuffleItem(item, shuffle_read);
-    PhaseScope cpu(env_.profiler, "hash_group");
-    while (stream->Next()) {
-      StateTable::Entry& entry =
-          table_.Fold(stream->key(), stream->value(), values_are_states_);
-      if (options_.early_emit && !entry.early_emitted &&
-          options_.early_emit(stream->key(), entry.state)) {
-        // Incremental processing: the answer leaves the system the moment
-        // the data needed to produce it has been read (paper §IV req. 3).
-        spec_.aggregator->Finalize(entry.state, &early_value);
-        out.Emit(stream->key(), early_value);
-        entry.early_emitted = true;
-        ++early_emits_;
+    {
+      PhaseScope cpu(env_.profiler, "hash_group");
+      while (stream->Next()) {
+        StateTable::Entry& entry =
+            table_.Fold(stream->key(), stream->value(), values_are_states_);
+        if (options_.early_emit && !entry.early_emitted &&
+            options_.early_emit(stream->key(), entry.state)) {
+          // Incremental processing: the answer leaves the system the moment
+          // the data needed to produce it has been read (paper §IV req. 3).
+          spec_.aggregator->Finalize(entry.state, &early_value);
+          out.Emit(stream->key(), early_value);
+          entry.early_emitted = true;
+          ++early_emits_;
+        }
+        if (++since_check >= 64) {
+          since_check = 0;
+          if (table_.MemoryBytes() > options_.reduce_buffer_bytes) {
+            SpillTable();
+          }
+        }
       }
-      if (++since_check >= 64) {
-        since_check = 0;
-        if (table_.MemoryBytes() > options_.reduce_buffer_bytes) SpillTable();
-      }
+    }
+    if (ckpt_ != nullptr) {
+      // Checkpoints land on item boundaries: the watermark names the last
+      // fully-folded consume ordinal, so a restore replays whole items.
+      watermark = item.ordinal;
+      feed_records_[static_cast<std::uint32_t>(item.map_task)] += item.records;
+      ckpt_->OnProgress(item.records, item.size_bytes());
+      if (ckpt_->Due()) WriteCheckpoint(watermark);
     }
   }
   env_.timeline->Record(TaskKind::kShuffle, shuffle_begin,
@@ -98,13 +210,19 @@ std::uint64_t IncrementalHashReducer::Run() {
   const double reduce_begin = env_.job_start->Seconds();
   {
     PhaseScope cpu(env_.profiler, "reduce_function");
+    // Checkpointed runs route emissions through a sort so output bytes do
+    // not depend on hash iteration order — a recovered attempt's output is
+    // byte-identical to a clean run's.
+    BufferingCollector sorted;
+    OutputCollector& sink =
+        ckpt_ != nullptr ? static_cast<OutputCollector&>(sorted) : out;
     if (spill_runs_.empty()) {
       // Pure in-memory one-pass processing: a finalize scan is all that
       // remains.
       std::string final_value;
       table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
         spec_.aggregator->Finalize(entry.state, &final_value);
-        out.Emit(key, final_value);
+        sink.Emit(key, final_value);
       });
     } else {
       // Resolve spilled partial states: flush the live table as one more
@@ -114,11 +232,12 @@ std::uint64_t IncrementalHashReducer::Run() {
       ExternalHashAggregate(
           spill_runs_, /*level=*/0, options_.reduce_buffer_bytes, env_,
           [&](Slice key, const std::vector<Slice>& states) {
-            MergeStatesAndEmit(*spec_.aggregator, key, states, out);
+            MergeStatesAndEmit(*spec_.aggregator, key, states, sink);
           },
           options_.compress_spills);
       for (const auto& path : spill_runs_) std::filesystem::remove(path);
     }
+    if (ckpt_ != nullptr) sorted.DrainSorted(out);
   }
   out.Close();
   env_.timeline->Record(TaskKind::kReduce, reduce_begin,

@@ -18,10 +18,14 @@
 // as all input has arrived — before any cold-file pass.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.h"
 #include "engine/job.h"
 #include "engine/reduce_common.h"
 #include "engine/state_table.h"
@@ -44,6 +48,14 @@ class IncrementalHashReducer {
  private:
   void SpillTable();
 
+  // Checkpoint plumbing (ckpt_ is null when checkpointing is off).
+  // Prepare() resets stale images on a first attempt, or restores the
+  // latest checkpoint and rewinds the shuffle feed on a retry; returns the
+  // restored watermark (0 = start from scratch).
+  std::uint64_t PrepareCheckpoint();
+  void RestoreFromImage(const CheckpointImage& image);
+  void WriteCheckpoint(std::uint64_t watermark);
+
   int reducer_id_;
   const JobSpec& spec_;
   const JobOptions& options_;
@@ -54,6 +66,9 @@ class IncrementalHashReducer {
   std::vector<std::filesystem::path> spill_runs_;
   int table_spills_ = 0;
   std::uint64_t early_emits_ = 0;
+
+  std::unique_ptr<CheckpointManager> ckpt_;
+  std::map<std::uint32_t, std::uint64_t> feed_records_;  // map task -> records
 };
 
 class HotKeyIncrementalReducer {

@@ -1,6 +1,11 @@
 #include "engine/shuffle.h"
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
+#include <system_error>
+
+#include "storage/io.h"
 
 namespace opmr {
 
@@ -11,6 +16,10 @@ ShuffleService::ShuffleService(int num_map_tasks, int num_reducers,
       num_reducers_(num_reducers),
       push_queue_chunks_(push_queue_chunks),
       shuffle_read_(metrics, device::kShuffleRead),
+      retain_write_(metrics, device::kRetainWrite),
+      replay_records_(metrics != nullptr
+                          ? metrics->Get("recovery.replay_records")
+                          : nullptr),
       queues_(num_reducers) {
   if (num_reducers <= 0) {
     throw std::invalid_argument("ShuffleService: need at least one reducer");
@@ -99,15 +108,31 @@ bool ShuffleService::NextItem(int reducer, ShuffleItem* item) {
   if (q.items.empty()) return false;
   *item = std::move(q.items.front());
   q.items.pop_front();
+  if (item->ordinal == 0) item->ordinal = ++q.next_ordinal;
   if (!item->from_file) {
     --q.pushed_outstanding;
     // A pushed chunk crosses the (simulated) network when consumed.
     shuffle_read_.Add(static_cast<std::int64_t>(item->bytes.size()));
-    if (replay_) q.replay_broken = true;
-  } else if (replay_) {
-    // File items are cheap descriptors (no payload); retaining them lets a
-    // failed reduce attempt re-fetch the shuffle feed from the start.
-    q.consumed.push_back(*item);
+  }
+  switch (replay_mode_) {
+    case ReplayMode::kNone:
+      break;
+    case ReplayMode::kFileOnly:
+      if (!item->from_file) {
+        q.replay_broken = true;
+      } else {
+        // File items are cheap descriptors (no payload); retaining them
+        // lets a failed reduce attempt re-fetch the feed from the start.
+        q.retained.push_back(*item);
+      }
+      break;
+    case ReplayMode::kRetainAll:
+      q.retained.push_back(*item);
+      if (!item->from_file) {
+        q.retained_payload_bytes += item->bytes.size();
+        SpillRetainedLocked(&q);
+      }
+      break;
   }
   lock.unlock();
   cv_.notify_all();
@@ -119,25 +144,121 @@ bool ShuffleService::NextItem(int reducer, ShuffleItem* item) {
 
 void ShuffleService::EnableReplay() {
   std::scoped_lock lock(mu_);
-  replay_ = true;
+  replay_mode_ = ReplayMode::kFileOnly;
 }
 
-void ShuffleService::Rewind(int reducer) {
-  {
-    std::scoped_lock lock(mu_);
-    if (!replay_) {
-      throw std::logic_error("ShuffleService: Rewind without EnableReplay");
-    }
-    ReducerQueue& q = queues_.at(reducer);
-    if (q.replay_broken) {
-      throw std::logic_error(
-          "ShuffleService: cannot replay a pushed (pipelined) feed — reduce "
-          "re-execution requires pull shuffle");
-    }
-    q.items.insert(q.items.begin(), q.consumed.begin(), q.consumed.end());
-    q.consumed.clear();
+void ShuffleService::EnableCheckpointReplay(
+    const std::filesystem::path& retain_dir, std::size_t retain_budget_bytes) {
+  std::scoped_lock lock(mu_);
+  replay_mode_ = ReplayMode::kRetainAll;
+  retain_dir_ = retain_dir;
+  retain_budget_bytes_ = retain_budget_bytes;
+  std::filesystem::create_directories(retain_dir_);
+}
+
+void ShuffleService::SpillRetainedLocked(ReducerQueue* q) {
+  while (q->retained_payload_bytes > retain_budget_bytes_) {
+    auto it = std::find_if(q->retained.begin(), q->retained.end(),
+                           [](const ShuffleItem& i) { return !i.from_file; });
+    if (it == q->retained.end()) break;
+    const auto path =
+        retain_dir_ / ("retain_" + std::to_string(++retain_file_seq_) + ".seg");
+    SequentialWriter writer(path, retain_write_);
+    writer.Append(it->bytes);
+    writer.Close();
+    q->retained_payload_bytes -= it->bytes.size();
+    it->segment = Segment{0, it->bytes.size(), it->records};
+    it->bytes.clear();
+    it->bytes.shrink_to_fit();
+    it->from_file = true;
+    it->path = path;
+    it->retain_spill = true;
   }
+}
+
+void ShuffleService::AcknowledgeLocked(ReducerQueue* q, std::uint64_t upto) {
+  while (!q->retained.empty() && q->retained.front().ordinal <= upto) {
+    ShuffleItem& item = q->retained.front();
+    if (item.retain_spill) {
+      std::error_code ec;
+      std::filesystem::remove(item.path, ec);
+      q->acked_payload_floor = std::max(q->acked_payload_floor, item.ordinal);
+    } else if (!item.from_file) {
+      q->retained_payload_bytes -= item.bytes.size();
+      q->acked_payload_floor = std::max(q->acked_payload_floor, item.ordinal);
+    } else {
+      q->acked_files.push_back(std::move(item));
+    }
+    q->retained.pop_front();
+  }
+}
+
+void ShuffleService::Acknowledge(int reducer, std::uint64_t upto) {
+  std::scoped_lock lock(mu_);
+  AcknowledgeLocked(&queues_.at(reducer), upto);
+}
+
+bool ShuffleService::Rewind(int reducer, std::uint64_t from_ordinal,
+                            std::string* why) {
+  std::unique_lock lock(mu_);
+  ReducerQueue& q = queues_.at(reducer);
+  if (replay_mode_ == ReplayMode::kNone) {
+    *why =
+        "shuffle replay is not enabled (single-attempt job without "
+        "checkpointing)";
+    return false;
+  }
+  if (replay_mode_ == ReplayMode::kFileOnly && q.replay_broken) {
+    *why =
+        "cannot replay a pushed (pipelined) shuffle feed: in-memory chunks "
+        "are consumed destructively, so a re-executed reduce attempt would "
+        "lose records — the pipelining / fault-tolerance trade-off of paper "
+        "Table III. Use pull shuffle, or enable checkpointing so pushed "
+        "chunks are retained until a checkpoint covers them.";
+    return false;
+  }
+  if (from_ordinal < q.acked_payload_floor) {
+    *why = "cannot replay the shuffle feed from ordinal " +
+           std::to_string(from_ordinal) + ": pushed chunks up to ordinal " +
+           std::to_string(q.acked_payload_floor) +
+           " were discarded after checkpoint acknowledgement and no valid "
+           "checkpoint covers them (paper Table III: pipelined output "
+           "cannot be recalled once released)";
+    return false;
+  }
+  // The caller restored a state that covers everything <= from_ordinal;
+  // that is an acknowledgement.
+  AcknowledgeLocked(&q, from_ordinal);
+  // Rebuild the suffix in consumption order: acknowledged file descriptors
+  // first (their ordinals precede every retained one), then the retained
+  // window.
+  std::deque<ShuffleItem> replay;
+  for (auto it = q.acked_files.begin(); it != q.acked_files.end();) {
+    if (it->ordinal > from_ordinal) {
+      replay.push_back(std::move(*it));
+      it = q.acked_files.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (ShuffleItem& item : q.retained) replay.push_back(std::move(item));
+  q.retained.clear();
+  std::uint64_t replayed_records = 0;
+  for (ShuffleItem& item : replay) {
+    replayed_records += item.records;
+    if (!item.from_file) {
+      ++q.pushed_outstanding;
+      q.retained_payload_bytes -= item.bytes.size();
+    }
+  }
+  q.items.insert(q.items.begin(), std::make_move_iterator(replay.begin()),
+                 std::make_move_iterator(replay.end()));
+  if (replay_records_ != nullptr) {
+    replay_records_->Add(static_cast<std::int64_t>(replayed_records));
+  }
+  lock.unlock();
   cv_.notify_all();
+  return true;
 }
 
 double ShuffleService::MapsDoneFraction() const {

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,12 +27,27 @@
 
 namespace opmr {
 
+// Thrown by a reduce attempt when its shuffle feed cannot be rewound to the
+// watermark it needs (e.g. every checkpoint is corrupt and pushed chunks
+// below the acknowledgement floor are gone).  Never retryable: another
+// attempt would fail the same way.
+class ReplayError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 // One unit of shuffled data for a single reducer: either an in-memory chunk
 // that was pushed, or a file segment to fetch.
 struct ShuffleItem {
   int map_task = -1;
   bool sorted = false;
   std::uint64_t records = 0;
+
+  // Consume ordinal: 1-based position in the reducer's consumption order,
+  // assigned the first time the item is handed out by NextItem (0 =  not
+  // yet consumed).  Checkpoint watermarks and Rewind/Acknowledge speak in
+  // these ordinals.
+  std::uint64_t ordinal = 0;
 
   // In-memory payload (push path); empty when the item is a file segment.
   std::string bytes;
@@ -40,6 +56,11 @@ struct ShuffleItem {
   bool from_file = false;
   std::filesystem::path path;
   Segment segment;
+
+  // The file is a retention spill owned by the shuffle (a pushed chunk
+  // persisted while awaiting checkpoint acknowledgement); deleted when the
+  // item is acknowledged.
+  bool retain_spill = false;
 
   [[nodiscard]] std::uint64_t size_bytes() const noexcept {
     return from_file ? segment.bytes : bytes.size();
@@ -75,14 +96,41 @@ class ShuffleService {
   // has consumed everything.  Charges the shuffle-read channel.
   bool NextItem(int reducer, ShuffleItem* item);
 
-  // Reduce-task re-execution support (pull shuffle only).  With replay
-  // enabled, every consumed file item is retained so a failed reduce
-  // attempt can Rewind() and re-fetch the published map outputs from the
-  // beginning — the Hadoop recovery move the paper contrasts with eager
-  // pipelining (Table III).  In-memory pushed chunks are consumed
-  // destructively and cannot be replayed; Rewind() throws if one was seen.
+  // Reduce-task re-execution support.  With replay enabled, every consumed
+  // file item is retained so a failed reduce attempt can Rewind() and
+  // re-fetch the published map outputs from the beginning — the Hadoop
+  // recovery move the paper contrasts with eager pipelining (Table III).
+  // In-memory pushed chunks are consumed destructively in this mode;
+  // Rewind() reports failure if one was seen.
   void EnableReplay();
-  void Rewind(int reducer);
+
+  // Checkpointed replay: EVERY consumed item — including pushed in-memory
+  // chunks — is retained until the consuming reducer's checkpoint covers it
+  // (Acknowledge).  Retained payload beyond `retain_budget_bytes` per
+  // reducer is spilled to files under `retain_dir`, so pipelining keeps its
+  // bounded memory footprint.  This is what makes reduce recovery possible
+  // under push shuffle: the Table III trade-off is bought back with bounded
+  // retention instead of giving up pipelining.
+  void EnableCheckpointReplay(const std::filesystem::path& retain_dir,
+                              std::size_t retain_budget_bytes);
+
+  // Releases retained items with ordinal <= `upto` for `reducer`: pushed
+  // payloads (and their retention spills) are discarded; file descriptors
+  // are kept — they are cheap and allow a full rewind as the last-resort
+  // fallback when every checkpoint is lost.  Callers pass the watermark of
+  // the OLDEST retained checkpoint, so any retained checkpoint can still
+  // be restored.
+  void Acknowledge(int reducer, std::uint64_t upto);
+
+  // Re-queues every consumed item with ordinal > `from_ordinal` for
+  // `reducer`, in consumption order, and implicitly acknowledges
+  // `from_ordinal` (the caller restored a state that covers it).  Returns
+  // false — with a Table III-flavoured diagnostic in `*why` — when the feed
+  // cannot be reconstructed: replay was never enabled, a pushed chunk was
+  // consumed destructively (EnableReplay mode), or pushed payloads at or
+  // below `from_ordinal`'s gap were already discarded by acknowledgement.
+  [[nodiscard]] bool Rewind(int reducer, std::uint64_t from_ordinal,
+                            std::string* why);
 
   // Optional probe invoked (outside the lock) after each successful
   // NextItem, with (reducer, map_task).  The fault plane uses it to inject
@@ -103,19 +151,44 @@ class ShuffleService {
   [[nodiscard]] int num_reducers() const noexcept { return num_reducers_; }
 
  private:
+  enum class ReplayMode {
+    kNone,       // consumed items are gone
+    kFileOnly,   // retain file descriptors; pushed chunks break replay
+    kRetainAll,  // retain everything until checkpoint acknowledgement
+  };
+
   struct ReducerQueue {
     std::deque<ShuffleItem> items;
     std::size_t pushed_outstanding = 0;  // in-memory chunks awaiting consume
-    std::vector<ShuffleItem> consumed;   // replay log (file descriptors only)
-    bool replay_broken = false;          // a pushed chunk was consumed
+    std::uint64_t next_ordinal = 0;      // last consume ordinal handed out
+
+    // Consumed-but-unacknowledged items, in consumption order.
+    std::deque<ShuffleItem> retained;
+    // Acknowledged file descriptors (kept: they cost nothing and permit a
+    // full-replay fallback), in consumption order.
+    std::deque<ShuffleItem> acked_files;
+    // Highest ordinal whose pushed payload was discarded; rewinding below
+    // this point is impossible.
+    std::uint64_t acked_payload_floor = 0;
+    // In-memory payload bytes currently held in `retained`.
+    std::size_t retained_payload_bytes = 0;
+
+    bool replay_broken = false;  // kFileOnly: a pushed chunk was consumed
   };
 
   void Enqueue(int reducer, ShuffleItem item);
+  // Ack implementation shared by Acknowledge and Rewind; `mu_` held.
+  void AcknowledgeLocked(ReducerQueue* q, std::uint64_t upto);
+  // Spills the oldest retained in-memory payloads to `retain_dir_` until
+  // the queue is back under the retention budget; `mu_` held.
+  void SpillRetainedLocked(ReducerQueue* q);
 
   const int num_map_tasks_;
   const int num_reducers_;
   const std::size_t push_queue_chunks_;
   IoChannel shuffle_read_;
+  IoChannel retain_write_;
+  Counter* replay_records_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -123,7 +196,10 @@ class ShuffleService {
   int maps_done_ = 0;
   std::string abort_reason_;
   bool aborted_ = false;
-  bool replay_ = false;
+  ReplayMode replay_mode_ = ReplayMode::kNone;
+  std::filesystem::path retain_dir_;
+  std::size_t retain_budget_bytes_ = 0;
+  std::uint64_t retain_file_seq_ = 0;
   std::function<void(int, int)> fetch_probe_;
 };
 

@@ -87,6 +87,29 @@ std::optional<std::string> SpaceSaving::OfferAndEvict(Slice key,
   return victim_key;
 }
 
+void SpaceSaving::Restore(Slice key, std::uint64_t count, std::uint64_t error) {
+  auto it = entries_.find(key.view());
+  if (it != entries_.end()) {
+    it->second.count = count;
+    it->second.error = error;
+    SiftUp(it->second.heap_pos);
+    SiftDown(it->second.heap_pos);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    throw std::logic_error("SpaceSaving::Restore: summary is full");
+  }
+  std::string owned(key.view());
+  Entry entry;
+  entry.key = owned;
+  entry.count = count;
+  entry.error = error;
+  entry.heap_pos = min_heap_.size();
+  auto [slot, inserted] = entries_.emplace(std::move(owned), std::move(entry));
+  min_heap_.push_back(&slot->second);
+  SiftUp(min_heap_.size() - 1);
+}
+
 std::uint64_t SpaceSaving::Estimate(Slice key) const {
   auto it = entries_.find(key.view());
   return it == entries_.end() ? 0 : it->second.count;

@@ -40,6 +40,15 @@ class SpaceSaving final : public FrequentSketch {
   // victim's in-memory state to the cold spill file.
   std::optional<std::string> OfferAndEvict(Slice key, std::uint64_t weight = 1);
 
+  // Checkpoint restore: re-installs a monitored entry with its exact
+  // (count, error) certificate, without counting toward the stream length.
+  // Replaces the key's entry if present; throws when the summary is full
+  // and the key is new.
+  void Restore(Slice key, std::uint64_t count, std::uint64_t error);
+
+  // Checkpoint restore: resets the observed stream weight.
+  void SetStreamLength(std::uint64_t n) noexcept { n_ = n; }
+
  private:
   struct Entry {
     std::string key;

@@ -66,4 +66,20 @@ inline std::vector<std::string> RecoveryCsvCells(int map_retries,
           std::to_string(faults)};
 }
 
+// Checkpoint-activity columns, same contract as the recovery columns above.
+inline std::vector<std::string> CheckpointCsvHeader() {
+  return {"checkpoints_written", "checkpoints_loaded", "checkpoint_bytes",
+          "replay_records", "recover_seconds"};
+}
+
+inline std::vector<std::string> CheckpointCsvCells(std::int64_t written,
+                                                   std::int64_t loaded,
+                                                   std::int64_t bytes,
+                                                   std::int64_t replayed,
+                                                   double recover_seconds) {
+  return {std::to_string(written), std::to_string(loaded),
+          std::to_string(bytes), std::to_string(replayed),
+          std::to_string(recover_seconds)};
+}
+
 }  // namespace opmr

@@ -35,6 +35,13 @@ class CompressedRunWriter final : public RecordSink {
     if (block_.size() >= kBlockBytes) FlushBlock();
   }
 
+  // Writes the current (possibly short) block out; the file stays a valid
+  // block sequence, the reader just sees one undersized block.
+  void Flush() override {
+    FlushBlock();
+    writer_.Flush(false);
+  }
+
   void Close() override {
     FlushBlock();
     writer_.Close();

@@ -27,6 +27,11 @@ inline constexpr const char* kPushedChunks = "shuffle.pushed_chunks";
 inline constexpr const char* kDivertedChunks = "shuffle.diverted_chunks";
 // Wall nanoseconds map tasks spend persisting their output (microbench M2).
 inline constexpr const char* kMapOutputWriteNanos = "map_output.write_nanos";
+// Checkpoint subsystem traffic (reduce-state snapshots + recovery reads).
+inline constexpr const char* kCheckpointWrite = "checkpoint.bytes_written";
+inline constexpr const char* kCheckpointRead = "checkpoint.bytes_read";
+// Pushed chunks spilled to disk while awaiting checkpoint acknowledgement.
+inline constexpr const char* kRetainWrite = "shuffle_retain.bytes_written";
 }  // namespace device
 
 // Handle pair for one I/O channel: resolves counters once, then hot paths

@@ -22,6 +22,10 @@ class RecordSink {
  public:
   virtual ~RecordSink() = default;
   virtual void Append(Slice key, Slice value) = 0;
+  // Pushes buffered frames to the file so bytes_written() names a durable
+  // prefix — what a checkpoint manifest records as the run's committed
+  // length.  The sink stays open for further appends.
+  virtual void Flush() {}
   virtual void Close() = 0;
   [[nodiscard]] virtual std::uint64_t bytes_written() const = 0;
   [[nodiscard]] virtual std::uint64_t num_records() const = 0;
@@ -41,7 +45,8 @@ class RunWriter final : public RecordSink {
     ++num_records_;
   }
 
-  void Flush(bool sync = false) { writer_.Flush(sync); }
+  void Flush(bool sync) { writer_.Flush(sync); }
+  void Flush() override { writer_.Flush(false); }
   void Close() override { writer_.Close(); }
 
   [[nodiscard]] std::uint64_t bytes_written() const override {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "checkpoint/checkpoint.h"
 #include "engine/map_task.h"  // PartitionOf
 #include "engine/reduce_common.h"
 #include "engine/reduce_hash.h"
@@ -11,12 +12,16 @@ namespace opmr {
 
 // --- Worker --------------------------------------------------------------------
 
-// One reducer worker: a bounded queue of framed (key, value) pairs feeding
-// an incremental state table on a dedicated thread.
+// One reducer worker: a bounded queue of framed pairs
+// ([u64 ingest_seq][u32 klen][u32 vlen][key][value]) feeding an incremental
+// state table on a dedicated thread.  The ingest sequence carried by every
+// frame is the recovery watermark: checkpoints land on sequence boundaries,
+// and after a restore any frame at or below the watermark is skipped.
 class StreamingJob::Worker {
  public:
   Worker(const StreamingQuery* query, const StreamingOptions* options,
-         FileManager* files, MetricRegistry* metrics, int id)
+         FileManager* files, MetricRegistry* metrics, int id,
+         const std::filesystem::path& ckpt_dir)
       : query_(query),
         options_(options),
         files_(files),
@@ -26,7 +31,14 @@ class StreamingJob::Worker {
         sketch_(options->hot_key_capacity > 0
                     ? std::make_unique<SpaceSaving>(options->hot_key_capacity)
                     : nullptr),
-        thread_([this](std::stop_token st) { Run(st); }) {}
+        thread_([this](std::stop_token st) { Run(st); }) {
+    if (options_->checkpoint.enabled) {
+      ckpt_ = std::make_unique<CheckpointManager>(ckpt_dir, query_->name, id_,
+                                                  options_->checkpoint,
+                                                  metrics_);
+      ckpt_->Reset();  // a new stream never restores a previous job's images
+    }
+  }
 
   ~Worker() { Stop(); }
 
@@ -66,6 +78,84 @@ class StreamingJob::Worker {
   }
   [[nodiscard]] std::uint64_t early_answers() const {
     return early_.load(std::memory_order_relaxed);
+  }
+
+  // Blocks until the queue is drained and the worker thread is idle, so
+  // cur_seq_ and the state table are final for the records ingested so far.
+  void WaitIdle() {
+    std::unique_lock lock(queue_mu_);
+    idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  }
+
+  // Simulates losing this worker's process: in-flight queue, resident
+  // state, sketch and spill manifest are discarded.  On-disk checkpoints
+  // and spill files survive (they are the recovery source).
+  void Crash() {
+    std::scoped_lock lock(queue_mu_, state_mu_);
+    queue_.clear();
+    table_.Clear();
+    if (sketch_ != nullptr) {
+      sketch_ = std::make_unique<SpaceSaving>(options_->hot_key_capacity);
+    }
+    if (cold_ != nullptr) {
+      cold_->Close();
+      cold_.reset();
+    }
+    cold_path_.clear();
+    spill_runs_.clear();
+    pairs_.store(0, std::memory_order_relaxed);
+    cur_seq_ = 0;
+    crashed_ = true;
+    queue_cv_.notify_all();
+  }
+
+  // Restores a crashed worker from its latest valid checkpoint, returning
+  // the restored watermark (0 = no checkpoint, refold everything).  For a
+  // healthy worker, arms replay deduplication (frames at or below the
+  // current sequence are skipped) and returns nullopt.
+  std::optional<std::uint64_t> RestoreIfCrashed() {
+    std::scoped_lock lock(queue_mu_, state_mu_);
+    if (!crashed_) {
+      restore_watermark_ = cur_seq_;
+      return std::nullopt;
+    }
+    std::uint64_t watermark = 0;
+    if (auto image = ckpt_->LoadLatest(); image.has_value()) {
+      table_.Clear();
+      for (const auto& entry : image->entries) {
+        table_.Fold(entry.key, entry.state, /*value_is_state=*/true)
+            .early_emitted = entry.early_emitted;
+      }
+      if (sketch_ != nullptr) {
+        for (const auto& entry : image->sketch) {
+          sketch_->Restore(entry.key, entry.count, entry.error);
+        }
+        sketch_->SetStreamLength(image->sketch_stream_length);
+      }
+      for (const auto& spill : image->spill_files) {
+        const std::filesystem::path path(spill.path);
+        if (!std::filesystem::exists(path)) {
+          throw std::runtime_error(
+              "streaming checkpoint references missing spill run " +
+              spill.path);
+        }
+        // Appends after the checkpoint belong to the failed epoch.
+        if (std::filesystem::file_size(path) > spill.committed_bytes) {
+          std::filesystem::resize_file(path, spill.committed_bytes);
+        }
+        spill_runs_.push_back(path);
+      }
+      if (!image->feeds.empty()) {
+        pairs_.store(image->feeds.front().second, std::memory_order_relaxed);
+      }
+      watermark = image->watermark;
+    }
+    // A demoted-cold file from before the crash stays in spill_runs_ but is
+    // never appended to again; demotions after recovery open a fresh one.
+    restore_watermark_ = watermark;
+    cur_seq_ = watermark;
+    crashed_ = false;
+    return watermark;
   }
 
   // Drains the queue, stops the thread, resolves spills, and appends the
@@ -127,30 +217,47 @@ class StreamingJob::Worker {
       batch.clear();
       {
         std::unique_lock lock(queue_mu_);
+        busy_ = false;
+        idle_cv_.notify_all();
         queue_cv_.wait(lock, [&] { return !queue_.empty() || closing_; });
         while (!queue_.empty()) {
           batch.push_back(std::move(queue_.front()));
           queue_.pop_front();
         }
         if (batch.empty() && closing_) return;
+        busy_ = true;
       }
       queue_cv_.notify_all();  // ingest may proceed
 
       std::scoped_lock lock(state_mu_);
       for (const auto& framed : batch) {
-        const std::uint32_t klen = DecodeU32(framed.data());
-        const Slice key(framed.data() + 8, klen);
-        const Slice value(framed.data() + 8 + klen, framed.size() - 8 - klen);
-        Fold(key, value);
-      }
-      if (table_.MemoryBytes() > options_->worker_budget_bytes) {
-        if (sketch_ == nullptr) {
-          SpillTableLocked();
-        } else {
-          EnforceBudgetLocked();
-        }
+        const std::uint64_t seq = DecodeU64(framed.data());
+        const std::uint32_t klen = DecodeU32(framed.data() + 8);
+        const Slice key(framed.data() + 16, klen);
+        const Slice value(framed.data() + 16 + klen,
+                          framed.size() - 16 - klen);
+        FoldFramed(seq, key, value, framed.size());
       }
     }
+  }
+
+  void FoldFramed(std::uint64_t seq, Slice key, Slice value,
+                  std::size_t framed_bytes) {
+    // Frames racing a crash die with the worker; frames at or below the
+    // restore watermark were already folded before it.
+    if (crashed_ || seq <= restore_watermark_) return;
+    if (seq > cur_seq_) {
+      // The previous sequence is complete (single-threaded ordered ingest:
+      // all of its pairs precede this frame in the queue) — a consistent
+      // point to checkpoint.
+      if (ckpt_ != nullptr && cur_seq_ > 0) {
+        ckpt_->OnProgress(1, 0);
+        if (ckpt_->Due()) WriteCheckpointLocked(cur_seq_);
+      }
+      cur_seq_ = seq;
+    }
+    Fold(key, value);
+    if (ckpt_ != nullptr) ckpt_->OnProgress(0, framed_bytes);
   }
 
   void Fold(Slice key, Slice value) {
@@ -175,6 +282,45 @@ class StreamingJob::Worker {
         options_->on_early_answer(key, finalized);
       }
     }
+    // Budget enforcement per fold (not per batch): the spill/demotion
+    // sequence becomes a deterministic function of the routed pair order,
+    // so seeded runs demote identically every time.
+    if (table_.MemoryBytes() > options_->worker_budget_bytes) {
+      if (sketch_ == nullptr) {
+        SpillTableLocked();
+      } else {
+        EnforceBudgetLocked();
+      }
+    }
+  }
+
+  void WriteCheckpointLocked(std::uint64_t watermark) {
+    if (cold_ != nullptr) cold_->Flush();
+    CheckpointImage image;
+    image.watermark = watermark;
+    image.feeds.emplace_back(static_cast<std::uint32_t>(id_),
+                             pairs_.load(std::memory_order_relaxed));
+    for (const auto& path : spill_runs_) {
+      // The open cold run's durable prefix is its flushed byte count; the
+      // closed spill runs are complete files.
+      const std::uint64_t committed = (cold_ != nullptr && path == cold_path_)
+                                          ? cold_->bytes_written()
+                                          : std::filesystem::file_size(path);
+      image.spill_files.push_back({path.string(), committed});
+    }
+    if (sketch_ != nullptr) {
+      for (const auto& hitter : sketch_->Candidates()) {
+        image.sketch.push_back(
+            {hitter.key, hitter.count_estimate, hitter.error_bound});
+      }
+      image.sketch_stream_length = sketch_->StreamLength();
+    }
+    image.entries.reserve(table_.size());
+    table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+      image.entries.push_back(
+          {std::string(key.view()), entry.state, entry.early_emitted});
+    });
+    ckpt_->Write(&image);
   }
 
   void SpillTableLocked() {
@@ -199,6 +345,7 @@ class StreamingJob::Worker {
       spill_runs_.push_back(cold_path_);
     }
     cold_->Append(key, state);
+    metrics_->Get("stream.demotions")->Increment();
   }
 
   void EnforceBudgetLocked() {
@@ -223,8 +370,10 @@ class StreamingJob::Worker {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::string> queue_;
   bool closing_ = false;
+  bool busy_ = false;  // worker thread is folding a drained batch
 
   mutable std::mutex state_mu_;
   StateTable table_;
@@ -232,6 +381,13 @@ class StreamingJob::Worker {
   std::unique_ptr<RecordSink> cold_;
   std::filesystem::path cold_path_;
   std::vector<std::filesystem::path> spill_runs_;
+  std::unique_ptr<CheckpointManager> ckpt_;
+
+  // Recovery state (state_mu_): last sequence this worker has seen, the
+  // watermark below which replayed frames are skipped, and the crash flag.
+  std::uint64_t cur_seq_ = 0;
+  std::uint64_t restore_watermark_ = 0;
+  bool crashed_ = false;
 
   std::atomic<std::uint64_t> pairs_{0};
   std::atomic<std::uint64_t> early_{0};
@@ -257,10 +413,27 @@ StreamingJob::StreamingJob(StreamingQuery query, StreamingOptions options,
   if (num_workers <= 0) {
     throw std::invalid_argument("StreamingJob: need at least one worker");
   }
+  std::filesystem::path ckpt_dir;
+  if (options_.checkpoint.enabled) {
+    if (options_.early_emit) {
+      throw std::invalid_argument(
+          "StreamingJob: checkpointing is incompatible with early_emit "
+          "(replayed records would duplicate early answers)");
+    }
+    if (options_.checkpoint.interval_records == 0 &&
+        options_.checkpoint.interval_bytes == 0 &&
+        options_.checkpoint.interval_seconds <= 0.0) {
+      throw std::invalid_argument(
+          "StreamingJob: checkpointing enabled without an interval");
+    }
+    ckpt_dir = options_.checkpoint.dir.empty()
+                   ? files_.NewDir("checkpoints")
+                   : std::filesystem::path(options_.checkpoint.dir);
+  }
   workers_.reserve(num_workers);
   for (int w = 0; w < num_workers; ++w) {
     workers_.push_back(std::make_unique<Worker>(&query_, &options_, &files_,
-                                                &metrics_, w));
+                                                &metrics_, w, ckpt_dir));
   }
 }
 
@@ -276,14 +449,22 @@ void StreamingJob::Ingest(Slice record) {
   if (finished_.load(std::memory_order_relaxed)) {
     throw std::logic_error("StreamingJob: ingest after Finish()");
   }
+  // The record's sequence number travels with every routed pair; it is the
+  // watermark currency of checkpoints and replay deduplication.
+  const std::uint64_t seq = records_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seq <= replay_until_.load(std::memory_order_relaxed)) {
+    metrics_.Get("recovery.replay_records")->Increment();
+  }
   // Local class: routes map output to the owning worker as framed pairs
   // (local classes of member functions share the class's access rights).
   class RoutingCollector final : public OutputCollector {
    public:
-    explicit RoutingCollector(StreamingJob* job) : job_(job) {}
+    RoutingCollector(StreamingJob* job, std::uint64_t seq)
+        : job_(job), seq_(seq) {}
     void Emit(Slice key, Slice value) override {
       std::string framed;
-      framed.reserve(8 + key.size() + value.size());
+      framed.reserve(16 + key.size() + value.size());
+      AppendU64(framed, seq_);
       AppendU32(framed, static_cast<std::uint32_t>(key.size()));
       AppendU32(framed, static_cast<std::uint32_t>(value.size()));
       framed.append(key.data(), key.size());
@@ -295,12 +476,22 @@ void StreamingJob::Ingest(Slice record) {
 
    private:
     StreamingJob* job_;
-  } collector(this);
+    std::uint64_t seq_;
+  } collector(this, seq);
   query_.map(record, collector);
-  records_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::optional<std::string> StreamingJob::Query(Slice key) const {
+  if (finished_.load(std::memory_order_acquire)) {
+    // Serve from the exact, key-sorted final results.
+    const auto it = std::lower_bound(
+        final_results_.begin(), final_results_.end(), key.view(),
+        [](const auto& row, std::string_view want) { return row.first < want; });
+    if (it != final_results_.end() && it->first == key.view()) {
+      return it->second;
+    }
+    return std::nullopt;
+  }
   const auto w = PartitionOf(key, static_cast<int>(workers_.size()));
   return workers_[w]->Query(key);
 }
@@ -340,7 +531,52 @@ std::uint64_t StreamingJob::early_answers() const {
 std::vector<std::pair<std::string, std::string>> StreamingJob::Finish() {
   if (finished_.exchange(true)) return final_results_;
   for (auto& worker : workers_) worker->Finish(&final_results_);
+  std::sort(final_results_.begin(), final_results_.end());
   return final_results_;
+}
+
+void StreamingJob::CrashWorker(int worker) {
+  if (!options_.checkpoint.enabled) {
+    throw std::logic_error(
+        "StreamingJob::CrashWorker: checkpointing is not enabled, the crash "
+        "would be unrecoverable");
+  }
+  if (worker < 0 || worker >= static_cast<int>(workers_.size())) {
+    throw std::out_of_range("StreamingJob::CrashWorker: no such worker");
+  }
+  workers_[static_cast<std::size_t>(worker)]->Crash();
+}
+
+std::uint64_t StreamingJob::Recover() {
+  if (!options_.checkpoint.enabled) {
+    throw std::logic_error(
+        "StreamingJob::Recover: checkpointing is not enabled");
+  }
+  if (finished_.load(std::memory_order_relaxed)) {
+    throw std::logic_error("StreamingJob::Recover: stream already finished");
+  }
+  // Settle every worker first: a healthy worker's current sequence becomes
+  // its replay-dedup watermark, so it must be final before we read it.
+  for (auto& worker : workers_) worker->WaitIdle();
+  const std::uint64_t ingested = records_.load(std::memory_order_relaxed);
+  std::uint64_t resume = ingested;
+  bool any_crashed = false;
+  for (auto& worker : workers_) {
+    if (auto watermark = worker->RestoreIfCrashed(); watermark.has_value()) {
+      any_crashed = true;
+      resume = std::min(resume, *watermark);
+    }
+  }
+  if (!any_crashed) return ingested;
+  // Roll the ingest sequence back: the caller re-Ingest()s its source from
+  // `resume` on, and sequences up to `ingested` count as replay.
+  replay_until_.store(ingested, std::memory_order_relaxed);
+  records_.store(resume, std::memory_order_relaxed);
+  return resume;
+}
+
+std::int64_t StreamingJob::CounterValue(const std::string& name) const {
+  return metrics_.Value(name);
 }
 
 }  // namespace opmr

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "checkpoint/options.h"
 #include "engine/aggregators.h"
 #include "engine/job.h"
 #include "engine/state_table.h"
@@ -58,6 +59,12 @@ struct StreamingOptions {
   std::function<void(Slice key, Slice value)> on_early_answer;
 
   bool compress_spills = false;
+
+  // Periodic per-worker checkpoints of (state table, sketch, spill
+  // manifest, ingest watermark); see CrashWorker()/Recover().  Intervals
+  // count the records a worker has fully folded.  Incompatible with
+  // early_emit (replayed records would duplicate early answers).
+  CheckpointOptions checkpoint;
 };
 
 // A streaming query: map + aggregator (streaming needs the algebraic form;
@@ -78,11 +85,16 @@ class StreamingJob {
   StreamingJob& operator=(const StreamingJob&) = delete;
 
   // Applies the map function to one arriving record and routes its output.
-  // Thread-safe; blocks under back-pressure.  Throws after Finish().
+  // Blocks under back-pressure.  Throws after Finish().  The recovery
+  // contract requires a single ingesting thread feeding records in a
+  // deterministic, replayable order (a source offset — the Kafka model):
+  // each record gets the next sequence number, and Recover() names the
+  // sequence to re-ingest from.
   void Ingest(Slice record);
 
   // Live point lookup: the key's current aggregate, if its state is
   // resident right now (approximate in hot-key mode if parts were demoted).
+  // After Finish(), answers come from the exact final results instead.
   [[nodiscard]] std::optional<std::string> Query(Slice key) const;
 
   // Live top-n answers by aggregate value (u64-decoded), largest first.
@@ -96,8 +108,28 @@ class StreamingJob {
   [[nodiscard]] std::uint64_t early_answers() const;
 
   // Ends the stream: drains queues, resolves spilled partial states and
-  // returns the exact final (key, value) results.  Idempotent.
+  // returns the exact final (key, value) results, sorted by key.
+  // Idempotent — repeated calls return the same results.
   std::vector<std::pair<std::string, std::string>> Finish();
+
+  // --- fault injection & recovery (requires checkpoint.enabled) -------------
+
+  // Simulates the loss of one worker: its queue, state table, sketch and
+  // spill manifest are discarded, as a process crash would.  Checkpoints
+  // and spill files on disk survive.
+  void CrashWorker(int worker);
+
+  // Restores every crashed worker from its latest valid checkpoint and
+  // returns the ingest sequence to resume from: the caller re-Ingest()s its
+  // source records AFTER that sequence (records_ingested() is rolled back
+  // to it).  Healthy workers deduplicate the replay — a record they already
+  // folded is skipped — so the final results match a crash-free run
+  // exactly.
+  std::uint64_t Recover();
+
+  // Job-scoped counter value ("checkpoint.written", "stream.demotions",
+  // "recovery.replay_records", ...); 0 for unknown names.
+  [[nodiscard]] std::int64_t CounterValue(const std::string& name) const;
 
  private:
   class Worker;
@@ -108,6 +140,9 @@ class StreamingJob {
   MetricRegistry metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> records_{0};
+  // After Recover(): sequences at or below this are replays of already-
+  // ingested source records (counted into "recovery.replay_records").
+  std::atomic<std::uint64_t> replay_until_{0};
   std::atomic<bool> finished_{false};
   std::vector<std::pair<std::string, std::string>> final_results_;
 };

@@ -251,15 +251,19 @@ TEST_F(ClusterTest, PermanentFailureExhaustsRetries) {
   EXPECT_THROW(platform.Run(doomed, HadoopOptions()), std::runtime_error);
 }
 
-TEST_F(ClusterTest, RetriesRejectedWithPushShuffle) {
+TEST_F(ClusterTest, RetriesWithPushShuffleRunCleanly) {
+  // Retry budgets are legal under push shuffle (checkpointing needs them);
+  // a fault-free run simply never uses them.  Only an actual reduce failure
+  // without checkpoints surfaces the Table III replay error (chaos suite).
   Platform platform({.num_nodes = 2, .block_bytes = 256u << 10,
                      .max_task_attempts = 3});
   ClickStreamOptions gen;
   gen.num_records = 1'000;
   GenerateClickStream(platform.dfs(), "clicks", gen);
-  EXPECT_THROW(platform.Run(PerUserCountJob("clicks", "o12", 2),
-                            HashOnePassOptions()),
-               std::invalid_argument);
+  const auto result =
+      platform.Run(PerUserCountJob("clicks", "o12", 2), HashOnePassOptions());
+  EXPECT_GT(result.output_records, 0u);
+  EXPECT_EQ(result.reduce_task_retries, 0);
 }
 
 TEST_F(ClusterTest, EmptyInputProducesEmptyOutput) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <thread>
@@ -177,6 +178,65 @@ TEST(Streaming, ValidatesQueryAndWorkerCount) {
 
   EXPECT_THROW(StreamingJob(CountByFirstField(), {}, 0),
                std::invalid_argument);
+}
+
+TEST(Streaming, FinishTwiceReturnsTheSameSortedResults) {
+  StreamingJob job(CountByFirstField(), {}, 2);
+  for (int i = 0; i < 5'000; ++i) {
+    job.Ingest("k" + std::to_string(i % 97) + "\tx");
+  }
+  const auto first = job.Finish();
+  ASSERT_EQ(first.size(), 97u);
+  EXPECT_TRUE(std::is_sorted(
+      first.begin(), first.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  const auto second = job.Finish();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Streaming, QueryAfterFinishServesFinalResults) {
+  StreamingOptions options;
+  options.worker_budget_bytes = 8u << 10;  // spill, so live queries miss keys
+  StreamingJob job(CountByFirstField(), options, 2);
+  Rng rng(5);
+  std::map<std::string, std::uint64_t> truth;
+  for (int i = 0; i < 30'000; ++i) {
+    const std::string key = "u" + std::to_string(rng.Uniform(4'000));
+    ++truth[key];
+    job.Ingest(key + "\tx");
+  }
+  job.Finish();
+  // Post-finish queries are exact for every key, including spilled ones.
+  for (const auto& [key, count] : truth) {
+    const auto answer = job.Query(key);
+    ASSERT_TRUE(answer.has_value()) << key;
+    EXPECT_EQ(DecodeValueU64(*answer), count) << key;
+  }
+  EXPECT_FALSE(job.Query("never-seen").has_value());
+}
+
+TEST(Streaming, HotKeyDemotionsAreDeterministicUnderSeededIngest) {
+  // Single ingest thread + per-worker FIFO queues: the demotion sequence is
+  // a pure function of the record order, so two identical seeded runs must
+  // demote identically and agree on every answer.
+  auto run = [](std::vector<std::pair<std::string, std::string>>* results) {
+    StreamingOptions options;
+    options.worker_budget_bytes = 8u << 10;
+    options.hot_key_capacity = 64;
+    StreamingJob job(CountByFirstField(), options, 2);
+    ZipfSampler zipf(3'000, 1.1, 7);
+    for (int i = 0; i < 30'000; ++i) {
+      job.Ingest("z" + std::to_string(zipf.Sample()) + "\t.");
+    }
+    *results = job.Finish();
+    return job.CounterValue("stream.demotions");
+  };
+  std::vector<std::pair<std::string, std::string>> a, b;
+  const auto demotions_a = run(&a);
+  const auto demotions_b = run(&b);
+  EXPECT_GT(demotions_a, 0);
+  EXPECT_EQ(demotions_a, demotions_b);
+  EXPECT_EQ(a, b);
 }
 
 TEST(Streaming, AgreesWithBatchRuntimeOnClickStream) {

@@ -3,16 +3,23 @@
 //   opmr_cli run workload=<w> runtime=<r> [records=N] [reducers=R]
 //                [nodes=N] [combine=0|1] [compress=0|1] [reduce_buffer=BYTES]
 //                [--max-attempts=N] [--speculate] [--fault-plan=<file|spec>]
+//                [--checkpoint-interval=N] [--checkpoint-dir=PATH]
+//                [--checkpoint-retain=K] [--checkpoint-compress]
 //       Generates a synthetic dataset for <w>, runs it on runtime <r>, and
 //       prints the job report (wall/CPU/I-O/emission metrics).
 //       --fault-plan takes a FaultPlan spec string or plan file (see
 //       src/fault/fault.h), e.g. --fault-plan='seed=7;map_crash:task=0,record=500';
 //       --max-attempts enables task re-execution (pull shuffle only) and
 //       --speculate turns on straggler backup attempts.
+//       --checkpoint-interval=N checkpoints reducer state every N folded
+//       records, making reduce failures recoverable even under the pipelined
+//       push shuffle; --checkpoint-dir overrides the image directory,
+//       --checkpoint-retain keeps the last K images (default 2) and
+//       --checkpoint-compress OZ-compresses the payload.
 //       workloads: sessionization | sessionization_ss | page_frequency |
 //                  per_user_count | inverted_index | word_count |
 //                  distinct_visitors | hashtag_count
-//       runtimes : hadoop | mr_online | hash | hotkey
+//       runtimes : hadoop | mr_online | hash | hotkey | checkpoint
 //
 //   opmr_cli sim workload=<w> runtime=<r> [storage=hdd|hdd+ssd|separate]
 //                [merge_factor=F] [nodes=N]
@@ -49,7 +56,30 @@ JobOptions RuntimeByName(const std::string& name) {
   if (name == "mr_online") return MapReduceOnlineOptions();
   if (name == "hash") return HashOnePassOptions();
   if (name == "hotkey") return HotKeyOnePassOptions();
+  if (name == "checkpoint") return CheckpointedOnePassOptions();
   throw std::invalid_argument("unknown runtime: " + name);
+}
+
+// Integer flag with validation: rejects garbage and values below
+// `min_value` with a one-line error instead of std::stoll's cryptic throw.
+std::int64_t GetCheckedInt(const Config& cfg, const std::string& key,
+                           std::int64_t def, std::int64_t min_value = 0) {
+  const auto raw = cfg.Get(key);
+  if (!raw) return def;
+  std::int64_t value = 0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stoll(*raw, &consumed);
+    if (consumed != raw->size()) throw std::invalid_argument("trailing text");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + ": '" + *raw +
+                                "' is not an integer");
+  }
+  if (value < min_value) {
+    throw std::invalid_argument("--" + key + ": must be >= " +
+                                std::to_string(min_value) + ", got " + *raw);
+  }
+  return value;
 }
 
 // Generates the right dataset and returns the job spec for `workload`.
@@ -125,6 +155,16 @@ void PrintJobReport(const JobResult& r) {
                       std::to_string(r.speculative_wins) + ")"});
     table.AddRow({"faults injected", std::to_string(r.faults_injected)});
   }
+  if (r.checkpoints_written > 0 || r.checkpoints_loaded > 0 ||
+      r.replay_records > 0) {
+    table.AddRow(
+        {"checkpoints written", std::to_string(r.checkpoints_written)});
+    table.AddRow({"checkpoints loaded", std::to_string(r.checkpoints_loaded)});
+    table.AddRow(
+        {"checkpoint bytes", HumanBytes(double(r.checkpoint_bytes))});
+    table.AddRow({"replayed records", std::to_string(r.replay_records)});
+    table.AddRow({"recover time", HumanSeconds(r.recover_seconds)});
+  }
   std::printf("%s", table.ToString().c_str());
   std::printf("\nper-phase CPU seconds:\n");
   for (const auto& [phase, secs] : r.cpu_seconds) {
@@ -135,15 +175,18 @@ void PrintJobReport(const JobResult& r) {
 int CmdRun(const Config& cfg) {
   const auto workload = cfg.GetString("workload", "per_user_count");
   const auto runtime = cfg.GetString("runtime", "hash");
-  const auto records =
-      static_cast<std::uint64_t>(cfg.GetInt("records", 1'000'000));
-  const int reducers = static_cast<int>(cfg.GetInt("reducers", 4));
+  const auto records = static_cast<std::uint64_t>(
+      GetCheckedInt(cfg, "records", 1'000'000, /*min_value=*/1));
+  const int reducers =
+      static_cast<int>(GetCheckedInt(cfg, "reducers", 4, /*min_value=*/1));
 
   PlatformOptions popts;
-  popts.num_nodes = static_cast<int>(cfg.GetInt("nodes", 4));
-  popts.block_bytes =
-      static_cast<std::uint64_t>(cfg.GetInt("block_bytes", 4 << 20));
-  popts.max_task_attempts = static_cast<int>(cfg.GetInt("max-attempts", 1));
+  popts.num_nodes =
+      static_cast<int>(GetCheckedInt(cfg, "nodes", 4, /*min_value=*/1));
+  popts.block_bytes = static_cast<std::uint64_t>(
+      GetCheckedInt(cfg, "block_bytes", 4 << 20, /*min_value=*/1));
+  popts.max_task_attempts = static_cast<int>(
+      GetCheckedInt(cfg, "max-attempts", 1, /*min_value=*/1));
   popts.speculative_execution = cfg.GetBool("speculate", false);
   popts.fault_plan = cfg.GetString("fault-plan", "");
 
@@ -159,8 +202,28 @@ int CmdRun(const Config& cfg) {
   JobOptions options = RuntimeByName(runtime);
   options.map_side_combine = cfg.GetBool("combine", true);
   options.compress_spills = cfg.GetBool("compress", false);
-  options.reduce_buffer_bytes = static_cast<std::size_t>(cfg.GetInt(
-      "reduce_buffer", static_cast<std::int64_t>(options.reduce_buffer_bytes)));
+  options.reduce_buffer_bytes = static_cast<std::size_t>(GetCheckedInt(
+      cfg, "reduce_buffer",
+      static_cast<std::int64_t>(options.reduce_buffer_bytes),
+      /*min_value=*/1));
+  const auto ckpt_interval =
+      GetCheckedInt(cfg, "checkpoint-interval", 0, /*min_value=*/0);
+  if (ckpt_interval > 0) {
+    options.checkpoint.enabled = true;
+    options.checkpoint.interval_records =
+        static_cast<std::uint64_t>(ckpt_interval);
+  }
+  if (options.checkpoint.enabled) {
+    options.checkpoint.retain = static_cast<int>(GetCheckedInt(
+        cfg, "checkpoint-retain", options.checkpoint.retain, /*min_value=*/1));
+    options.checkpoint.compress = cfg.GetBool("checkpoint-compress", false);
+    options.checkpoint.dir = cfg.GetString("checkpoint-dir", "");
+  } else if (cfg.Get("checkpoint-retain") || cfg.Get("checkpoint-dir") ||
+             cfg.Get("checkpoint-compress")) {
+    throw std::invalid_argument(
+        "--checkpoint-retain/--checkpoint-dir/--checkpoint-compress require "
+        "--checkpoint-interval=N (or runtime=checkpoint)");
+  }
 
   std::printf("running '%s' on runtime '%s'...\n", spec.name.c_str(),
               runtime.c_str());
