@@ -34,21 +34,6 @@ std::string SanitizeForFilename(const std::string& name) {
   return out;
 }
 
-const std::array<std::uint32_t, 256>& Crc32Table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
 // Cursor-style parser over the decoded payload; every read is
 // bounds-checked so a truncated or garbled (but CRC-colliding) payload
 // surfaces as a recoverable parse error, never as UB.
@@ -156,14 +141,8 @@ CheckpointImage ParseImage(const std::string& body) {
 
 }  // namespace
 
-std::uint32_t Crc32(const char* data, std::size_t size) {
-  const auto& table = Crc32Table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^
-          (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+std::string CheckpointJobPrefix(const std::string& job) {
+  return SanitizeForFilename(job) + "_w";
 }
 
 CheckpointManager::CheckpointManager(std::filesystem::path dir,
@@ -358,6 +337,48 @@ std::optional<std::uint64_t> CheckpointManager::OldestRetainedWatermark()
     const {
   if (retained_.empty()) return std::nullopt;
   return retained_.front().second;
+}
+
+int CheckpointManager::SweepFinishedJobs(const std::filesystem::path& dir,
+                                         const std::string& finished_job) {
+  // Match "<job prefix><digits>_<digits>.ckpt" (optionally "+ .tmp" for a
+  // commit interrupted mid-rename), never a mere job-name prefix collision:
+  // job "a" must not sweep job "a-long"'s images because both sanitize to
+  // names starting with "a".
+  const std::string prefix = CheckpointJobPrefix(finished_job);
+  auto is_image_of_job = [&](const std::string& name) {
+    if (name.rfind(prefix, 0) != 0) return false;
+    std::string rest = name.substr(prefix.size());
+    for (const char* suffix : {".ckpt.tmp", ".ckpt"}) {
+      const std::string s(suffix);
+      if (rest.size() > s.size() &&
+          rest.compare(rest.size() - s.size(), s.size(), s) == 0) {
+        rest.resize(rest.size() - s.size());
+        const auto underscore = rest.find('_');
+        if (underscore == std::string::npos || underscore == 0 ||
+            underscore + 1 == rest.size()) {
+          return false;
+        }
+        const auto digits = [](const std::string& t) {
+          return !t.empty() && std::all_of(t.begin(), t.end(), [](char c) {
+            return c >= '0' && c <= '9';
+          });
+        };
+        return digits(rest.substr(0, underscore)) &&
+               digits(rest.substr(underscore + 1));
+      }
+    }
+    return false;
+  };
+  int removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (is_image_of_job(entry.path().filename().string())) {
+      std::error_code rm_ec;
+      if (std::filesystem::remove(entry.path(), rm_ec)) ++removed;
+    }
+  }
+  return removed;
 }
 
 }  // namespace opmr

@@ -32,13 +32,14 @@
 #include <vector>
 
 #include "checkpoint/options.h"
+#include "common/crc32.h"
 #include "metrics/counters.h"
 
 namespace opmr {
 
-// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over a byte buffer; the
-// load-time validation the commit protocol relies on.
-[[nodiscard]] std::uint32_t Crc32(const char* data, std::size_t size);
+// Filename prefix ("<sanitized job>_w") shared by every worker's images of
+// one job; SweepFinishedJobs matches on it to garbage-collect a shared dir.
+[[nodiscard]] std::string CheckpointJobPrefix(const std::string& job);
 
 // One checkpoint's logical content, independent of on-disk framing.  The
 // owner (batch reducer / streaming worker) fills it before Write and applies
@@ -118,6 +119,15 @@ class CheckpointManager {
   [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
     return written_;
   }
+
+  // Platform-level GC for a shared checkpoint directory: removes every
+  // image (and dangling tmp) of `finished_job`, across all of its workers,
+  // without touching other jobs' files.  Called by the executor when a job
+  // completes so a long-lived --checkpoint-dir does not accumulate images
+  // from finished jobs.  Returns the number of files removed; a missing
+  // directory is not an error (returns 0).
+  static int SweepFinishedJobs(const std::filesystem::path& dir,
+                               const std::string& finished_job);
 
  private:
   [[nodiscard]] std::filesystem::path PathFor(std::uint64_t seq) const;

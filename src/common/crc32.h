@@ -1,0 +1,58 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), shared by the
+// checkpoint commit protocol and the network frame layer.
+//
+// Two forms are provided: the one-shot Crc32() over a contiguous buffer,
+// and a streaming (Init/Update/Final) triple so callers can checksum a
+// frame header and its payload without concatenating them first.  The two
+// compose: Crc32(buf) == Crc32Final(Crc32Update(kCrc32Init, buf, n)).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace opmr {
+
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+// Advances an in-progress CRC state (seeded with kCrc32Init) over `size`
+// more bytes.  The state is the raw register, NOT a finished checksum.
+[[nodiscard]] inline std::uint32_t Crc32Update(std::uint32_t state,
+                                               const char* data,
+                                               std::size_t size) noexcept {
+  const auto& table = detail::Crc32Table();
+  for (std::size_t i = 0; i < size; ++i) {
+    state = table[(state ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+[[nodiscard]] inline std::uint32_t Crc32Final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+// One-shot checksum of a contiguous buffer.
+[[nodiscard]] inline std::uint32_t Crc32(const char* data,
+                                         std::size_t size) noexcept {
+  return Crc32Final(Crc32Update(kCrc32Init, data, size));
+}
+
+}  // namespace opmr

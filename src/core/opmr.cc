@@ -96,6 +96,58 @@ JobResult Platform::Run(const JobSpec& spec, const JobOptions& options) {
   return executor_->Run(spec, options);
 }
 
+namespace {
+// Restores the executor's direct in-process configuration however the run
+// exits.
+class RoleGuard {
+ public:
+  RoleGuard(ClusterExecutor* executor, WorkerRole role,
+            net::Transport* transport, double idle_timeout_s, bool shared_fs)
+      : executor_(executor) {
+    executor_->set_worker_role(role);
+    executor_->set_shuffle_transport(transport);
+    executor_->set_shuffle_idle_timeout(idle_timeout_s);
+    executor_->set_shuffle_shared_fs(shared_fs);
+  }
+  ~RoleGuard() {
+    executor_->set_worker_role(WorkerRole::kAll);
+    executor_->set_shuffle_transport(nullptr);
+    executor_->set_shuffle_idle_timeout(0.0);
+    executor_->set_shuffle_shared_fs(true);
+  }
+  RoleGuard(const RoleGuard&) = delete;
+  RoleGuard& operator=(const RoleGuard&) = delete;
+
+ private:
+  ClusterExecutor* executor_;
+};
+}  // namespace
+
+JobResult Platform::RunWithTransport(const JobSpec& spec,
+                                     const JobOptions& options,
+                                     net::Transport* transport,
+                                     bool shared_fs) {
+  RoleGuard guard(executor_.get(), WorkerRole::kAll, transport, 0.0,
+                  shared_fs);
+  return executor_->Run(spec, options);
+}
+
+JobResult Platform::RunMapGroup(const JobSpec& spec, const JobOptions& options,
+                                net::Transport* transport, bool shared_fs) {
+  RoleGuard guard(executor_.get(), WorkerRole::kMapOnly, transport, 0.0,
+                  shared_fs);
+  return executor_->Run(spec, options);
+}
+
+JobResult Platform::RunReduceGroup(const JobSpec& spec,
+                                   const JobOptions& options,
+                                   net::Transport* transport,
+                                   double idle_timeout_s) {
+  RoleGuard guard(executor_.get(), WorkerRole::kReduceOnly, transport,
+                  idle_timeout_s, /*shared_fs=*/true);
+  return executor_->Run(spec, options);
+}
+
 std::vector<std::pair<std::string, std::string>> Platform::ReadOutputFile(
     const std::string& name) const {
   std::vector<std::pair<std::string, std::string>> out;

@@ -81,6 +81,30 @@ class Platform {
   // Runs a job under the given runtime options.
   JobResult Run(const JobSpec& spec, const JobOptions& options);
 
+  // --- Split worker groups (src/net) ---------------------------------------
+  // Runs both halves in this process but routes the shuffle over
+  // `transport` (loopback for parity testing, a self-dialing TCP server
+  // transport for socket testing).  The transport serves exactly one run
+  // and is shut down before returning.
+  // `shared_fs` false makes the map side ship segment bytes inline
+  // (SegmentData frames) instead of path descriptors, as a remote-host
+  // deployment would.
+  JobResult RunWithTransport(const JobSpec& spec, const JobOptions& options,
+                             net::Transport* transport, bool shared_fs = true);
+
+  // Runs only the map worker group: map output, instead of reaching local
+  // reducers, is pushed/registered across `transport` to a peer process
+  // running RunReduceGroup.  The returned result carries map-side stats.
+  JobResult RunMapGroup(const JobSpec& spec, const JobOptions& options,
+                        net::Transport* transport, bool shared_fs = true);
+
+  // Runs only the reduce worker group, serving shuffle frames from the
+  // peer's map group.  `idle_timeout_s` > 0 aborts the job when the wire
+  // goes silent with map tasks outstanding (mapper process death).
+  JobResult RunReduceGroup(const JobSpec& spec, const JobOptions& options,
+                           net::Transport* transport,
+                           double idle_timeout_s = 0.0);
+
   // Installs (replaces) the chaos-plane fault plan for subsequent runs; an
   // empty plan clears injection.  Also reachable declaratively through
   // PlatformOptions::fault_plan.

@@ -58,6 +58,9 @@ std::unique_ptr<DfsBlockReader> Dfs::OpenBlock(const BlockInfo& block) const {
 std::vector<int> Dfs::PlaceBlock() {
   // Random distinct nodes; with replication 1 this is a uniform spread that
   // matches HDFS's default placement closely enough for locality stats.
+  // Concurrent reducers each drive their own writer, so the shared placement
+  // RNG needs the namespace lock.
+  std::scoped_lock lock(mu_);
   std::vector<int> nodes;
   nodes.reserve(options_.replication);
   while (static_cast<int>(nodes.size()) < options_.replication) {

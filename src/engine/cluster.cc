@@ -9,12 +9,15 @@
 #include <stdexcept>
 #include <thread>
 
+#include "checkpoint/checkpoint.h"
 #include "common/rng.h"
 #include "engine/map_task.h"
 #include "engine/reduce_hash.h"
 #include "engine/reduce_incremental.h"
 #include "engine/reduce_sortmerge.h"
+#include "engine/shuffle_remote.h"
 #include "fault/fault.h"
+#include "net/transport.h"
 
 namespace opmr {
 
@@ -35,6 +38,33 @@ class IoFaultHookGuard {
 
  private:
   bool installed_;
+};
+
+// Same pattern for the wire's fault seam (conn_drop / net_stall points).
+class NetFaultHookGuard {
+ public:
+  explicit NetFaultHookGuard(net::NetFaultHook* hook)
+      : installed_(hook != nullptr) {
+    if (installed_) net::SetNetFaultHook(hook);
+  }
+  ~NetFaultHookGuard() {
+    if (installed_) net::SetNetFaultHook(nullptr);
+  }
+  NetFaultHookGuard(const NetFaultHookGuard&) = delete;
+  NetFaultHookGuard& operator=(const NetFaultHookGuard&) = delete;
+
+ private:
+  bool installed_;
+};
+
+// Shuts a per-run transport down at scope exit — joining its I/O threads
+// before the ShuffleServer / ShuffleService they call into are destroyed.
+class TransportShutdownGuard {
+ public:
+  ~TransportShutdownGuard() {
+    if (transport != nullptr) transport->Shutdown();
+  }
+  net::Transport* transport = nullptr;
 };
 
 // One logical map task: its input block plus the coordination state rival
@@ -166,6 +196,12 @@ void ClusterExecutor::Validate(const JobSpec& spec,
         "would collide with snapshot files already published by the failed "
         "attempt");
   }
+  if (cluster_.role != WorkerRole::kAll &&
+      cluster_.shuffle_transport == nullptr) {
+    throw std::invalid_argument(
+        "a split worker role (kMapOnly / kReduceOnly) requires a "
+        "shuffle_transport to reach the other group");
+  }
 }
 
 void ClusterExecutor::RetryBackoff(int attempt, std::uint64_t salt) const {
@@ -187,6 +223,12 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
 
   FaultInjector* fault = cluster_.fault_injector;
   IoFaultHookGuard hook_guard(fault);
+  NetFaultHookGuard net_hook_guard(fault);
+
+  const WorkerRole role = cluster_.role;
+  const bool run_maps = role != WorkerRole::kReduceOnly;
+  const bool run_reducers = role != WorkerRole::kMapOnly;
+  net::Transport* transport = cluster_.shuffle_transport;
 
   // Snapshot before replica filtering so faults injected during scheduling
   // setup are part of this job's counter delta.
@@ -216,22 +258,56 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
 
   const bool checkpoint_enabled = options.checkpoint.enabled;
   const bool reduce_retry_enabled = cluster_.max_task_attempts > 1;
-  if (checkpoint_enabled) {
-    // Retain every consumed shuffle item (spilling past the budget) until
-    // the consuming reducer's checkpoints cover it — reduce recovery works
-    // even for pipelined (push) feeds.
-    shuffle.EnableCheckpointReplay(files_->NewDir("shuffle_retain"),
-                                   options.checkpoint.retain_budget_bytes);
-  } else if (reduce_retry_enabled) {
-    // Classic Hadoop-style replay: file descriptors only.  A push job still
-    // runs, but a reduce failure after a pushed chunk was consumed becomes
-    // a structured Table III error instead of a recovery.
-    shuffle.EnableReplay();
+  if (run_reducers) {
+    if (checkpoint_enabled) {
+      // Retain every consumed shuffle item (spilling past the budget) until
+      // the consuming reducer's checkpoints cover it — reduce recovery works
+      // even for pipelined (push) feeds.
+      shuffle.EnableCheckpointReplay(files_->NewDir("shuffle_retain"),
+                                     options.checkpoint.retain_budget_bytes);
+    } else if (reduce_retry_enabled) {
+      // Classic Hadoop-style replay: file descriptors only.  A push job
+      // still runs, but a reduce failure after a pushed chunk was consumed
+      // becomes a structured Table III error instead of a recovery.
+      shuffle.EnableReplay();
+    }
+    if (cluster_.shuffle_idle_timeout_s > 0.0) {
+      shuffle.SetIdleTimeout(cluster_.shuffle_idle_timeout_s);
+    }
   }
   if (fault != nullptr) {
     shuffle.SetFetchProbe([fault](int reducer, int map_task) {
       fault->OnShuffleFetch(reducer, map_task);
     });
+  }
+
+  // Shuffle endpoint selection.  Without a transport the map side calls
+  // the service directly (the seed's path, zero overhead).  With one, the
+  // reduce side serves frames and the map side sends them — over loopback
+  // (same process) or sockets (split worker groups).
+  ShuffleMapEndpoint* endpoint = &shuffle;
+  std::unique_ptr<ShuffleServer> shuffle_server;
+  std::unique_ptr<ShuffleClient> shuffle_client;
+  TransportShutdownGuard transport_guard;
+  if (transport != nullptr) {
+    transport_guard.transport = transport;
+    if (run_reducers) {
+      shuffle_server = std::make_unique<ShuffleServer>(
+          transport, &shuffle, files_, metrics_,
+          /*merge_client_wire_stats=*/role == WorkerRole::kReduceOnly);
+      shuffle_server->Start();
+    }
+    if (run_maps) {
+      ShuffleClient::Options client_options;
+      client_options.job = spec.name;
+      client_options.num_map_tasks = num_maps;
+      client_options.num_reducers = num_reducers;
+      client_options.push_queue_chunks = options.push_queue_chunks;
+      client_options.shared_fs = cluster_.shuffle_shared_fs;
+      shuffle_client = std::make_unique<ShuffleClient>(
+          transport, metrics_, std::move(client_options));
+      endpoint = shuffle_client.get();
+    }
   }
 
   RuntimeEnv env;
@@ -271,8 +347,8 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
 
   // --- Reducer threads (start immediately: reducers shuffle while maps run).
   std::vector<std::jthread> reducer_threads;
-  reducer_threads.reserve(num_reducers);
-  for (int r = 0; r < num_reducers; ++r) {
+  reducer_threads.reserve(run_reducers ? num_reducers : 0);
+  for (int r = 0; run_reducers && r < num_reducers; ++r) {
     reducer_threads.emplace_back([&, r] {
       auto run_reducer = [&]() -> std::uint64_t {
         if (options.group_by == GroupBy::kSortMerge) {
@@ -309,6 +385,7 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
           // The feed is unrecoverable; another attempt would fail the same
           // way (Table III).
           record_failure(std::current_exception());
+          shuffle.MarkReducerGone(r);
           return;
         } catch (...) {
           const bool retryable = reduce_retry_enabled &&
@@ -316,6 +393,9 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
                                  !maps_failed.load(std::memory_order_relaxed);
           if (!retryable) {
             record_failure(std::current_exception());
+            // Terminal: push-mode mappers fail fast (kReducerGone) instead
+            // of pushing into a queue nobody will drain.
+            shuffle.MarkReducerGone(r);
             return;
           }
           if (!checkpoint_enabled) {
@@ -327,6 +407,7 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
               record_failure(std::make_exception_ptr(ReplayError(
                   "reduce task " + std::to_string(r) +
                   " cannot be re-executed: " + why)));
+              shuffle.MarkReducerGone(r);
               return;
             }
           }
@@ -397,18 +478,25 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
       FaultScope scope(FaultScope::Kind::kMap, task_id, attempt, node);
       std::unique_ptr<MapOutputSink> sink;
       if (options.shuffle == Shuffle::kPush) {
-        sink = std::make_unique<PushSink>(task_id, files_, metrics_, &shuffle,
+        sink = std::make_unique<PushSink>(task_id, files_, metrics_, endpoint,
                                           num_reducers,
                                           options.push_chunk_bytes);
       } else {
         sink = std::make_unique<FileSink>(
-            task_id, files_, metrics_, &shuffle, num_reducers,
+            task_id, files_, metrics_, endpoint, num_reducers,
             options.map_buffer_bytes, cluster_.sync_map_output);
       }
       MapTask task(task_id, spec, options, env, entry->block, sink.get());
       MapTask::Stats stats;
       try {
         stats = task.Run();
+      } catch (const ReducerGoneError&) {
+        // Already the Table III diagnosis (a dead reducer consumed pushed
+        // output); never retryable and never re-wrapped.
+        sink->Abandon();
+        if (entry->done.load(std::memory_order_acquire)) return;
+        if (speculative) return;
+        throw;
       } catch (...) {
         // Drop the attempt's buffered output first: once the exception is
         // caught, a later sink destructor would no longer be unwinding, and
@@ -448,7 +536,8 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
       // output was never registered and is simply discarded.
       if (!entry->published.exchange(true)) {
         sink->Publish();
-        shuffle.MapTaskDone(task_id);
+        endpoint->MapTaskDone(task_id, stats.input_records,
+                              stats.output_records);
         entry->done.store(true, std::memory_order_release);
         const double end = job_start.Seconds();
         completed_maps.fetch_add(1, std::memory_order_relaxed);
@@ -470,7 +559,7 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   };
 
   // --- Map worker threads: num_nodes × map_slots_per_node slots.
-  {
+  if (run_maps) {
     std::vector<std::jthread> map_workers;
     const int num_workers =
         cluster_.num_nodes * cluster_.map_slots_per_node;
@@ -509,11 +598,45 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   if (maps_failed.load()) {
     // Reducers are unwinding via the aborted shuffle; join then rethrow.
   }
+
+  // Map group over a transport: close the connection before joining
+  // reducers — Bye on success, Abort so the reduce group unwinds promptly
+  // instead of waiting out its idle timeout on failure.
+  if (shuffle_client != nullptr) {
+    std::string failure_reason;
+    {
+      std::scoped_lock lock(failure_mu);
+      if (first_failure) {
+        try {
+          std::rethrow_exception(first_failure);
+        } catch (const std::exception& e) {
+          failure_reason = e.what();
+        } catch (...) {
+          failure_reason = "unknown error";
+        }
+      }
+    }
+    if (failure_reason.empty()) {
+      shuffle_client->Finish();
+    } else {
+      shuffle_client->SendAbort(failure_reason);
+    }
+  }
+
   reducer_threads.clear();  // join all reducers
 
   {
     std::scoped_lock lock(failure_mu);
     if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+  // Job done: garbage-collect this job's checkpoint files (ROADMAP's
+  // multi-job GC).  A shared checkpoint directory only accretes files from
+  // jobs that never completed.
+  if (run_reducers && checkpoint_enabled) {
+    const int swept =
+        CheckpointManager::SweepFinishedJobs(env.checkpoint_dir, spec.name);
+    metrics_->Get("checkpoint.swept")->Add(swept);
   }
 
   emissions.Finish();
@@ -533,6 +656,12 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.input_records = input_records.load();
   result.map_output_records = map_output_records.load();
   result.output_records = output_records.load();
+  if (role == WorkerRole::kReduceOnly && shuffle_server != nullptr) {
+    // Map tasks ran in the peer process; their stats arrived as MapDone
+    // frames.
+    result.input_records = shuffle_server->map_input_records();
+    result.map_output_records = shuffle_server->map_output_records();
+  }
   result.first_output_seconds = emissions.first_emit_seconds();
   result.emission_curve = emissions.series().Snapshot();
   result.cpu_seconds = profiler.Snapshot();
@@ -552,6 +681,15 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.replay_records = result.Bytes("recovery.replay_records");
   result.recover_seconds =
       static_cast<double>(result.Bytes("checkpoint.recover_us")) / 1e6;
+  result.checkpoints_swept = result.Bytes("checkpoint.swept");
+  result.net_bytes_sent = result.Bytes(net::kNetBytesSent);
+  result.net_bytes_received = result.Bytes(net::kNetBytesReceived);
+  result.net_frames_sent = result.Bytes(net::kNetFramesSent);
+  result.net_frames_received = result.Bytes(net::kNetFramesReceived);
+  result.net_retransmits = result.Bytes(net::kNetRetransmits);
+  result.net_reconnects = result.Bytes(net::kNetReconnects);
+  result.net_stall_seconds =
+      static_cast<double>(result.Bytes(net::kNetStallNanos)) / 1e9;
   return result;
 }
 

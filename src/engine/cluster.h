@@ -21,6 +21,21 @@ namespace opmr {
 
 class FaultInjector;
 
+namespace net {
+class Transport;
+}  // namespace net
+
+// Which half of the job this executor instance runs.  kAll is the seed's
+// single-process mode.  kMapOnly / kReduceOnly split the worker groups
+// across OS processes: the map group serialises its shuffle traffic onto a
+// net::Transport, the reduce group serves it (the CLI's --transport=tcp
+// mode; paper Fig. 5's mapper/reducer separation made physical).
+enum class WorkerRole {
+  kAll,
+  kMapOnly,
+  kReduceOnly,
+};
+
 struct ClusterOptions {
   int num_nodes = 4;
   int map_slots_per_node = 2;
@@ -55,6 +70,28 @@ struct ClusterOptions {
   // fault hook for the duration of Run() and consulted at every engine
   // fault site (see src/fault/fault.h).  Not owned.
   FaultInjector* fault_injector = nullptr;
+
+  // Worker-group split (see WorkerRole).  Roles other than kAll require a
+  // shuffle_transport.
+  WorkerRole role = WorkerRole::kAll;
+
+  // When set, shuffle traffic is carried over this transport (one
+  // ShuffleClient on the map side, one ShuffleServer on the reduce side)
+  // instead of direct in-process calls.  Not owned; used for exactly one
+  // Run() — the executor shuts it down before returning.  nullptr with
+  // role == kAll is the seed's direct path.
+  net::Transport* shuffle_transport = nullptr;
+
+  // Both worker groups see the same filesystem, so segments can cross the
+  // wire as path descriptors instead of inline bytes.  True for loopback
+  // and same-host forked processes; a future remote mode would clear it.
+  bool shuffle_shared_fs = true;
+
+  // Reduce-group liveness guard (seconds; 0 disables): abort a reducer
+  // blocked in NextItem with no shuffle activity for this long while map
+  // tasks are still outstanding — the mapper process likely died without
+  // sending Abort.  Only meaningful with role == kReduceOnly.
+  double shuffle_idle_timeout_s = 0.0;
 };
 
 struct JobResult {
@@ -93,6 +130,16 @@ struct JobResult {
   std::int64_t checkpoint_bytes = 0;     // bytes committed to checkpoints
   std::int64_t replay_records = 0;       // shuffle records re-delivered
   double recover_seconds = 0.0;          // time spent restoring checkpoints
+  std::int64_t checkpoints_swept = 0;    // stale files GC'd after completion
+
+  // Wire activity (all zero on the seed's direct in-process path).
+  std::int64_t net_bytes_sent = 0;
+  std::int64_t net_bytes_received = 0;
+  std::int64_t net_frames_sent = 0;
+  std::int64_t net_frames_received = 0;
+  std::int64_t net_retransmits = 0;      // frame sends retried after a drop
+  std::int64_t net_reconnects = 0;       // client connections re-established
+  double net_stall_seconds = 0.0;        // injected stalls + reconnect waits
 
   // Per-reducer output records: the partition-skew signal (related work
   // [19] targets exactly this imbalance).
@@ -153,6 +200,19 @@ class ClusterExecutor {
   // Installs (or clears) the chaos-plane injector used by subsequent runs.
   void set_fault_injector(FaultInjector* injector) {
     cluster_.fault_injector = injector;
+  }
+
+  // Worker-group split for subsequent runs (see ClusterOptions).  The
+  // transport, when set, is used for exactly one Run() and shut down by it.
+  void set_worker_role(WorkerRole role) { cluster_.role = role; }
+  void set_shuffle_transport(net::Transport* transport) {
+    cluster_.shuffle_transport = transport;
+  }
+  void set_shuffle_idle_timeout(double seconds) {
+    cluster_.shuffle_idle_timeout_s = seconds;
+  }
+  void set_shuffle_shared_fs(bool shared) {
+    cluster_.shuffle_shared_fs = shared;
   }
 
  private:

@@ -18,7 +18,7 @@ void FrameRecord(std::string& dst, Slice key, Slice value) {
 // --- FileSink ----------------------------------------------------------------
 
 FileSink::FileSink(int map_task, FileManager* files, MetricRegistry* metrics,
-                   ShuffleService* shuffle, int num_partitions,
+                   ShuffleMapEndpoint* shuffle, int num_partitions,
                    std::size_t stream_buffer_bytes, bool sync_output)
     : map_task_(map_task),
       files_(files),
@@ -151,7 +151,7 @@ void FileSink::Abandon() noexcept {
 // --- PushSink ----------------------------------------------------------------
 
 PushSink::PushSink(int map_task, FileManager* files, MetricRegistry* metrics,
-                   ShuffleService* shuffle, int num_partitions,
+                   ShuffleMapEndpoint* shuffle, int num_partitions,
                    std::size_t chunk_bytes)
     : map_task_(map_task),
       shuffle_(shuffle),
@@ -206,21 +206,32 @@ void PushSink::EmitChunk(std::uint32_t partition) {
   item.records = chunk_records_[partition];
   item.bytes = chunk;
 
-  if (shuffle_->TryPush(static_cast<int>(partition), std::move(item))) {
-    ++pushed_;
-    metrics_->Get(device::kPushedChunks)->Increment();
-  } else {
-    // Back-pressure: reducer is behind; leave the bytes on disk and let the
-    // reducer pull them later (paper §III-D adaptive mechanism).
-    ++diverted_;
-    metrics_->Get(device::kDivertedChunks)->Increment();
-    writer_->Flush();
-    Segment seg;
-    seg.offset = offset;
-    seg.bytes = chunk.size();
-    seg.records = chunk_records_[partition];
-    shuffle_->RegisterSegment(map_task_, writer_->path(),
-                              static_cast<int>(partition), seg, batch_sorted_);
+  switch (shuffle_->TryPush(static_cast<int>(partition), std::move(item))) {
+    case PushResult::kAccepted:
+      ++pushed_;
+      metrics_->Get(device::kPushedChunks)->Increment();
+      break;
+    case PushResult::kBusy: {
+      // Back-pressure: reducer is behind; leave the bytes on disk and let
+      // the reducer pull them later (paper §III-D adaptive mechanism).
+      ++diverted_;
+      metrics_->Get(device::kDivertedChunks)->Increment();
+      writer_->Flush();
+      Segment seg;
+      seg.offset = offset;
+      seg.bytes = chunk.size();
+      seg.records = chunk_records_[partition];
+      shuffle_->RegisterSegment(map_task_, writer_->path(),
+                                static_cast<int>(partition), seg,
+                                batch_sorted_);
+      break;
+    }
+    case PushResult::kReducerGone:
+      throw ReducerGoneError(
+          "push shuffle: reducer " + std::to_string(partition) +
+          " terminally failed after consuming pipelined map output — pushed "
+          "chunks cannot be recalled, so the job must fail (paper Table "
+          "III: pipelining trades away reduce-side fault tolerance)");
   }
   chunk.clear();
   chunk_records_[partition] = 0;

@@ -63,7 +63,7 @@ class MapOutputSink {
 class FileSink final : public MapOutputSink {
  public:
   FileSink(int map_task, FileManager* files, MetricRegistry* metrics,
-           ShuffleService* shuffle, int num_partitions,
+           ShuffleMapEndpoint* shuffle, int num_partitions,
            std::size_t stream_buffer_bytes, bool sync_output);
 
   void BeginBatch(bool sorted) override;
@@ -83,7 +83,7 @@ class FileSink final : public MapOutputSink {
   int map_task_;
   FileManager* files_;
   MetricRegistry* metrics_;
-  ShuffleService* shuffle_;
+  ShuffleMapEndpoint* shuffle_;
   int num_partitions_;
   std::size_t stream_buffer_bytes_;
   bool sync_output_;
@@ -109,7 +109,7 @@ class FileSink final : public MapOutputSink {
 class PushSink final : public MapOutputSink {
  public:
   PushSink(int map_task, FileManager* files, MetricRegistry* metrics,
-           ShuffleService* shuffle, int num_partitions,
+           ShuffleMapEndpoint* shuffle, int num_partitions,
            std::size_t chunk_bytes);
 
   void BeginBatch(bool sorted) override;
@@ -137,7 +137,7 @@ class PushSink final : public MapOutputSink {
   void EmitAllPartialChunks();
 
   int map_task_;
-  ShuffleService* shuffle_;
+  ShuffleMapEndpoint* shuffle_;
   MetricRegistry* metrics_;
   std::size_t chunk_bytes_;
   bool batch_sorted_ = false;

@@ -1,6 +1,7 @@
 #include "engine/shuffle.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <stdexcept>
 #include <system_error>
@@ -30,6 +31,7 @@ void ShuffleService::Enqueue(int reducer, ShuffleItem item) {
   {
     std::scoped_lock lock(mu_);
     queues_.at(reducer).items.push_back(std::move(item));
+    ++activity_;
   }
   cv_.notify_all();
 }
@@ -64,16 +66,39 @@ void ShuffleService::RegisterSegment(int map_task,
   Enqueue(reducer, std::move(item));
 }
 
-bool ShuffleService::TryPush(int reducer, ShuffleItem chunk) {
+PushResult ShuffleService::TryPush(int reducer, ShuffleItem chunk) {
   {
     std::scoped_lock lock(mu_);
     ReducerQueue& q = queues_.at(reducer);
-    if (q.pushed_outstanding >= push_queue_chunks_) return false;
+    if (q.gone) return PushResult::kReducerGone;
+    if (q.pushed_outstanding >= push_queue_chunks_) return PushResult::kBusy;
     ++q.pushed_outstanding;
     q.items.push_back(std::move(chunk));
+    ++activity_;
   }
   cv_.notify_all();
-  return true;
+  return PushResult::kAccepted;
+}
+
+void ShuffleService::ForcePush(int reducer, ShuffleItem chunk) {
+  {
+    std::scoped_lock lock(mu_);
+    ReducerQueue& q = queues_.at(reducer);
+    ++q.pushed_outstanding;
+    q.items.push_back(std::move(chunk));
+    ++activity_;
+  }
+  cv_.notify_all();
+}
+
+void ShuffleService::MarkReducerGone(int reducer) {
+  {
+    std::scoped_lock lock(mu_);
+    queues_.at(reducer).gone = true;
+    ++activity_;
+  }
+  cv_.notify_all();
+  if (gone_probe_) gone_probe_(reducer);
 }
 
 void ShuffleService::MapTaskDone(int /*map_task*/) {
@@ -83,6 +108,7 @@ void ShuffleService::MapTaskDone(int /*map_task*/) {
     if (maps_done_ > num_map_tasks_) {
       throw std::logic_error("ShuffleService: more completions than tasks");
     }
+    ++activity_;
   }
   cv_.notify_all();
 }
@@ -92,6 +118,7 @@ void ShuffleService::Abort(const std::string& reason) {
     std::scoped_lock lock(mu_);
     aborted_ = true;
     abort_reason_ = reason;
+    ++activity_;
   }
   cv_.notify_all();
 }
@@ -99,16 +126,44 @@ void ShuffleService::Abort(const std::string& reason) {
 bool ShuffleService::NextItem(int reducer, ShuffleItem* item) {
   std::unique_lock lock(mu_);
   ReducerQueue& q = queues_.at(reducer);
-  cv_.wait(lock, [&] {
+  const auto ready = [&] {
     return aborted_ || !q.items.empty() || maps_done_ == num_map_tasks_;
-  });
+  };
+  if (idle_timeout_s_ <= 0) {
+    cv_.wait(lock, ready);
+  } else {
+    // Deadline-based: a wakeup alone proves nothing (NextItem notifies
+    // consumers without touching activity_) — only a full quiet window with
+    // no activity counts as the mapper process being gone.
+    const auto window =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(idle_timeout_s_));
+    auto deadline = std::chrono::steady_clock::now() + window;
+    while (!ready()) {
+      const std::uint64_t before = activity_;
+      const auto status = cv_.wait_until(lock, deadline);
+      if (activity_ != before) {
+        deadline = std::chrono::steady_clock::now() + window;
+        continue;
+      }
+      if (status == std::cv_status::timeout && !ready()) {
+        throw std::runtime_error(
+            "shuffle idle timeout: no activity for " +
+            std::to_string(idle_timeout_s_) + "s with " +
+            std::to_string(maps_done_) + "/" +
+            std::to_string(num_map_tasks_) +
+            " map task(s) done (mapper process lost?)");
+      }
+    }
+  }
   if (aborted_) {
     throw std::runtime_error("shuffle aborted: " + abort_reason_);
   }
   if (q.items.empty()) return false;
   *item = std::move(q.items.front());
   q.items.pop_front();
-  if (item->ordinal == 0) item->ordinal = ++q.next_ordinal;
+  const bool first_consume = item->ordinal == 0;
+  if (first_consume) item->ordinal = ++q.next_ordinal;
   if (!item->from_file) {
     --q.pushed_outstanding;
     // A pushed chunk crosses the (simulated) network when consumed.
@@ -136,6 +191,9 @@ bool ShuffleService::NextItem(int reducer, ShuffleItem* item) {
   }
   lock.unlock();
   cv_.notify_all();
+  if (chunk_consumed_probe_ && first_consume && !item->from_file) {
+    chunk_consumed_probe_(reducer);
+  }
   if (fetch_probe_ && item->map_task >= 0) {
     fetch_probe_(reducer, item->map_task);
   }
@@ -256,6 +314,7 @@ bool ShuffleService::Rewind(int reducer, std::uint64_t from_ordinal,
   if (replay_records_ != nullptr) {
     replay_records_->Add(static_cast<std::int64_t>(replayed_records));
   }
+  ++activity_;
   lock.unlock();
   cv_.notify_all();
   return true;

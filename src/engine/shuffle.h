@@ -36,6 +36,21 @@ class ReplayError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Thrown by a push-mode map sink when its target reducer has terminally
+// failed: pushed output cannot be recalled, so the job fails fast with the
+// Table III diagnostic instead of spinning chunks into a dead queue.
+class ReducerGoneError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Outcome of attempting to push one in-memory chunk.
+enum class PushResult {
+  kAccepted,     // queued for the reducer
+  kBusy,         // back-pressure: queue full, caller should divert to disk
+  kReducerGone,  // reducer terminally failed (or job aborted): fail fast
+};
+
 // One unit of shuffled data for a single reducer: either an in-memory chunk
 // that was pushed, or a file segment to fetch.
 struct ShuffleItem {
@@ -67,27 +82,73 @@ struct ShuffleItem {
   }
 };
 
-class ShuffleService {
+// The map-facing face of the shuffle.  Map sinks talk to this interface
+// only, so the same sink code runs against the in-process ShuffleService
+// (loopback) or a ShuffleClient that serialises each call onto a Transport
+// connection (tcp / multi-process mode).
+class ShuffleMapEndpoint {
+ public:
+  virtual ~ShuffleMapEndpoint() = default;
+
+  // Publishes every non-empty partition segment of a completed spill file.
+  virtual void RegisterFile(const MapOutputFile& file) = 0;
+
+  // Publishes a single diverted segment.
+  virtual void RegisterSegment(int map_task, const std::filesystem::path& path,
+                               int reducer, const Segment& segment,
+                               bool sorted) = 0;
+
+  // Attempts to push an in-memory chunk to `reducer`.  kBusy means the
+  // reducer's bounded queue is full (back-pressure) — the caller must
+  // divert the chunk to disk.  kReducerGone means the reducer terminally
+  // failed: the caller should raise ReducerGoneError.
+  virtual PushResult TryPush(int reducer, ShuffleItem chunk) = 0;
+
+  // Marks a map task complete, carrying its record counts (the remote
+  // endpoint forwards them so the reduce-side process can report map-side
+  // stats).  All the task's output must have been registered or pushed
+  // before this call.
+  virtual void MapTaskDone(int map_task, std::uint64_t input_records,
+                           std::uint64_t output_records) = 0;
+};
+
+class ShuffleService : public ShuffleMapEndpoint {
  public:
   ShuffleService(int num_map_tasks, int num_reducers, MetricRegistry* metrics,
                  std::size_t push_queue_chunks);
 
-  // --- map side -------------------------------------------------------------
+  // --- map side (ShuffleMapEndpoint) ---------------------------------------
 
-  // Publishes every non-empty partition segment of a completed spill file.
-  void RegisterFile(const MapOutputFile& file);
+  void RegisterFile(const MapOutputFile& file) override;
 
-  // Publishes a single diverted segment.
   void RegisterSegment(int map_task, const std::filesystem::path& path,
-                       int reducer, const Segment& segment, bool sorted);
+                       int reducer, const Segment& segment,
+                       bool sorted) override;
 
-  // Attempts to push an in-memory chunk to `reducer`.  Returns false when
-  // the reducer's queue is full (back-pressure) — the caller must divert.
-  bool TryPush(int reducer, ShuffleItem chunk);
+  PushResult TryPush(int reducer, ShuffleItem chunk) override;
+
+  void MapTaskDone(int map_task, std::uint64_t input_records,
+                   std::uint64_t output_records) override {
+    (void)input_records;
+    (void)output_records;
+    MapTaskDone(map_task);
+  }
 
   // Marks a map task complete.  All its output must have been registered or
   // pushed before this call.
   void MapTaskDone(int map_task);
+
+  // Unbounded push used by the remote shuffle server when applying chunks
+  // that a ShuffleClient already admitted against its credit window.  The
+  // client-side credit count is authoritative; re-checking the bounded
+  // queue here would spuriously reject chunks whose credits were granted
+  // before a Rewind re-queued consumed items.
+  void ForcePush(int reducer, ShuffleItem chunk);
+
+  // Marks `reducer` terminally failed: subsequent TryPush calls for it
+  // return kReducerGone and the gone probe fires (the remote server relays
+  // it to mapper processes as a Gone frame).
+  void MarkReducerGone(int reducer);
 
   // --- reduce side ----------------------------------------------------------
 
@@ -139,6 +200,26 @@ class ShuffleService {
     fetch_probe_ = std::move(probe);
   }
 
+  // Optional probe invoked (outside the lock) the FIRST time a pushed
+  // in-memory chunk is consumed for `reducer` — replayed items keep their
+  // ordinal and do not re-fire.  The remote shuffle server uses it to grant
+  // one flow-control credit back to the mapper.  Set before threads start.
+  void SetChunkConsumedProbe(std::function<void(int reducer)> probe) {
+    chunk_consumed_probe_ = std::move(probe);
+  }
+
+  // Optional probe invoked (outside the lock) by MarkReducerGone.
+  void SetGoneProbe(std::function<void(int reducer)> probe) {
+    gone_probe_ = std::move(probe);
+  }
+
+  // Liveness guard for multi-process mode: when > 0, a NextItem call that
+  // sees no shuffle activity at all for `seconds` while map tasks are still
+  // outstanding throws (the mapper process likely died without an Abort
+  // frame).  0 (default) disables the guard — the seed's in-process
+  // behaviour, where map worker threads can always be joined.
+  void SetIdleTimeout(double seconds) { idle_timeout_s_ = seconds; }
+
   // Fraction of map tasks completed (drives HOP snapshot points).
   [[nodiscard]] double MapsDoneFraction() const;
 
@@ -174,6 +255,7 @@ class ShuffleService {
     std::size_t retained_payload_bytes = 0;
 
     bool replay_broken = false;  // kFileOnly: a pushed chunk was consumed
+    bool gone = false;           // reducer terminally failed
   };
 
   void Enqueue(int reducer, ShuffleItem item);
@@ -201,6 +283,12 @@ class ShuffleService {
   std::size_t retain_budget_bytes_ = 0;
   std::uint64_t retain_file_seq_ = 0;
   std::function<void(int, int)> fetch_probe_;
+  std::function<void(int)> chunk_consumed_probe_;
+  std::function<void(int)> gone_probe_;
+  double idle_timeout_s_ = 0;
+  // Bumped (under mu_) by every state change NextItem could be waiting on;
+  // the idle-timeout guard watches it to distinguish "slow" from "dead".
+  std::uint64_t activity_ = 0;
 };
 
 }  // namespace opmr

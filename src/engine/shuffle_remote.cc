@@ -1,0 +1,348 @@
+#include "engine/shuffle_remote.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace opmr {
+
+// --- ShuffleClient -----------------------------------------------------------
+
+ShuffleClient::ShuffleClient(net::Transport* transport,
+                             MetricRegistry* metrics, Options options)
+    : transport_(transport),
+      metrics_(metrics),
+      options_(std::move(options)),
+      credits_(options_.num_reducers, options_.push_queue_chunks),
+      gone_(options_.num_reducers, false) {
+  net::HelloMsg hello;
+  hello.job = options_.job;
+  hello.num_map_tasks = options_.num_map_tasks;
+  hello.num_reducers = options_.num_reducers;
+  // Preamble first: if the explicit Hello send below is dropped by an
+  // injected fault, the reconnect path re-introduces us before the
+  // retransmit goes out.
+  transport_->SetConnectPreamble(hello.ToFrame());
+  conn_ = transport_->Connect([this](net::Connection* from, net::Frame frame) {
+    HandleReply(from, std::move(frame));
+  });
+  conn_->Send(hello.ToFrame());
+}
+
+void ShuffleClient::CheckAborted() {
+  std::scoped_lock lock(mu_);
+  if (aborted_) {
+    throw std::runtime_error("shuffle aborted by reduce group: " +
+                             abort_reason_);
+  }
+}
+
+void ShuffleClient::HandleReply(net::Connection* /*from*/, net::Frame frame) {
+  switch (frame.type) {
+    case net::FrameType::kCredit: {
+      const auto msg = net::CreditMsg::Parse(frame);
+      std::scoped_lock lock(mu_);
+      credits_.at(msg.reducer) += msg.credits;
+      break;
+    }
+    case net::FrameType::kGone: {
+      const auto msg = net::GoneMsg::Parse(frame);
+      std::scoped_lock lock(mu_);
+      gone_.at(msg.reducer) = true;
+      break;
+    }
+    case net::FrameType::kAbort: {
+      const auto msg = net::AbortMsg::Parse(frame);
+      std::scoped_lock lock(mu_);
+      aborted_ = true;
+      abort_reason_ = msg.reason;
+      break;
+    }
+    default:
+      break;  // unexpected reply type; ignore
+  }
+}
+
+PushResult ShuffleClient::TryPush(int reducer, ShuffleItem chunk) {
+  {
+    std::scoped_lock lock(mu_);
+    if (aborted_) {
+      throw std::runtime_error("shuffle aborted by reduce group: " +
+                               abort_reason_);
+    }
+    if (gone_.at(reducer)) return PushResult::kReducerGone;
+    if (credits_.at(reducer) == 0) return PushResult::kBusy;
+    --credits_[reducer];
+  }
+  net::ChunkMsg msg;
+  msg.map_task = chunk.map_task;
+  msg.reducer = reducer;
+  msg.sorted = chunk.sorted;
+  msg.records = chunk.records;
+  msg.bytes = std::move(chunk.bytes);
+  conn_->Send(msg.ToFrame());
+  return PushResult::kAccepted;
+}
+
+void ShuffleClient::RegisterFile(const MapOutputFile& file) {
+  for (int r = 0; r < static_cast<int>(file.partitions.size()); ++r) {
+    const Segment& seg = file.partitions[r];
+    if (seg.bytes == 0) continue;
+    SendSegment(file.map_task, file.path, r, seg, file.sorted);
+  }
+}
+
+void ShuffleClient::RegisterSegment(int map_task,
+                                    const std::filesystem::path& path,
+                                    int reducer, const Segment& segment,
+                                    bool sorted) {
+  if (segment.bytes == 0) return;
+  SendSegment(map_task, path, reducer, segment, sorted);
+}
+
+void ShuffleClient::SendSegment(int map_task,
+                                const std::filesystem::path& path,
+                                int reducer, const Segment& segment,
+                                bool sorted) {
+  CheckAborted();
+  if (options_.shared_fs) {
+    net::SegmentRefMsg msg;
+    msg.map_task = map_task;
+    msg.reducer = reducer;
+    msg.sorted = sorted;
+    msg.records = segment.records;
+    msg.offset = segment.offset;
+    msg.length = segment.bytes;
+    msg.path = path.string();
+    conn_->Send(msg.ToFrame());
+    return;
+  }
+  // No shared filesystem: ship the segment bytes inline.  The read is not
+  // charged to a device channel — it is the wire's copy, not an engine I/O
+  // the cost model tracks (net.bytes_sent covers it).
+  std::string bytes(segment.bytes, '\0');
+  SequentialReader reader(path, IoChannel());
+  reader.Seek(segment.offset);
+  if (!reader.ReadExact(bytes.data(), bytes.size())) {
+    throw std::runtime_error("shuffle client: segment vanished: " +
+                             path.string());
+  }
+  net::SegmentDataMsg msg;
+  msg.map_task = map_task;
+  msg.reducer = reducer;
+  msg.sorted = sorted;
+  msg.records = segment.records;
+  msg.bytes = std::move(bytes);
+  conn_->Send(msg.ToFrame());
+}
+
+void ShuffleClient::MapTaskDone(int map_task, std::uint64_t input_records,
+                                std::uint64_t output_records) {
+  CheckAborted();
+  net::MapDoneMsg msg;
+  msg.map_task = map_task;
+  msg.input_records = input_records;
+  msg.output_records = output_records;
+  conn_->Send(msg.ToFrame());
+}
+
+void ShuffleClient::Finish() {
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  net::ByeMsg bye;
+  bye.frames_sent =
+      static_cast<std::uint64_t>(metrics_->Value(net::kNetFramesSent));
+  bye.bytes_sent =
+      static_cast<std::uint64_t>(metrics_->Value(net::kNetBytesSent));
+  bye.retransmits =
+      static_cast<std::uint64_t>(metrics_->Value(net::kNetRetransmits));
+  bye.reconnects =
+      static_cast<std::uint64_t>(metrics_->Value(net::kNetReconnects));
+  bye.stall_nanos =
+      static_cast<std::uint64_t>(metrics_->Value(net::kNetStallNanos));
+  try {
+    conn_->Send(bye.ToFrame());
+  } catch (const net::TransportError&) {
+    // Best-effort: the job's data already made it across.
+  }
+  conn_->Close();
+}
+
+void ShuffleClient::SendAbort(const std::string& reason) {
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  net::AbortMsg msg;
+  msg.reason = reason;
+  try {
+    conn_->Send(msg.ToFrame());
+  } catch (const net::TransportError&) {
+    // The reduce side will hit its idle timeout instead.
+  }
+  conn_->Close();
+}
+
+// --- ShuffleServer -----------------------------------------------------------
+
+ShuffleServer::ShuffleServer(net::Transport* transport,
+                             ShuffleService* shuffle, FileManager* files,
+                             MetricRegistry* metrics,
+                             bool merge_client_wire_stats)
+    : transport_(transport),
+      shuffle_(shuffle),
+      files_(files),
+      metrics_(metrics),
+      merge_client_wire_stats_(merge_client_wire_stats) {}
+
+ShuffleServer::~ShuffleServer() {
+  shuffle_->SetChunkConsumedProbe(nullptr);
+  shuffle_->SetGoneProbe(nullptr);
+  std::scoped_lock lock(mu_);
+  for (auto& [conn, writer] : spills_) {
+    if (writer != nullptr) writer->Close();
+  }
+}
+
+void ShuffleServer::Start() {
+  shuffle_->SetChunkConsumedProbe([this](int reducer) {
+    net::CreditMsg credit;
+    credit.reducer = reducer;
+    SendToClient(credit.ToFrame());
+  });
+  shuffle_->SetGoneProbe([this](int reducer) {
+    net::GoneMsg gone;
+    gone.reducer = reducer;
+    SendToClient(gone.ToFrame());
+  });
+  transport_->Listen([this](net::Connection* from, net::Frame frame) {
+    HandleFrame(from, std::move(frame));
+  });
+}
+
+void ShuffleServer::SendToClient(const net::Frame& frame) {
+  net::Connection* client = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    client = client_;
+  }
+  if (client == nullptr) return;
+  try {
+    client->Send(frame);
+  } catch (const net::TransportError&) {
+    // A lost credit only costs pipelining (the mapper diverts to disk);
+    // a lost Gone only costs fail-fast latency.  Correctness is kept.
+  }
+}
+
+std::uint64_t ShuffleServer::map_input_records() const {
+  std::scoped_lock lock(mu_);
+  return map_input_records_;
+}
+
+std::uint64_t ShuffleServer::map_output_records() const {
+  std::scoped_lock lock(mu_);
+  return map_output_records_;
+}
+
+void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
+  // Never let a malformed frame unwind a transport reader thread: poison
+  // the shuffle instead so reducers fail with a diagnosis.
+  try {
+    switch (frame.type) {
+      case net::FrameType::kHello: {
+        (void)net::HelloMsg::Parse(frame);  // validates version
+        std::scoped_lock lock(mu_);
+        client_ = from;  // idempotent; re-Hello after reconnect re-routes
+        break;
+      }
+      case net::FrameType::kChunk: {
+        auto msg = net::ChunkMsg::Parse(frame);
+        ShuffleItem item;
+        item.map_task = msg.map_task;
+        item.sorted = msg.sorted;
+        item.records = msg.records;
+        item.bytes = std::move(msg.bytes);
+        // The client already admitted this chunk against its credit
+        // window; the bounded re-check would spuriously reject after a
+        // Rewind re-queued consumed items.
+        shuffle_->ForcePush(msg.reducer, std::move(item));
+        break;
+      }
+      case net::FrameType::kSegmentRef: {
+        const auto msg = net::SegmentRefMsg::Parse(frame);
+        Segment seg;
+        seg.offset = msg.offset;
+        seg.bytes = msg.length;
+        seg.records = msg.records;
+        shuffle_->RegisterSegment(msg.map_task,
+                                  std::filesystem::path(msg.path),
+                                  msg.reducer, seg, msg.sorted);
+        break;
+      }
+      case net::FrameType::kSegmentData: {
+        auto msg = net::SegmentDataMsg::Parse(frame);
+        std::filesystem::path spill_path;
+        Segment seg;
+        {
+          std::scoped_lock lock(mu_);
+          auto& writer = spills_[from];
+          if (writer == nullptr) {
+            writer = std::make_unique<SequentialWriter>(
+                files_->NewFile("net_seg"),
+                IoChannel(metrics_, device::kNetSegmentWrite));
+          }
+          seg.offset = writer->bytes_written();
+          seg.bytes = msg.bytes.size();
+          seg.records = msg.records;
+          writer->Append(msg.bytes);
+          writer->Flush();
+          spill_path = writer->path();
+        }
+        shuffle_->RegisterSegment(msg.map_task, spill_path, msg.reducer, seg,
+                                  msg.sorted);
+        break;
+      }
+      case net::FrameType::kMapDone: {
+        const auto msg = net::MapDoneMsg::Parse(frame);
+        {
+          std::scoped_lock lock(mu_);
+          map_input_records_ += msg.input_records;
+          map_output_records_ += msg.output_records;
+        }
+        shuffle_->MapTaskDone(msg.map_task);
+        break;
+      }
+      case net::FrameType::kBye: {
+        const auto msg = net::ByeMsg::Parse(frame);
+        if (merge_client_wire_stats_) {
+          // Client-process-only events, folded in so the reduce-side job
+          // report covers the whole wire.  Skipped when both endpoints
+          // share one registry (kAll mode) — they are already counted.
+          metrics_->Get(net::kNetRetransmits)
+              ->Add(static_cast<std::int64_t>(msg.retransmits));
+          metrics_->Get(net::kNetReconnects)
+              ->Add(static_cast<std::int64_t>(msg.reconnects));
+          metrics_->Get(net::kNetStallNanos)
+              ->Add(static_cast<std::int64_t>(msg.stall_nanos));
+        }
+        break;
+      }
+      case net::FrameType::kAbort: {
+        const auto msg = net::AbortMsg::Parse(frame);
+        shuffle_->Abort("map worker group aborted: " + msg.reason);
+        break;
+      }
+      default:
+        throw net::WireError("shuffle server: unexpected frame type " +
+                             std::string(net::FrameTypeName(frame.type)));
+    }
+  } catch (const std::exception& e) {
+    shuffle_->Abort(std::string("shuffle server: ") + e.what());
+  }
+}
+
+}  // namespace opmr

@@ -1,0 +1,124 @@
+// Remote shuffle endpoints: the map-side client and reduce-side server
+// that carry ShuffleMapEndpoint calls over a net::Transport connection.
+//
+// The client serialises every RegisterFile / RegisterSegment / TryPush /
+// MapTaskDone call into typed wire frames; the server deserialises them
+// back into calls on the in-process ShuffleService.  Back-pressure is a
+// credit protocol that mirrors the service's bounded per-reducer queues:
+// the client starts with `push_queue_chunks` credits per reducer, spends
+// one per pushed chunk, and earns one back when the server observes the
+// reducer consume a chunk for the first time.  A reducer that terminally
+// fails is announced with a Gone frame so the mapper group fails fast
+// (paper Table III) instead of pushing into a dead queue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/shuffle.h"
+#include "metrics/counters.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "storage/file_manager.h"
+#include "storage/io.h"
+
+namespace opmr {
+
+// Map-side endpoint: one instance (and one Transport connection) per map
+// worker group.  Thread-safe — map worker threads share it.
+class ShuffleClient final : public ShuffleMapEndpoint {
+ public:
+  struct Options {
+    std::string job;
+    int num_map_tasks = 0;
+    int num_reducers = 0;
+    // Initial credits per reducer; must equal the server-side
+    // ShuffleService's push_queue_chunks for back-pressure parity.
+    std::size_t push_queue_chunks = 0;
+    // Both worker groups see the same filesystem: register segments as
+    // path descriptors (SegmentRef) instead of shipping bytes inline.
+    bool shared_fs = true;
+  };
+
+  ShuffleClient(net::Transport* transport, MetricRegistry* metrics,
+                Options options);
+
+  void RegisterFile(const MapOutputFile& file) override;
+  void RegisterSegment(int map_task, const std::filesystem::path& path,
+                       int reducer, const Segment& segment,
+                       bool sorted) override;
+  PushResult TryPush(int reducer, ShuffleItem chunk) override;
+  void MapTaskDone(int map_task, std::uint64_t input_records,
+                   std::uint64_t output_records) override;
+
+  // Orderly close: sends Bye with this side's wire counters.  Idempotent.
+  void Finish();
+
+  // Failure close: relays the failure so the reduce group can abort
+  // instead of waiting out its idle timeout.  Idempotent with Finish.
+  void SendAbort(const std::string& reason);
+
+ private:
+  void HandleReply(net::Connection* from, net::Frame frame);
+  void SendSegment(int map_task, const std::filesystem::path& path,
+                   int reducer, const Segment& segment, bool sorted);
+  // Throws if the server announced job abort.
+  void CheckAborted();
+
+  net::Transport* transport_;
+  MetricRegistry* metrics_;
+  Options options_;
+  std::shared_ptr<net::Connection> conn_;
+
+  std::mutex mu_;
+  std::vector<std::size_t> credits_;
+  std::vector<bool> gone_;
+  bool aborted_ = false;
+  std::string abort_reason_;
+  bool closed_ = false;
+};
+
+// Reduce-side endpoint: applies inbound frames to the job's ShuffleService
+// and replies with Credit / Gone frames.  Assumes a single mapper-group
+// connection per job (credits are routed to the most recent Hello sender).
+class ShuffleServer {
+ public:
+  ShuffleServer(net::Transport* transport, ShuffleService* shuffle,
+                FileManager* files, MetricRegistry* metrics,
+                bool merge_client_wire_stats);
+  ~ShuffleServer();
+
+  ShuffleServer(const ShuffleServer&) = delete;
+  ShuffleServer& operator=(const ShuffleServer&) = delete;
+
+  // Installs the consume/gone probes on the ShuffleService and starts
+  // listening on the transport.
+  void Start();
+
+  // Map-side stats accumulated from MapDone frames.
+  [[nodiscard]] std::uint64_t map_input_records() const;
+  [[nodiscard]] std::uint64_t map_output_records() const;
+
+ private:
+  void HandleFrame(net::Connection* from, net::Frame frame);
+  void SendToClient(const net::Frame& frame);
+
+  net::Transport* transport_;
+  ShuffleService* shuffle_;
+  FileManager* files_;
+  MetricRegistry* metrics_;
+  const bool merge_client_wire_stats_;
+
+  mutable std::mutex mu_;
+  net::Connection* client_ = nullptr;
+  // Per-connection spill file receiving inline SegmentData payloads.
+  std::map<net::Connection*, std::unique_ptr<SequentialWriter>> spills_;
+  std::uint64_t map_input_records_ = 0;
+  std::uint64_t map_output_records_ = 0;
+};
+
+}  // namespace opmr

@@ -65,6 +65,8 @@ FaultPoint PointByName(const std::string& name) {
   if (name == "replica_loss") return FaultPoint::kReplicaLoss;
   if (name == "slow_node") return FaultPoint::kSlowNode;
   if (name == "fetch_stall") return FaultPoint::kFetchStall;
+  if (name == "conn_drop") return FaultPoint::kConnDrop;
+  if (name == "net_stall") return FaultPoint::kNetStall;
   throw std::invalid_argument("FaultPlan: unknown fault point '" + name + "'");
 }
 
@@ -116,6 +118,8 @@ const char* FaultPointName(FaultPoint point) noexcept {
     case FaultPoint::kReplicaLoss: return "replica_loss";
     case FaultPoint::kSlowNode: return "slow_node";
     case FaultPoint::kFetchStall: return "fetch_stall";
+    case FaultPoint::kConnDrop: return "conn_drop";
+    case FaultPoint::kNetStall: return "net_stall";
   }
   return "unknown";
 }
@@ -356,6 +360,34 @@ void FaultInjector::IoFault(FaultPoint point,
     Fire(i, filename + " offset " + std::to_string(offset) + " (" +
                std::to_string(bytes) + " bytes)");
   }
+}
+
+bool FaultInjector::OnFrameSend(std::uint64_t frame_seq, int attempt) {
+  const bool drop = has_point_[static_cast<int>(FaultPoint::kConnDrop)];
+  const bool stall = has_point_[static_cast<int>(FaultPoint::kNetStall)];
+  if (!drop && !stall) return false;
+  bool dropped = false;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& s = plan_.faults[i];
+    if (s.point != FaultPoint::kConnDrop && s.point != FaultPoint::kNetStall) {
+      continue;
+    }
+    if (attempt > s.attempts) continue;
+    if (s.record > 0) {
+      if (frame_seq != s.record) continue;
+    } else if (s.rate > 0.0) {
+      if (Draw(i, frame_seq, static_cast<std::uint64_t>(attempt)) >= s.rate) {
+        continue;
+      }
+    }
+    CountOnly(i);
+    if (s.point == FaultPoint::kNetStall) {
+      SleepMs(s.delay_ms);
+    } else {
+      dropped = true;
+    }
+  }
+  return dropped;
 }
 
 void FaultInjector::BeforeWrite(const std::filesystem::path& path,

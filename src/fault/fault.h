@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "metrics/counters.h"
+#include "net/transport.h"
 #include "storage/io.h"
 
 namespace opmr {
@@ -35,6 +36,8 @@ enum class FaultPoint {
   kReplicaLoss,  // drop replicas from block metadata (degrades locality)
   kSlowNode,     // per-record delay on one node (straggler injection)
   kFetchStall,   // delay a reducer's fetch of one map task's output
+  kConnDrop,     // tear a transport connection down before frame N's send
+  kNetStall,     // delay a transport frame send (slow network)
 };
 
 [[nodiscard]] const char* FaultPointName(FaultPoint point) noexcept;
@@ -44,7 +47,9 @@ enum class FaultPoint {
 // eligible site.  For kFetchStall, `task` filters the map task whose output
 // is being fetched and `node` filters the fetching reducer.  For
 // kReplicaLoss, `node` selects the replica to drop (-1 drops all, or a
-// `rate`-drawn subset).
+// `rate`-drawn subset).  For kConnDrop / kNetStall, `record` filters the
+// 1-based frame send ordinal and `attempts` budgets the transmission
+// attempt (default 1: the retransmit goes through).
 struct FaultSpec {
   FaultPoint point = FaultPoint::kMapCrash;
   int task = -1;                 // map/reduce task id filter
@@ -121,7 +126,7 @@ class FaultScope {
 // so concurrent tasks cannot perturb each other's faults.  Counts every
 // fired fault into the metric registry ("faults.injected", "faults.<point>",
 // "faults.slowed_records") so chaos activity lands in JobResult::counters.
-class FaultInjector final : public IoFaultHook {
+class FaultInjector final : public IoFaultHook, public net::NetFaultHook {
  public:
   FaultInjector(FaultPlan plan, MetricRegistry* metrics);
 
@@ -138,6 +143,12 @@ class FaultInjector final : public IoFaultHook {
                    std::size_t bytes) override;
   void BeforeRead(const std::filesystem::path& path, std::uint64_t offset,
                   std::size_t bytes) override;
+
+  // --- wire fault site (net::NetFaultHook) ---------------------------------
+  // Consulted by the TCP client before each frame send.  kNetStall sleeps;
+  // kConnDrop returns true, which makes the transport tear the connection
+  // down (before any byte is written) and retransmit.
+  bool OnFrameSend(std::uint64_t frame_seq, int attempt) override;
 
   [[nodiscard]] std::int64_t injected() const noexcept {
     return injected_->value();
@@ -157,7 +168,7 @@ class FaultInjector final : public IoFaultHook {
   Counter* injected_;
   Counter* slowed_records_;
   std::vector<Counter*> per_spec_;
-  bool has_point_[7] = {};
+  bool has_point_[9] = {};
 };
 
 }  // namespace opmr

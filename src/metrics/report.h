@@ -82,4 +82,22 @@ inline std::vector<std::string> CheckpointCsvCells(std::int64_t written,
           std::to_string(recover_seconds)};
 }
 
+// Wire-activity columns (src/net transports), same contract again.  All
+// zero when the shuffle never left the process (the direct default path).
+inline std::vector<std::string> WireCsvHeader() {
+  return {"net_bytes_sent",  "net_bytes_received", "net_frames_sent",
+          "net_frames_received", "net_retransmits", "net_reconnects",
+          "net_stall_seconds"};
+}
+
+inline std::vector<std::string> WireCsvCells(
+    std::int64_t bytes_sent, std::int64_t bytes_received,
+    std::int64_t frames_sent, std::int64_t frames_received,
+    std::int64_t retransmits, std::int64_t reconnects, double stall_seconds) {
+  return {std::to_string(bytes_sent),   std::to_string(bytes_received),
+          std::to_string(frames_sent),  std::to_string(frames_received),
+          std::to_string(retransmits),  std::to_string(reconnects),
+          std::to_string(stall_seconds)};
+}
+
 }  // namespace opmr

@@ -1,0 +1,90 @@
+#include "net/loopback.h"
+
+#include <utility>
+
+namespace opmr::net {
+
+// One direction of a connected pair: Send() invokes `sink_` (the peer's
+// inbound handler), passing `reply_via_` (the peer's endpoint object) so
+// the handler can answer.  A mutex per direction keeps handler invocations
+// ordered the way a byte stream would be.  The transport owns both
+// endpoints of every pair; `reply_via_` stays valid until Shutdown().
+class LoopbackConnection final : public Connection {
+ public:
+  explicit LoopbackConnection(LoopbackTransport* owner) : owner_(owner) {}
+
+  void Wire(FrameHandler sink, Connection* reply_via) {
+    sink_ = std::move(sink);
+    reply_via_ = reply_via;
+  }
+
+  void Send(const Frame& frame) override {
+    {
+      std::scoped_lock lock(state_mu_);
+      if (closed_) throw TransportError("loopback connection is closed");
+    }
+    owner_->CountDelivered(frame);
+    std::scoped_lock deliver(deliver_mu_);
+    sink_(reply_via_, Frame{frame.type, frame.payload});
+  }
+
+  void Close() override {
+    std::scoped_lock lock(state_mu_);
+    closed_ = true;
+  }
+
+ private:
+  LoopbackTransport* owner_;
+  FrameHandler sink_;
+  Connection* reply_via_ = nullptr;
+  std::mutex deliver_mu_;
+  std::mutex state_mu_;
+  bool closed_ = false;
+};
+
+LoopbackTransport::LoopbackTransport(MetricRegistry* metrics)
+    : frames_sent_(metrics->Get(kNetFramesSent)),
+      frames_received_(metrics->Get(kNetFramesReceived)),
+      bytes_sent_(metrics->Get(kNetBytesSent)),
+      bytes_received_(metrics->Get(kNetBytesReceived)) {}
+
+LoopbackTransport::~LoopbackTransport() { Shutdown(); }
+
+void LoopbackTransport::Listen(FrameHandler handler) {
+  std::scoped_lock lock(mu_);
+  server_handler_ = std::move(handler);
+}
+
+std::shared_ptr<Connection> LoopbackTransport::Connect(FrameHandler on_reply) {
+  std::scoped_lock lock(mu_);
+  if (!server_handler_) {
+    throw TransportError("loopback: Connect before Listen");
+  }
+  auto client_end = std::make_shared<LoopbackConnection>(this);
+  auto server_end = std::make_shared<LoopbackConnection>(this);
+  // Client sends land in the server handler with the server-side endpoint
+  // as the reply path; replies on it land in on_reply with the client-side
+  // endpoint (unused by convention, but symmetric).
+  client_end->Wire(server_handler_, server_end.get());
+  server_end->Wire(std::move(on_reply), client_end.get());
+  connections_.push_back(client_end);
+  connections_.push_back(std::move(server_end));
+  return client_end;
+}
+
+void LoopbackTransport::Shutdown() {
+  std::scoped_lock lock(mu_);
+  for (auto& conn : connections_) conn->Close();
+  connections_.clear();
+}
+
+void LoopbackTransport::CountDelivered(const Frame& frame) {
+  const auto bytes =
+      static_cast<std::int64_t>(kFrameHeaderBytes + frame.payload.size());
+  frames_sent_->Increment();
+  frames_received_->Increment();
+  bytes_sent_->Add(bytes);
+  bytes_received_->Add(bytes);
+}
+
+}  // namespace opmr::net

@@ -1,0 +1,49 @@
+// LoopbackTransport: in-process frame delivery with no sockets.
+//
+// Send() hands the frame to the peer's handler synchronously in the
+// caller's thread, serialized per direction — exactly the cost model the
+// single-process engine always had, now expressed through the Transport
+// seam so the same ShuffleClient/ShuffleServer pair runs unchanged over
+// TCP.  The net fault hook is never consulted: there is no wire to fail.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "metrics/counters.h"
+#include "net/transport.h"
+
+namespace opmr::net {
+
+class LoopbackConnection;
+
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(MetricRegistry* metrics);
+  ~LoopbackTransport() override;
+
+  void Listen(FrameHandler handler) override;
+  std::shared_ptr<Connection> Connect(FrameHandler on_reply) override;
+  [[nodiscard]] std::string endpoint() const override { return "loopback"; }
+  void Shutdown() override;
+
+ private:
+  friend class LoopbackConnection;
+
+  // Synchronous delivery counts both directions at once.
+  void CountDelivered(const Frame& frame);
+
+  Counter* frames_sent_ = nullptr;
+  Counter* frames_received_ = nullptr;
+  Counter* bytes_sent_ = nullptr;
+  Counter* bytes_received_ = nullptr;
+
+  std::mutex mu_;
+  FrameHandler server_handler_;
+  // Owns both endpoints of every pair (the server endpoint is only ever
+  // referenced as a raw reply pointer); released on Shutdown.
+  std::vector<std::shared_ptr<LoopbackConnection>> connections_;
+};
+
+}  // namespace opmr::net

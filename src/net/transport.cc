@@ -1,0 +1,19 @@
+#include "net/transport.h"
+
+#include <atomic>
+
+namespace opmr::net {
+
+namespace {
+std::atomic<NetFaultHook*> g_net_fault_hook{nullptr};
+}  // namespace
+
+void SetNetFaultHook(NetFaultHook* hook) {
+  g_net_fault_hook.store(hook, std::memory_order_release);
+}
+
+NetFaultHook* GetNetFaultHook() noexcept {
+  return g_net_fault_hook.load(std::memory_order_acquire);
+}
+
+}  // namespace opmr::net

@@ -1,0 +1,110 @@
+// Transport: how shuffle frames move between a map worker group and the
+// reduce group.
+//
+// Two implementations (paper Fig. 5's "data movement" substrate):
+//
+//   * LoopbackTransport — in-process, synchronous delivery.  The default;
+//     preserves the single-process engine behavior (and cost model) the
+//     rest of the repo was measured with.
+//   * TcpTransport — localhost sockets, thread-per-connection.  Used by
+//     the CLI's --transport=tcp mode, which runs the map and reduce worker
+//     groups as separate OS processes.
+//
+// A Transport is either listening (the reduce side calls Listen and
+// receives frames from every accepted connection) or dialing (the map side
+// calls Connect and gets a Connection to Send on; reply frames arrive on
+// the connect-time handler).  Connections are bidirectional and ordered;
+// delivery is at-most-once per send attempt, with the TCP client
+// retransmitting over a fresh connection when a send is dropped (injected
+// conn_drop faults tear the connection down *before* any byte of the frame
+// reaches the wire, so a retransmit can never duplicate delivered data).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.h"
+
+namespace opmr::net {
+
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Sends one frame.  Thread-safe; may block on back-pressure from the OS.
+  // Throws TransportError when the peer is unreachable after retries.
+  virtual void Send(const Frame& frame) = 0;
+
+  // Half-closes the connection; buffered outbound bytes are flushed first.
+  virtual void Close() = 0;
+};
+
+// Invoked once per received frame.  `from` is valid for the duration of
+// the call and for as long as the connection stays open; handlers may
+// Send on it (replies) from any thread.
+using FrameHandler =
+    std::function<void(Connection* from, Frame frame)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Server side: start delivering inbound frames to `handler`.
+  virtual void Listen(FrameHandler handler) = 0;
+
+  // Client side: open a connection; frames the peer sends back arrive on
+  // `on_reply`.
+  virtual std::shared_ptr<Connection> Connect(FrameHandler on_reply) = 0;
+
+  // Printable peer address ("loopback" or "127.0.0.1:<port>").
+  [[nodiscard]] virtual std::string endpoint() const = 0;
+
+  // Stops accepting, closes every connection, joins I/O threads.
+  virtual void Shutdown() = 0;
+
+  // Frame automatically resent first whenever a client connection is
+  // re-established after a drop (the Hello re-introduction).  Transports
+  // without reconnection (loopback) ignore it.
+  virtual void SetConnectPreamble(Frame preamble) { (void)preamble; }
+};
+
+// --- Fault-injection seam ----------------------------------------------------
+
+// Consulted by TcpTransport's client before each frame send.  `frame_seq`
+// is the 1-based per-connection send ordinal, `attempt` the 1-based
+// transmission attempt of that frame.  Returning true drops the send: the
+// connection is torn down and the frame retransmitted on a fresh one.
+// Implementations may sleep (injected network stalls).  The loopback
+// transport never consults the hook — there is no wire to fail.
+class NetFaultHook {
+ public:
+  virtual ~NetFaultHook() = default;
+  virtual bool OnFrameSend(std::uint64_t frame_seq, int attempt) = 0;
+};
+
+// Installs (or, with nullptr, removes) the process-global hook.  The
+// caller keeps ownership and must uninstall before destroying the hook.
+void SetNetFaultHook(NetFaultHook* hook);
+[[nodiscard]] NetFaultHook* GetNetFaultHook() noexcept;
+
+// --- Wire metric names -------------------------------------------------------
+// Charged into the owning MetricRegistry by both transports; surfaced as
+// the wire-metrics block of JobResult and the CSV reports.
+
+inline constexpr const char* kNetBytesSent = "net.bytes_sent";
+inline constexpr const char* kNetBytesReceived = "net.bytes_received";
+inline constexpr const char* kNetFramesSent = "net.frames_sent";
+inline constexpr const char* kNetFramesReceived = "net.frames_received";
+inline constexpr const char* kNetRetransmits = "net.retransmits";
+inline constexpr const char* kNetReconnects = "net.reconnects";
+inline constexpr const char* kNetStallNanos = "net.stall_nanos";
+
+}  // namespace opmr::net

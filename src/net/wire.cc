@@ -1,0 +1,255 @@
+#include "net/wire.h"
+
+#include "common/slice.h"
+
+namespace opmr::net {
+
+namespace {
+
+void ExpectType(const Frame& frame, FrameType want) {
+  if (frame.type != want) {
+    throw WireError(std::string("wire: expected ") + FrameTypeName(want) +
+                    " frame, got " + FrameTypeName(frame.type));
+  }
+}
+
+void AppendBytes(std::string* out, const std::string& bytes) {
+  AppendU32(*out, static_cast<std::uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+}  // namespace
+
+const char* WireReader::Take(std::size_t n) {
+  if (body_.size() - pos_ < n) {
+    throw WireError("wire: truncated message payload");
+  }
+  const char* p = body_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t WireReader::U8() {
+  return static_cast<std::uint8_t>(*Take(1));
+}
+std::uint32_t WireReader::U32() { return DecodeU32(Take(4)); }
+std::uint64_t WireReader::U64() { return DecodeU64(Take(8)); }
+std::int32_t WireReader::I32() {
+  return static_cast<std::int32_t>(DecodeU32(Take(4)));
+}
+
+std::string WireReader::Bytes() {
+  const std::uint32_t n = U32();
+  return std::string(Take(n), n);
+}
+
+void WireReader::ExpectExhausted(const char* what) const {
+  if (pos_ != body_.size()) {
+    throw WireError(std::string("wire: trailing bytes after ") + what);
+  }
+}
+
+// --- Hello -------------------------------------------------------------------
+
+Frame HelloMsg::ToFrame() const {
+  Frame frame{FrameType::kHello, {}};
+  AppendU32(frame.payload, version);
+  AppendBytes(&frame.payload, job);
+  AppendU32(frame.payload, static_cast<std::uint32_t>(num_map_tasks));
+  AppendU32(frame.payload, static_cast<std::uint32_t>(num_reducers));
+  return frame;
+}
+
+HelloMsg HelloMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kHello);
+  WireReader in(frame.payload);
+  HelloMsg msg;
+  msg.version = in.U32();
+  msg.job = in.Bytes();
+  msg.num_map_tasks = in.I32();
+  msg.num_reducers = in.I32();
+  in.ExpectExhausted("hello");
+  return msg;
+}
+
+// --- Chunk -------------------------------------------------------------------
+
+Frame ChunkMsg::ToFrame() const {
+  Frame frame{FrameType::kChunk, {}};
+  frame.payload.reserve(21 + bytes.size());
+  AppendU32(frame.payload, static_cast<std::uint32_t>(map_task));
+  AppendU32(frame.payload, static_cast<std::uint32_t>(reducer));
+  frame.payload.push_back(sorted ? 1 : 0);
+  AppendU64(frame.payload, records);
+  AppendBytes(&frame.payload, bytes);
+  return frame;
+}
+
+ChunkMsg ChunkMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kChunk);
+  WireReader in(frame.payload);
+  ChunkMsg msg;
+  msg.map_task = in.I32();
+  msg.reducer = in.I32();
+  msg.sorted = in.U8() != 0;
+  msg.records = in.U64();
+  msg.bytes = in.Bytes();
+  in.ExpectExhausted("chunk");
+  return msg;
+}
+
+// --- SegmentRef --------------------------------------------------------------
+
+Frame SegmentRefMsg::ToFrame() const {
+  Frame frame{FrameType::kSegmentRef, {}};
+  AppendU32(frame.payload, static_cast<std::uint32_t>(map_task));
+  AppendU32(frame.payload, static_cast<std::uint32_t>(reducer));
+  frame.payload.push_back(sorted ? 1 : 0);
+  AppendU64(frame.payload, records);
+  AppendU64(frame.payload, offset);
+  AppendU64(frame.payload, length);
+  AppendBytes(&frame.payload, path);
+  return frame;
+}
+
+SegmentRefMsg SegmentRefMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kSegmentRef);
+  WireReader in(frame.payload);
+  SegmentRefMsg msg;
+  msg.map_task = in.I32();
+  msg.reducer = in.I32();
+  msg.sorted = in.U8() != 0;
+  msg.records = in.U64();
+  msg.offset = in.U64();
+  msg.length = in.U64();
+  msg.path = in.Bytes();
+  in.ExpectExhausted("segment_ref");
+  return msg;
+}
+
+// --- SegmentData -------------------------------------------------------------
+
+Frame SegmentDataMsg::ToFrame() const {
+  Frame frame{FrameType::kSegmentData, {}};
+  frame.payload.reserve(21 + bytes.size());
+  AppendU32(frame.payload, static_cast<std::uint32_t>(map_task));
+  AppendU32(frame.payload, static_cast<std::uint32_t>(reducer));
+  frame.payload.push_back(sorted ? 1 : 0);
+  AppendU64(frame.payload, records);
+  AppendBytes(&frame.payload, bytes);
+  return frame;
+}
+
+SegmentDataMsg SegmentDataMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kSegmentData);
+  WireReader in(frame.payload);
+  SegmentDataMsg msg;
+  msg.map_task = in.I32();
+  msg.reducer = in.I32();
+  msg.sorted = in.U8() != 0;
+  msg.records = in.U64();
+  msg.bytes = in.Bytes();
+  in.ExpectExhausted("segment_data");
+  return msg;
+}
+
+// --- MapDone -----------------------------------------------------------------
+
+Frame MapDoneMsg::ToFrame() const {
+  Frame frame{FrameType::kMapDone, {}};
+  AppendU32(frame.payload, static_cast<std::uint32_t>(map_task));
+  AppendU64(frame.payload, input_records);
+  AppendU64(frame.payload, output_records);
+  return frame;
+}
+
+MapDoneMsg MapDoneMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kMapDone);
+  WireReader in(frame.payload);
+  MapDoneMsg msg;
+  msg.map_task = in.I32();
+  msg.input_records = in.U64();
+  msg.output_records = in.U64();
+  in.ExpectExhausted("map_done");
+  return msg;
+}
+
+// --- Credit ------------------------------------------------------------------
+
+Frame CreditMsg::ToFrame() const {
+  Frame frame{FrameType::kCredit, {}};
+  AppendU32(frame.payload, static_cast<std::uint32_t>(reducer));
+  AppendU32(frame.payload, credits);
+  return frame;
+}
+
+CreditMsg CreditMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kCredit);
+  WireReader in(frame.payload);
+  CreditMsg msg;
+  msg.reducer = in.I32();
+  msg.credits = in.U32();
+  in.ExpectExhausted("credit");
+  return msg;
+}
+
+// --- Gone --------------------------------------------------------------------
+
+Frame GoneMsg::ToFrame() const {
+  Frame frame{FrameType::kGone, {}};
+  AppendU32(frame.payload, static_cast<std::uint32_t>(reducer));
+  return frame;
+}
+
+GoneMsg GoneMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kGone);
+  WireReader in(frame.payload);
+  GoneMsg msg;
+  msg.reducer = in.I32();
+  in.ExpectExhausted("gone");
+  return msg;
+}
+
+// --- Abort -------------------------------------------------------------------
+
+Frame AbortMsg::ToFrame() const {
+  Frame frame{FrameType::kAbort, {}};
+  AppendBytes(&frame.payload, reason);
+  return frame;
+}
+
+AbortMsg AbortMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kAbort);
+  WireReader in(frame.payload);
+  AbortMsg msg;
+  msg.reason = in.Bytes();
+  in.ExpectExhausted("abort");
+  return msg;
+}
+
+// --- Bye ---------------------------------------------------------------------
+
+Frame ByeMsg::ToFrame() const {
+  Frame frame{FrameType::kBye, {}};
+  AppendU64(frame.payload, frames_sent);
+  AppendU64(frame.payload, bytes_sent);
+  AppendU64(frame.payload, retransmits);
+  AppendU64(frame.payload, reconnects);
+  AppendU64(frame.payload, stall_nanos);
+  return frame;
+}
+
+ByeMsg ByeMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kBye);
+  WireReader in(frame.payload);
+  ByeMsg msg;
+  msg.frames_sent = in.U64();
+  msg.bytes_sent = in.U64();
+  msg.retransmits = in.U64();
+  msg.reconnects = in.U64();
+  msg.stall_nanos = in.U64();
+  in.ExpectExhausted("bye");
+  return msg;
+}
+
+}  // namespace opmr::net

@@ -1,0 +1,152 @@
+// Typed shuffle-protocol messages carried in frame payloads.
+//
+// Encoding is the repo's little-endian run idiom (u32/u64 + length-prefixed
+// byte strings).  Parsing goes through WireReader, a bounds-checked cursor:
+// a payload that passed the frame CRC but is semantically truncated (or a
+// CRC collision) surfaces as a structured WireError, never as UB.
+//
+// Protocol sketch (one mapper-group connection per job):
+//
+//   client (map side)                server (reduce side)
+//   ----------------------------------------------------------
+//   Hello{version, job, reducers} ->
+//   Chunk / SegmentRef / SegmentData ->     ... applied to ShuffleService
+//   MapDone{task, stats}           ->
+//                                  <- Credit{reducer, n}   (back-pressure)
+//                                  <- Gone{reducer}        (fail-fast)
+//                                  <- Abort{reason}
+//   Bye{wire stats} or Abort       ->
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.h"
+
+namespace opmr::net {
+
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Bounds-checked cursor over a frame payload.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& payload) : body_(payload) {}
+
+  [[nodiscard]] std::uint8_t U8();
+  [[nodiscard]] std::uint32_t U32();
+  [[nodiscard]] std::uint64_t U64();
+  [[nodiscard]] std::int32_t I32();
+  // Length-prefixed (u32) byte string.
+  [[nodiscard]] std::string Bytes();
+
+  // Throws WireError unless the cursor consumed the payload exactly.
+  void ExpectExhausted(const char* what) const;
+
+ private:
+  const char* Take(std::size_t n);
+
+  const std::string& body_;
+  std::size_t pos_ = 0;
+};
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string job;
+  std::int32_t num_map_tasks = 0;
+  std::int32_t num_reducers = 0;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static HelloMsg Parse(const Frame& frame);
+};
+
+struct ChunkMsg {
+  std::int32_t map_task = -1;
+  std::int32_t reducer = -1;
+  bool sorted = false;
+  std::uint64_t records = 0;
+  std::string bytes;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static ChunkMsg Parse(const Frame& frame);
+};
+
+// Descriptor-only registration: valid when both peers see the same
+// filesystem (loopback transport / same-host worker groups).
+struct SegmentRefMsg {
+  std::int32_t map_task = -1;
+  std::int32_t reducer = -1;
+  bool sorted = false;
+  std::uint64_t records = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::string path;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static SegmentRefMsg Parse(const Frame& frame);
+};
+
+// Segment payload shipped inline: the receiver lands it in its own spill
+// file and registers the local copy (remote peers, no shared filesystem).
+struct SegmentDataMsg {
+  std::int32_t map_task = -1;
+  std::int32_t reducer = -1;
+  bool sorted = false;
+  std::uint64_t records = 0;
+  std::string bytes;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static SegmentDataMsg Parse(const Frame& frame);
+};
+
+struct MapDoneMsg {
+  std::int32_t map_task = -1;
+  std::uint64_t input_records = 0;
+  std::uint64_t output_records = 0;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static MapDoneMsg Parse(const Frame& frame);
+};
+
+struct CreditMsg {
+  std::int32_t reducer = -1;
+  std::uint32_t credits = 1;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static CreditMsg Parse(const Frame& frame);
+};
+
+struct GoneMsg {
+  std::int32_t reducer = -1;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static GoneMsg Parse(const Frame& frame);
+};
+
+struct AbortMsg {
+  std::string reason;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static AbortMsg Parse(const Frame& frame);
+};
+
+// Orderly close.  Carries the sender's wire counters so a job report
+// assembled on the receiving side can include client-only events
+// (retransmits, reconnects, injected stall time).
+struct ByeMsg {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t stall_nanos = 0;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static ByeMsg Parse(const Frame& frame);
+};
+
+}  // namespace opmr::net

@@ -32,6 +32,9 @@ inline constexpr const char* kCheckpointWrite = "checkpoint.bytes_written";
 inline constexpr const char* kCheckpointRead = "checkpoint.bytes_read";
 // Pushed chunks spilled to disk while awaiting checkpoint acknowledgement.
 inline constexpr const char* kRetainWrite = "shuffle_retain.bytes_written";
+// Inline segment payloads (SegmentData frames) landed by the remote shuffle
+// server into its local spill files (tcp transport, no shared filesystem).
+inline constexpr const char* kNetSegmentWrite = "net_segment.bytes_written";
 }  // namespace device
 
 // Handle pair for one I/O channel: resolves counters once, then hot paths

@@ -181,6 +181,82 @@ TEST_F(CheckpointManagerTest, DueTracksConfiguredIntervals) {
   EXPECT_TRUE(manager.Due());
 }
 
+// --- multi-job GC of a shared checkpoint directory --------------------------
+
+class CheckpointSweepTest : public CheckpointManagerTest {
+ protected:
+  CheckpointManager ManagerFor(const std::string& job, int worker) {
+    CheckpointOptions options;
+    options.enabled = true;
+    options.interval_records = 10;
+    return CheckpointManager(dir_, job, worker, options, &metrics_);
+  }
+
+  void WriteImage(CheckpointManager* manager, std::uint64_t watermark) {
+    CheckpointImage image = SampleImage(watermark);
+    manager->Write(&image);
+  }
+};
+
+TEST_F(CheckpointSweepTest, SweepRemovesOnlyTheFinishedJobsImages) {
+  auto done_w0 = ManagerFor("finished job", 0);
+  auto done_w1 = ManagerFor("finished job", 1);
+  auto live = ManagerFor("still running", 0);
+  WriteImage(&done_w0, 10);
+  WriteImage(&done_w1, 20);
+  WriteImage(&live, 30);
+
+  EXPECT_EQ(CheckpointManager::SweepFinishedJobs(dir_, "finished job"), 2);
+
+  // The live job's image is untouched and still restorable.
+  const auto survivor = live.LoadLatest();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->watermark, 30u);
+  // Every worker's image of the finished job is gone.
+  EXPECT_FALSE(ManagerFor("finished job", 0).LoadLatest().has_value());
+  EXPECT_FALSE(ManagerFor("finished job", 1).LoadLatest().has_value());
+  // Sweeping again finds nothing.
+  EXPECT_EQ(CheckpointManager::SweepFinishedJobs(dir_, "finished job"), 0);
+}
+
+TEST_F(CheckpointSweepTest, SweepCollectsDanglingTmpFiles) {
+  // A crash between write and rename leaves a `.ckpt.tmp` sibling; the
+  // sweep must collect it along with the committed images.
+  auto manager = ManagerFor("crashy job", 0);
+  WriteImage(&manager, 5);
+  const auto tmp =
+      dir_ / (CheckpointJobPrefix("crashy job") + "0_9.ckpt.tmp");
+  { std::ofstream(tmp) << "torn write"; }
+  ASSERT_TRUE(std::filesystem::exists(tmp));
+
+  EXPECT_EQ(CheckpointManager::SweepFinishedJobs(dir_, "crashy job"), 2);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+}
+
+TEST_F(CheckpointSweepTest, SweepNeverMatchesOnAMereNamePrefix) {
+  // Job "alpha" and job "alpha_w2" both produce filenames starting with
+  // "alpha_w"; the sweep must parse the worker/seq structure, not just the
+  // string prefix.  Unrelated files in the directory are also off-limits.
+  auto alpha = ManagerFor("alpha", 0);
+  auto lookalike = ManagerFor("alpha_w2", 0);
+  WriteImage(&alpha, 1);
+  WriteImage(&lookalike, 2);
+  const auto note = dir_ / "alpha_w0_notes.txt";
+  { std::ofstream(note) << "not a checkpoint"; }
+
+  EXPECT_EQ(CheckpointManager::SweepFinishedJobs(dir_, "alpha"), 1);
+  const auto kept = ManagerFor("alpha_w2", 0).LoadLatest();
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->watermark, 2u);
+  EXPECT_TRUE(std::filesystem::exists(note));
+}
+
+TEST_F(CheckpointSweepTest, SweepOfMissingDirectoryIsZeroNotAnError) {
+  EXPECT_EQ(CheckpointManager::SweepFinishedJobs(dir_ / "never-created",
+                                                 "any job"),
+            0);
+}
+
 // --- batch engine: checkpointed recovery under push shuffle -----------------
 
 struct RunOutcome {
@@ -227,6 +303,9 @@ TEST(CheckpointRecovery, PushReduceCrashRestoresAndReplaysOnlySuffix) {
   EXPECT_GT(chaos.result.checkpoints_written, 0);
   EXPECT_GE(chaos.result.checkpoints_loaded, 1);
   EXPECT_GT(chaos.result.checkpoint_bytes, 0);
+  // On completion the executor GCs the job's images from the checkpoint
+  // directory (multi-job sweep).
+  EXPECT_GT(chaos.result.checkpoints_swept, 0);
   // Suffix-only replay: more than nothing (the crash happened after the
   // last image), far less than the reducer's whole feed.
   EXPECT_GT(chaos.result.replay_records, 0);

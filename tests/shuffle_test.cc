@@ -70,14 +70,15 @@ TEST_F(ShuffleTest, PushRespectsBackpressureBound) {
   ShuffleItem chunk;
   chunk.map_task = 0;
   chunk.bytes = "xyz";
-  EXPECT_TRUE(service.TryPush(0, chunk));
-  EXPECT_TRUE(service.TryPush(0, chunk));
-  EXPECT_FALSE(service.TryPush(0, chunk)) << "third push must be rejected";
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kAccepted);
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kAccepted);
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kBusy)
+      << "third push must be rejected";
 
   // Consuming one frees a slot.
   ShuffleItem item;
   ASSERT_TRUE(service.NextItem(0, &item));
-  EXPECT_TRUE(service.TryPush(0, chunk));
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kAccepted);
 }
 
 TEST_F(ShuffleTest, FileItemsDoNotCountTowardBackpressure) {
@@ -86,7 +87,7 @@ TEST_F(ShuffleTest, FileItemsDoNotCountTowardBackpressure) {
   service.RegisterFile(WriteFile(0, {"def"}));
   ShuffleItem chunk;
   chunk.bytes = "mem";
-  EXPECT_TRUE(service.TryPush(0, chunk));
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kAccepted);
 }
 
 TEST_F(ShuffleTest, ConsumingPushedChunkChargesShuffleRead) {
@@ -177,6 +178,92 @@ TEST_F(ShuffleTest, ReducersAreIsolated) {
 
 TEST_F(ShuffleTest, RequiresAtLeastOneReducer) {
   EXPECT_THROW(ShuffleService(1, 0, &metrics_, 4), std::invalid_argument);
+}
+
+TEST_F(ShuffleTest, GoneReducerFailsPushesFast) {
+  ShuffleService service(1, 2, &metrics_, 4);
+  int gone_reducer = -1;
+  service.SetGoneProbe([&](int r) { gone_reducer = r; });
+  service.MarkReducerGone(1);
+  EXPECT_EQ(gone_reducer, 1);
+
+  ShuffleItem chunk;
+  chunk.bytes = "late";
+  EXPECT_EQ(service.TryPush(1, chunk), PushResult::kReducerGone);
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kAccepted)
+      << "other reducers keep accepting";
+}
+
+TEST_F(ShuffleTest, ForcePushIgnoresBackpressureBound) {
+  ShuffleService service(1, 1, &metrics_, /*push_queue_chunks=*/1);
+  ShuffleItem chunk;
+  chunk.bytes = "c";
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kAccepted);
+  EXPECT_EQ(service.TryPush(0, chunk), PushResult::kBusy);
+  service.ForcePush(0, chunk);  // remote server path: client is authoritative
+  ShuffleItem item;
+  EXPECT_TRUE(service.NextItem(0, &item));
+  EXPECT_TRUE(service.NextItem(0, &item));
+}
+
+TEST_F(ShuffleTest, ChunkConsumedProbeFiresOncePerChunk) {
+  ShuffleService service(1, 1, &metrics_, 4);
+  service.EnableCheckpointReplay(files_.NewDir("retain"), 1 << 20);
+  int credits = 0;
+  service.SetChunkConsumedProbe([&](int) { ++credits; });
+
+  ShuffleItem chunk;
+  chunk.bytes = "pushed";
+  service.TryPush(0, chunk);
+  ShuffleItem item;
+  ASSERT_TRUE(service.NextItem(0, &item));
+  EXPECT_EQ(credits, 1);
+
+  // A replayed item keeps its ordinal: consuming it again must NOT re-grant
+  // a flow-control credit (the mapper's budget was already returned once).
+  std::string why;
+  ASSERT_TRUE(service.Rewind(0, 0, &why)) << why;
+  ASSERT_TRUE(service.NextItem(0, &item));
+  EXPECT_EQ(credits, 1);
+}
+
+TEST_F(ShuffleTest, IdleTimeoutThrowsOnlyWhenTrulyIdle) {
+  ShuffleService service(1, 1, &metrics_, 4);
+  service.SetIdleTimeout(0.2);
+  ShuffleItem item;
+  EXPECT_THROW(service.NextItem(0, &item), std::runtime_error);
+}
+
+TEST_F(ShuffleTest, IdleTimeoutSurvivesActivityFreeWakeups) {
+  // Regression: NextItem notifies the condition variable when an item is
+  // consumed WITHOUT bumping the activity counter.  A sibling reducer's
+  // consumption must not trick the idle guard into thinking its full quiet
+  // window elapsed.
+  ShuffleService service(1, 2, &metrics_, 4);
+  service.SetIdleTimeout(0.5);
+  ShuffleItem chunk;
+  chunk.bytes = "r0-data";
+  service.TryPush(0, chunk);
+
+  std::atomic<bool> threw{false};
+  std::jthread waiter([&] {
+    try {
+      ShuffleItem item;
+      while (service.NextItem(1, &item)) {
+      }
+    } catch (const std::runtime_error&) {
+      threw.store(true);
+    }
+  });
+  // Generate consume-side notifies well inside the idle window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ShuffleItem item;
+  ASSERT_TRUE(service.NextItem(0, &item));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(threw.load()) << "consumption wakeup misread as idle timeout";
+  service.MapTaskDone(0);
+  waiter.join();
+  EXPECT_FALSE(threw.load());
 }
 
 }  // namespace

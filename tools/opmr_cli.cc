@@ -5,8 +5,17 @@
 //                [--max-attempts=N] [--speculate] [--fault-plan=<file|spec>]
 //                [--checkpoint-interval=N] [--checkpoint-dir=PATH]
 //                [--checkpoint-retain=K] [--checkpoint-compress]
+//                [--transport=loopback|tcp|direct] [--shuffle-timeout=SECONDS]
+//                [--ship-segments]
 //       Generates a synthetic dataset for <w>, runs it on runtime <r>, and
 //       prints the job report (wall/CPU/I-O/emission metrics).
+//       --transport picks how shuffle traffic moves (src/net): loopback
+//       (default) frames it through the in-process transport, tcp forks a
+//       separate map worker-group process that dials the reduce group over
+//       a localhost socket, direct is the raw in-process seed path with no
+//       framing.  --shuffle-timeout bounds reduce-side silence in tcp mode
+//       (mapper-process death detection) and --ship-segments sends segment
+//       bytes inline instead of path descriptors, as a remote host would.
 //       --fault-plan takes a FaultPlan spec string or plan file (see
 //       src/fault/fault.h), e.g. --fault-plan='seed=7;map_crash:task=0,record=500';
 //       --max-attempts enables task re-execution (pull shuffle only) and
@@ -32,7 +41,13 @@
 //   opmr_cli sort [records=N] [reducers=R]
 //       TeraSort demo: random records, sampled range boundaries, globally
 //       sorted output; verifies and reports the order.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/config.h"
@@ -40,6 +55,8 @@
 #include "common/format.h"
 #include "core/opmr.h"
 #include "metrics/timeseries.h"
+#include "net/loopback.h"
+#include "net/tcp.h"
 #include "sim/simulator.h"
 #include "workloads/global_sort.h"
 #include "workloads/pipelines.h"
@@ -165,11 +182,73 @@ void PrintJobReport(const JobResult& r) {
     table.AddRow({"replayed records", std::to_string(r.replay_records)});
     table.AddRow({"recover time", HumanSeconds(r.recover_seconds)});
   }
+  if (r.net_frames_sent > 0 || r.net_frames_received > 0) {
+    table.AddRow({"net sent",
+                  HumanBytes(double(r.net_bytes_sent)) + " (" +
+                      std::to_string(r.net_frames_sent) + " frames)"});
+    table.AddRow({"net received",
+                  HumanBytes(double(r.net_bytes_received)) + " (" +
+                      std::to_string(r.net_frames_received) + " frames)"});
+    table.AddRow({"net retransmits", std::to_string(r.net_retransmits)});
+    table.AddRow({"net reconnects", std::to_string(r.net_reconnects)});
+    table.AddRow({"net stall time", HumanSeconds(r.net_stall_seconds)});
+  }
   std::printf("%s", table.ToString().c_str());
   std::printf("\nper-phase CPU seconds:\n");
   for (const auto& [phase, secs] : r.cpu_seconds) {
     std::printf("  %-18s %8.3f\n", phase.c_str(), secs);
   }
+}
+
+// Runs the job as two OS processes: a forked child executes the map worker
+// group and dials the parent's reduce group over a localhost socket.  The
+// fork happens after input generation, so the child inherits the DFS block
+// metadata; it must _Exit so the parent-owned workspace cleanup never runs
+// twice (and so registered segment files survive until the reducers have
+// read them).
+JobResult RunOverTcp(Platform& platform, const JobSpec& spec,
+                     const JobOptions& options, double idle_timeout_s,
+                     bool shared_fs) {
+  net::TcpTransport server(&platform.metrics());
+  server.Bind();  // before fork: the backlog holds the child's dial
+  const std::string endpoint = server.endpoint();
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t child = fork();
+  if (child < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (child == 0) {
+    int code = 0;
+    try {
+      net::TcpTransport client(&platform.metrics(), endpoint);
+      platform.RunMapGroup(spec, options, &client, shared_fs);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "map worker group: error: %s\n", e.what());
+      std::fflush(stderr);
+      code = 1;
+    }
+    std::_Exit(code);
+  }
+  std::printf("map worker group: pid %d -> reduce group at %s\n",
+              static_cast<int>(child), endpoint.c_str());
+  std::fflush(stdout);
+  JobResult result;
+  std::exception_ptr failure;
+  try {
+    result = platform.RunReduceGroup(spec, options, &server, idle_timeout_s);
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  int status = 0;
+  while (waitpid(child, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (failure) std::rethrow_exception(failure);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    throw std::runtime_error("map worker group process failed");
+  }
+  return result;
 }
 
 int CmdRun(const Config& cfg) {
@@ -225,9 +304,27 @@ int CmdRun(const Config& cfg) {
         "--checkpoint-interval=N (or runtime=checkpoint)");
   }
 
-  std::printf("running '%s' on runtime '%s'...\n", spec.name.c_str(),
-              runtime.c_str());
-  const auto result = platform.Run(spec, options);
+  const auto transport = cfg.GetString("transport", "loopback");
+  const double shuffle_timeout = static_cast<double>(
+      GetCheckedInt(cfg, "shuffle-timeout", 30, /*min_value=*/1));
+  const bool ship_segments = cfg.GetBool("ship-segments", false);
+
+  std::printf("running '%s' on runtime '%s' (transport %s)...\n",
+              spec.name.c_str(), runtime.c_str(), transport.c_str());
+  JobResult result;
+  if (transport == "direct") {
+    result = platform.Run(spec, options);
+  } else if (transport == "loopback") {
+    net::LoopbackTransport loopback(&platform.metrics());
+    result = platform.RunWithTransport(spec, options, &loopback,
+                                       /*shared_fs=*/!ship_segments);
+  } else if (transport == "tcp") {
+    result = RunOverTcp(platform, spec, options, shuffle_timeout,
+                        /*shared_fs=*/!ship_segments);
+  } else {
+    throw std::invalid_argument("unknown transport: " + transport +
+                                " (expected loopback, tcp, or direct)");
+  }
   PrintJobReport(result);
   return 0;
 }
