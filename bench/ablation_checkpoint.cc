@@ -67,14 +67,9 @@ int main(int argc, char** argv) {
   TextTable table;
   table.AddRow({"Interval", "Fault", "Status", "Wall time", "Ckpts (bytes)",
                 "Replayed", "Recover", "Output"});
-  CsvWriter csv(bench::OutDir() / "ablation_checkpoint.csv");
-  {
-    std::vector<std::string> header = {"interval", "fault", "status", "wall_s",
-                                       "output_matches"};
-    const auto ckpt = CheckpointCsvHeader();
-    header.insert(header.end(), ckpt.begin(), ckpt.end());
-    csv.WriteRow(header);
-  }
+  bench::CsvSink csv("ablation_checkpoint.csv");
+  csv.Row("interval", "fault", "status", "wall_s", "output_matches",
+          CheckpointCsvHeader());
 
   for (const auto interval : intervals) {
     for (const auto& [fault_name, faulty] : fault_modes) {
@@ -94,16 +89,10 @@ int main(int argc, char** argv) {
                         HumanBytes(double(r.checkpoint_bytes)) + ")",
                     std::to_string(r.replay_records),
                     HumanSeconds(r.recover_seconds), output});
-      std::vector<std::string> row = {std::to_string(interval), fault_name,
-                                      status, std::to_string(r.wall_seconds),
-                                      output};
-      const auto ckpt = CheckpointCsvCells(r.checkpoints_written,
-                                           r.checkpoints_loaded,
-                                           r.checkpoint_bytes,
-                                           r.replay_records,
-                                           r.recover_seconds);
-      row.insert(row.end(), ckpt.begin(), ckpt.end());
-      csv.WriteRow(row);
+      csv.Row(interval, fault_name, status, r.wall_seconds, output,
+              CheckpointCsvCells(r.checkpoints_written, r.checkpoints_loaded,
+                                 r.checkpoint_bytes, r.replay_records,
+                                 r.recover_seconds));
     }
   }
   std::printf("%s", table.ToString().c_str());

@@ -41,13 +41,8 @@ int main(int argc, char** argv) {
   TextTable table;
   table.AddRow({"Fault rate", "Policy", "Status", "Wall time", "Map retries",
                 "Reduce retries", "Spec (wins)", "Faults"});
-  CsvWriter csv(bench::OutDir() / "ablation_faults.csv");
-  {
-    std::vector<std::string> header = {"rate", "policy", "status", "wall_s"};
-    const auto recovery = RecoveryCsvHeader();
-    header.insert(header.end(), recovery.begin(), recovery.end());
-    csv.WriteRow(header);
-  }
+  bench::CsvSink csv("ablation_faults.csv");
+  csv.Row("rate", "policy", "status", "wall_s", RecoveryCsvHeader());
 
   for (double rate : rates) {
     for (const auto& policy : policies) {
@@ -85,14 +80,10 @@ int main(int argc, char** argv) {
                     std::to_string(r.speculative_launched) + " (" +
                         std::to_string(r.speculative_wins) + ")",
                     std::to_string(r.faults_injected)});
-      std::vector<std::string> row = {std::to_string(rate), policy.name,
-                                      status, std::to_string(r.wall_seconds)};
-      const auto recovery =
-          RecoveryCsvCells(r.map_task_retries, r.reduce_task_retries,
-                           r.speculative_launched, r.speculative_wins,
-                           r.faults_injected);
-      row.insert(row.end(), recovery.begin(), recovery.end());
-      csv.WriteRow(row);
+      csv.Row(rate, policy.name, status, r.wall_seconds,
+              RecoveryCsvCells(r.map_task_retries, r.reduce_task_retries,
+                               r.speculative_launched, r.speculative_wins,
+                               r.faults_injected));
     }
   }
   std::printf("%s", table.ToString().c_str());

@@ -1,0 +1,138 @@
+// Ablation A10 — multi-job scheduling policy under slot contention.
+//
+// Table I's workloads never arrive one at a time on a shared cluster; this
+// bench submits a mixed batch (one large sessionization job, one medium
+// page-frequency job, two small counting jobs) to the src/sched
+// JobScheduler and compares a sequential baseline (max_concurrent=1)
+// against shared-slot concurrency under each grant policy.  The scheduler
+// runs the jobs on deliberately scarce slots (4 map, 2 reduce) so the
+// policies actually arbitrate; the CSV reports makespan, mean/max queue
+// wait, and slot-pool contention per mode.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/config.h"
+#include "core/opmr.h"
+#include "sched/scheduler.h"
+#include "workloads/tasks.h"
+
+namespace {
+
+using namespace opmr;
+
+struct JobDef {
+  const char* id;
+  const char* workload;  // sessionization | page_frequency | per_user_count
+  std::uint64_t records;
+  int reducers;
+};
+
+JobSpec SpecFor(const JobDef& def, const std::string& output) {
+  const std::string input = std::string(def.id) + ".in";
+  if (std::string(def.workload) == "sessionization") {
+    return SessionizationJob(input, output, def.reducers);
+  }
+  if (std::string(def.workload) == "page_frequency") {
+    return PageFrequencyJob(input, output, def.reducers);
+  }
+  return PerUserCountJob(input, output, def.reducers);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = Config::FromArgs(argc, argv);
+
+  bench::Banner("Ablation A10: multi-job scheduling policy x slot "
+                "contention (real engine, mixed Table I job sizes)");
+
+  const auto scale = static_cast<std::uint64_t>(cfg.GetInt("records", 300'000));
+  const std::vector<JobDef> jobs = {
+      {"big_sessions", "sessionization", scale, 4},
+      {"mid_pages", "page_frequency", scale / 2, 4},
+      {"small_count_a", "per_user_count", scale / 6, 2},
+      {"small_count_b", "per_user_count", scale / 6, 2},
+  };
+
+  Platform platform({.num_nodes = 4, .block_bytes = 1u << 20});
+  for (const auto& def : jobs) {
+    ClickStreamOptions gen;
+    gen.num_records = def.records;
+    gen.num_users = std::max<std::uint64_t>(100, def.records / 20);
+    GenerateClickStream(platform.dfs(), std::string(def.id) + ".in", gen);
+  }
+
+  struct Mode {
+    const char* name;
+    sched::SchedPolicy policy;
+    int max_concurrent;
+  };
+  const std::vector<Mode> modes = {
+      {"sequential", sched::SchedPolicy::kFifo, 1},
+      {"fifo", sched::SchedPolicy::kFifo, 4},
+      {"fair", sched::SchedPolicy::kFair, 4},
+      {"srw", sched::SchedPolicy::kSrw, 4},
+  };
+
+  TextTable table;
+  table.AddRow({"Mode", "Makespan", "Mean wait", "Max wait", "Peak jobs",
+                "Slot waits (blocked)"});
+  bench::CsvSink csv("ablation_scheduler.csv");
+  csv.Row("mode", "makespan_s", "mean_queue_wait_s", "max_queue_wait_s",
+          "peak_concurrent", "slot_waits", "slot_wait_s");
+
+  for (const auto& mode : modes) {
+    sched::SchedulerOptions sopts;
+    sopts.map_slots = 4;
+    sopts.reduce_slots = 2;
+    sopts.policy = mode.policy;
+    sopts.max_concurrent = mode.max_concurrent;
+    sopts.num_nodes = 4;
+    sched::JobScheduler scheduler(&platform.dfs(), &platform.files(), sopts);
+    for (const auto& def : jobs) {
+      sched::JobRequest request;
+      request.id = def.id;
+      // Per-mode output names: four schedulers share one DFS namespace.
+      request.spec = SpecFor(def, std::string(def.id) + "." + mode.name);
+      // Sessionization is holistic (no aggregator): it needs the blocking
+      // hybrid-hash grouping; the aggregate jobs run incremental hash.
+      request.options = HashOnePassOptions();
+      if (std::string(def.workload) == "sessionization") {
+        request.options.hash_reduce = HashReduce::kHybridHash;
+      }
+      scheduler.Submit(std::move(request));
+    }
+    const auto reports = scheduler.Drain();
+    double mean_wait = 0.0;
+    double max_wait = 0.0;
+    for (const auto& report : reports) {
+      if (report.failed) {
+        std::fprintf(stderr, "job '%s' failed: %s\n", report.id.c_str(),
+                     report.error.c_str());
+        return 1;
+      }
+      mean_wait += report.queue_wait_s();
+      max_wait = std::max(max_wait, report.queue_wait_s());
+    }
+    mean_wait /= static_cast<double>(reports.size());
+    const auto stats = scheduler.stats();
+    table.AddRow({mode.name, HumanSeconds(stats.makespan_s),
+                  HumanSeconds(mean_wait), HumanSeconds(max_wait),
+                  std::to_string(stats.peak_concurrent),
+                  std::to_string(stats.slots.waits) + " (" +
+                      HumanSeconds(stats.slots.wait_seconds) + ")"});
+    csv.Row(mode.name, stats.makespan_s, mean_wait, max_wait,
+            stats.peak_concurrent, stats.slots.waits,
+            stats.slots.wait_seconds);
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: shared-slot concurrency beats the sequential "
+      "baseline's\nmakespan; fair/srw cut the small jobs' waits relative to "
+      "fifo, with srw\nminimizing mean wait by draining the shortest "
+      "remaining work first.\n");
+  return 0;
+}

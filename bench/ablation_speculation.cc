@@ -76,9 +76,9 @@ int main() {
   TextTable table;
   table.AddRow({"Job", "Clean", "3% stragglers", "+speculation",
                 "Recovered", "Dup launched/wins"});
-  CsvWriter csv(bench::OutDir() / "ablation_speculation.csv");
-  csv.WriteRow({"job", "clean_s", "straggled_s", "speculative_s",
-                "launched", "wins"});
+  bench::CsvSink csv("ablation_speculation.csv");
+  csv.Row("job", "clean_s", "straggled_s", "speculative_s", "launched",
+          "wins");
   for (const auto& r : rows) {
     const double lost = r.straggled_s - r.clean_s;
     const double recovered =
@@ -89,10 +89,8 @@ int main() {
     std::snprintf(spec, sizeof(spec), "%.0f s", r.speculative_s);
     table.AddRow({r.label, clean, strag, spec, Percent(recovered),
                   std::to_string(r.launched) + "/" + std::to_string(r.wins)});
-    csv.WriteRow({r.label, std::to_string(r.clean_s),
-                  std::to_string(r.straggled_s),
-                  std::to_string(r.speculative_s), std::to_string(r.launched),
-                  std::to_string(r.wins)});
+    csv.Row(r.label, r.clean_s, r.straggled_s, r.speculative_s, r.launched,
+            r.wins);
   }
   std::printf("%s", table.ToString().c_str());
   std::printf("\nExpected shape: speculation recovers straggler losses, and "

@@ -34,13 +34,9 @@ int main(int argc, char** argv) {
   TextTable table;
   table.AddRow({"Transport", "Chunk bytes", "Wall time", "Pushed", "Diverted",
                 "Net frames", "Net bytes"});
-  CsvWriter csv(bench::OutDir() / "ablation_transport.csv");
-  {
-    std::vector<std::string> header = {"transport", "chunk_bytes", "wall_s",
-                                       "pushed", "diverted"};
-    for (const auto& col : WireCsvHeader()) header.push_back(col);
-    csv.WriteRow(header);
-  }
+  bench::CsvSink csv("ablation_transport.csv");
+  csv.Row("transport", "chunk_bytes", "wall_s", "pushed", "diverted",
+          WireCsvHeader());
 
   int i = 0;
   for (const std::string& transport : {"loopback", "tcp"}) {
@@ -65,18 +61,13 @@ int main(int argc, char** argv) {
                     std::to_string(r.Bytes(device::kDivertedChunks)),
                     std::to_string(r.net_frames_sent),
                     HumanBytes(double(r.net_bytes_sent))});
-      std::vector<std::string> row = {
-          transport, std::to_string(chunk), std::to_string(r.wall_seconds),
-          std::to_string(r.Bytes(device::kPushedChunks)),
-          std::to_string(r.Bytes(device::kDivertedChunks))};
-      for (const auto& cell :
-           WireCsvCells(r.net_bytes_sent, r.net_bytes_received,
-                        r.net_frames_sent, r.net_frames_received,
-                        r.net_retransmits, r.net_reconnects,
-                        r.net_stall_seconds)) {
-        row.push_back(cell);
-      }
-      csv.WriteRow(row);
+      csv.Row(transport, chunk, r.wall_seconds,
+              r.Bytes(device::kPushedChunks),
+              r.Bytes(device::kDivertedChunks),
+              WireCsvCells(r.net_bytes_sent, r.net_bytes_received,
+                           r.net_frames_sent, r.net_frames_received,
+                           r.net_retransmits, r.net_reconnects,
+                           r.net_stall_seconds));
     }
   }
   std::printf("%s", table.ToString().c_str());

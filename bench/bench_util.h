@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/format.h"
@@ -20,6 +21,40 @@ inline std::filesystem::path OutDir() {
   std::filesystem::create_directories(dir);
   return dir;
 }
+
+// CSV sink that flattens mixed cell types — strings, numbers, and whole
+// column groups (RecoveryCsvCells & co.) — into one row.  Replaces the
+// header/row splice boilerplate every ablation binary used to hand-roll.
+class CsvSink {
+ public:
+  explicit CsvSink(const std::string& file) : csv_(OutDir() / file) {}
+
+  template <typename... Cells>
+  void Row(const Cells&... cells) {
+    std::vector<std::string> row;
+    (Append(&row, cells), ...);
+    csv_.WriteRow(row);
+  }
+
+ private:
+  static void Append(std::vector<std::string>* row, const std::string& cell) {
+    row->push_back(cell);
+  }
+  static void Append(std::vector<std::string>* row, const char* cell) {
+    row->emplace_back(cell);
+  }
+  static void Append(std::vector<std::string>* row,
+                     const std::vector<std::string>& cells) {
+    row->insert(row->end(), cells.begin(), cells.end());
+  }
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  static void Append(std::vector<std::string>* row, T cell) {
+    row->push_back(std::to_string(cell));
+  }
+
+  CsvWriter csv_;
+};
 
 inline void Banner(const std::string& title) {
   std::printf("\n================================================================\n");

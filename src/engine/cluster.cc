@@ -6,6 +6,7 @@
 #include <cmath>
 #include <deque>
 #include <exception>
+#include <future>
 #include <stdexcept>
 #include <thread>
 
@@ -78,6 +79,48 @@ struct MapTaskEntry {
   std::atomic<bool> done{false};
   std::atomic<bool> speculated{false};
   std::atomic<bool> published{false};
+};
+
+// RAII slot leases against the (optional) multi-job scheduler hooks; with
+// no hooks installed both are free no-ops.  Acquire may block until the
+// shared pool grants a slot.
+class MapSlotLease {
+ public:
+  MapSlotLease(const SchedHooks* hooks, int node) : hooks_(hooks), node_(node) {
+    if (hooks_ != nullptr && hooks_->acquire_map_slot) {
+      hooks_->acquire_map_slot(node_);
+    }
+  }
+  ~MapSlotLease() {
+    if (hooks_ != nullptr && hooks_->release_map_slot) {
+      hooks_->release_map_slot(node_);
+    }
+  }
+  MapSlotLease(const MapSlotLease&) = delete;
+  MapSlotLease& operator=(const MapSlotLease&) = delete;
+
+ private:
+  const SchedHooks* hooks_;
+  int node_;
+};
+
+class ReduceSlotLease {
+ public:
+  explicit ReduceSlotLease(const SchedHooks* hooks) : hooks_(hooks) {
+    if (hooks_ != nullptr && hooks_->acquire_reduce_slot) {
+      hooks_->acquire_reduce_slot();
+    }
+  }
+  ~ReduceSlotLease() {
+    if (hooks_ != nullptr && hooks_->release_reduce_slot) {
+      hooks_->release_reduce_slot();
+    }
+  }
+  ReduceSlotLease(const ReduceSlotLease&) = delete;
+  ReduceSlotLease& operator=(const ReduceSlotLease&) = delete;
+
+ private:
+  const SchedHooks* hooks_;
 };
 
 }  // namespace
@@ -189,6 +232,13 @@ void ClusterExecutor::Validate(const JobSpec& spec,
     throw std::invalid_argument(
         "speculative re-execution requires pull shuffle: a duplicate "
         "attempt's pushed output cannot be recalled");
+  }
+  if (cluster_.speculative_reduce && !options.checkpoint.enabled) {
+    throw std::invalid_argument(
+        "speculative_reduce requires checkpointing: a backup reduce attempt "
+        "seeds from the primary's newest checkpoint image and replays only "
+        "the un-acknowledged shuffle suffix — enable JobOptions::checkpoint "
+        "(e.g. CheckpointedOnePassOptions)");
   }
   if (cluster_.max_task_attempts > 1 && options.snapshot_interval > 0.0) {
     throw std::invalid_argument(
@@ -345,27 +395,48 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   std::atomic<int> spec_wins{0};
   std::atomic<bool> maps_failed{false};
 
+  // Reduce-speculation state: the watchdog raises a reducer's preempt flag;
+  // the reducer converts it to a ReducePreempted throw at the next record
+  // boundary and the following attempt is the checkpoint-seeded backup.
+  const bool reduce_spec_enabled =
+      cluster_.speculative_reduce && run_reducers && checkpoint_enabled;
+  std::vector<std::atomic<bool>> reduce_preempt(
+      static_cast<std::size_t>(num_reducers));
+  std::vector<std::atomic<bool>> reduce_finished(
+      static_cast<std::size_t>(num_reducers));
+  std::atomic<int> reducers_completed{0};
+  std::atomic<std::int64_t> reduce_completed_us{0};
+  std::atomic<int> spec_reduce_launched{0};
+  std::atomic<int> spec_reduce_wins{0};
+
   // --- Reducer threads (start immediately: reducers shuffle while maps run).
   std::vector<std::jthread> reducer_threads;
   reducer_threads.reserve(run_reducers ? num_reducers : 0);
   for (int r = 0; run_reducers && r < num_reducers; ++r) {
     reducer_threads.emplace_back([&, r] {
+      // Under a multi-job scheduler the whole reducer lifetime occupies one
+      // shared reduce slot (push-mode map output destined here simply
+      // queues or diverts to files while the lease waits).
+      ReduceSlotLease slot(cluster_.sched_hooks);
+      const double reducer_begin = job_start.Seconds();
+      RuntimeEnv renv = env;
+      if (reduce_spec_enabled) renv.reduce_preempt = &reduce_preempt[r];
       auto run_reducer = [&]() -> std::uint64_t {
         if (options.group_by == GroupBy::kSortMerge) {
-          SortMergeReducer reducer(r, spec, options, env);
+          SortMergeReducer reducer(r, spec, options, renv);
           return reducer.Run();
         }
         switch (options.hash_reduce) {
           case HashReduce::kHybridHash: {
-            HybridHashReducer reducer(r, spec, options, env);
+            HybridHashReducer reducer(r, spec, options, renv);
             return reducer.Run();
           }
           case HashReduce::kIncremental: {
-            IncrementalHashReducer reducer(r, spec, options, env);
+            IncrementalHashReducer reducer(r, spec, options, renv);
             return reducer.Run();
           }
           case HashReduce::kHotKeyIncremental: {
-            HotKeyIncrementalReducer reducer(r, spec, options, env);
+            HotKeyIncrementalReducer reducer(r, spec, options, renv);
             return reducer.Run();
           }
         }
@@ -375,12 +446,38 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
       // tables, spill runs, unpublished output writers) dies with the
       // reducer object; Rewind re-delivers every published map output.
       for (int attempt = 1;; ++attempt) {
-        FaultScope scope(FaultScope::Kind::kReduce, r, attempt);
+        FaultScope scope(FaultScope::Kind::kReduce, r, attempt,
+                         r % cluster_.num_nodes);
         try {
           const std::uint64_t records = run_reducer();
           output_records.fetch_add(records, std::memory_order_relaxed);
           per_reducer_records[r] = records;  // one writer per slot
+          if (renv.speculative_attempt) {
+            spec_reduce_wins.fetch_add(1, std::memory_order_relaxed);
+            metrics_->Get("speculation.reduce_wins")->Increment();
+          }
+          reduce_finished[r].store(true, std::memory_order_release);
+          const int done =
+              reducers_completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          reduce_completed_us.fetch_add(
+              static_cast<std::int64_t>(
+                  (job_start.Seconds() - reducer_begin) * 1e6),
+              std::memory_order_relaxed);
+          if (cluster_.sched_hooks != nullptr &&
+              cluster_.sched_hooks->on_reduce_progress) {
+            cluster_.sched_hooks->on_reduce_progress(done, num_reducers);
+          }
           return;
+        } catch (const ReducePreempted&) {
+          // Takeover speculation: the next attempt IS the backup — it seeds
+          // from the newest checkpoint image and replays only the shuffle
+          // suffix past its watermark.  A preemption never counts against
+          // max_task_attempts and never rewinds to ordinal 0.
+          reduce_preempt[r].store(false, std::memory_order_relaxed);
+          renv.speculative_attempt = true;
+          spec_reduce_launched.fetch_add(1, std::memory_order_relaxed);
+          metrics_->Get("speculation.reduce_launched")->Increment();
+          continue;
         } catch (const ReplayError&) {
           // The feed is unrecoverable; another attempt would fail the same
           // way (Table III).
@@ -414,6 +511,44 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
           reduce_retries.fetch_add(1, std::memory_order_relaxed);
           metrics_->Get("retry.reduce_task")->Increment();
           RetryBackoff(attempt, 0x5edce5ull + static_cast<std::uint64_t>(r));
+        }
+      }
+    });
+  }
+
+  // --- Reduce-speculation watchdog: picks straggling reducers (or ones on
+  // a fault-plan-designated slow node) and raises their preempt flag — but
+  // only once a checkpoint acknowledgement proves a seed image exists, so
+  // the backup always replays a strict suffix of the feed.  Declared after
+  // the reducer threads so an unwinding Run() stops it first.
+  std::jthread reduce_watchdog;
+  if (reduce_spec_enabled) {
+    reduce_watchdog = std::jthread([&](std::stop_token stop) {
+      std::vector<bool> backed_up(static_cast<std::size_t>(num_reducers));
+      while (!stop.stop_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const int done_n = reducers_completed.load(std::memory_order_relaxed);
+        const double mean_s =
+            done_n > 0
+                ? static_cast<double>(reduce_completed_us.load(
+                      std::memory_order_relaxed)) /
+                      1e6 / done_n
+                : 0.0;
+        // Reducers all start with the job, so job time is reducer elapsed
+        // time.
+        const double elapsed_s = job_start.Seconds();
+        for (int r = 0; r < num_reducers; ++r) {
+          if (backed_up[r]) continue;
+          if (reduce_finished[r].load(std::memory_order_acquire)) continue;
+          if (shuffle.AckedOrdinal(r) == 0) continue;  // nothing to seed from
+          const bool on_slow_node =
+              fault != nullptr &&
+              fault->SlowNodeDelayMs(r % cluster_.num_nodes) > 0.0;
+          const bool straggling = IsStraggler(
+              elapsed_s, mean_s, cluster_.reduce_speculation_threshold);
+          if (!on_slow_node && !straggling) continue;
+          backed_up[r] = true;
+          reduce_preempt[r].store(true, std::memory_order_relaxed);
         }
       }
     });
@@ -455,7 +590,8 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
     std::scoped_lock lock(entries_mu);
     for (auto& entry : task_entries) {
       if (entry.done.load(std::memory_order_acquire)) continue;
-      if (now - entry.started_s < cluster_.speculation_threshold * mean_s) {
+      if (!IsStraggler(now - entry.started_s, mean_s,
+                       cluster_.speculation_threshold)) {
         continue;
       }
       if (entry.speculated.exchange(true)) continue;
@@ -540,10 +676,16 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
                               stats.output_records);
         entry->done.store(true, std::memory_order_release);
         const double end = job_start.Seconds();
-        completed_maps.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t done_now =
+            completed_maps.fetch_add(1, std::memory_order_relaxed) + 1;
         completed_us_total.fetch_add(
             static_cast<std::int64_t>((end - begin) * 1e6),
             std::memory_order_relaxed);
+        if (cluster_.sched_hooks != nullptr &&
+            cluster_.sched_hooks->on_map_progress) {
+          cluster_.sched_hooks->on_map_progress(static_cast<int>(done_now),
+                                                num_maps);
+        }
         if (speculative) {
           spec_wins.fetch_add(1, std::memory_order_relaxed);
           metrics_->Get("speculation.wins")->Increment();
@@ -572,6 +714,9 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
             bool was_local = false;
             auto block = scheduler.Next(node, &was_local);
             if (block) {
+              // Lease a shared slot per task, after claiming the block:
+              // an idle worker never sits on a slot another job could use.
+              MapSlotLease lease(cluster_.sched_hooks, node);
               run_map_attempts(register_entry(std::move(*block)), node,
                                /*speculative=*/false);
               continue;
@@ -579,6 +724,7 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
             if (!cluster_.speculative_execution) break;
             if (all_entries_done()) break;
             if (MapTaskEntry* victim = pick_straggler()) {
+              MapSlotLease lease(cluster_.sched_hooks, node);
               spec_launched.fetch_add(1, std::memory_order_relaxed);
               metrics_->Get("speculation.launched")->Increment();
               run_map_attempts(victim, node, /*speculative=*/true);
@@ -624,6 +770,10 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   }
 
   reducer_threads.clear();  // join all reducers
+  if (reduce_watchdog.joinable()) {
+    reduce_watchdog.request_stop();
+    reduce_watchdog.join();
+  }
 
   {
     std::scoped_lock lock(failure_mu);
@@ -652,6 +802,8 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.reduce_task_retries = reduce_retries.load();
   result.speculative_launched = spec_launched.load();
   result.speculative_wins = spec_wins.load();
+  result.spec_reduce_launched = spec_reduce_launched.load();
+  result.spec_reduce_wins = spec_reduce_wins.load();
   result.reducer_output_records = std::move(per_reducer_records);
   result.input_records = input_records.load();
   result.map_output_records = map_output_records.load();
@@ -690,7 +842,15 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.net_reconnects = result.Bytes(net::kNetReconnects);
   result.net_stall_seconds =
       static_cast<double>(result.Bytes(net::kNetStallNanos)) / 1e9;
+  result.spec_reduce_seeded_from_ckpt =
+      static_cast<int>(result.Bytes("speculation.reduce_seeded"));
   return result;
+}
+
+std::future<JobResult> ClusterExecutor::RunAsync(const JobSpec& spec,
+                                                 const JobOptions& options) {
+  return std::async(std::launch::async,
+                    [this, &spec, &options] { return Run(spec, options); });
 }
 
 }  // namespace opmr

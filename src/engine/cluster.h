@@ -5,6 +5,8 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
+#include <future>
 #include <map>
 #include <optional>
 #include <string>
@@ -36,6 +38,32 @@ enum class WorkerRole {
   kReduceOnly,
 };
 
+// Slot-lease hooks a multi-job scheduler (src/sched) installs to meter an
+// executor's parallelism out of a shared pool.  Acquire callbacks may block
+// until a slot is granted; all callbacks must be thread-safe, and unset
+// members are no-ops.  A map slot is leased per task attempt (the worker
+// thread holds no slot while idle); a reduce slot is held for the whole
+// reducer-thread lifetime.  The progress probes feed shortest-remaining-
+// work admission policies.
+struct SchedHooks {
+  std::function<void(int node)> acquire_map_slot;
+  std::function<void(int node)> release_map_slot;
+  std::function<void()> acquire_reduce_slot;
+  std::function<void()> release_reduce_slot;
+  std::function<void(int done, int total)> on_map_progress;
+  std::function<void(int done, int total)> on_reduce_progress;
+};
+
+// Straggler predicate shared by map speculation and the reduce-speculation
+// watchdog: an attempt is a straggler once its elapsed time reaches
+// threshold x the mean completed-task time (boundary inclusive).  With no
+// completions yet there is no baseline, so nothing is a straggler.
+[[nodiscard]] inline bool IsStraggler(double elapsed_s,
+                                      double mean_completed_s,
+                                      double threshold) noexcept {
+  return mean_completed_s > 0.0 && elapsed_s >= threshold * mean_completed_s;
+}
+
 struct ClusterOptions {
   int num_nodes = 4;
   int map_slots_per_node = 2;
@@ -65,6 +93,22 @@ struct ClusterOptions {
   // Pull shuffle only — a duplicate pushed attempt cannot be recalled.
   bool speculative_execution = false;
   double speculation_threshold = 2.0;
+
+  // Checkpoint-aware speculative reduce attempts: a reducer whose elapsed
+  // time reaches reduce_speculation_threshold x the mean completed-reducer
+  // time — or one running on a fault-plan-designated slow node — is
+  // preempted at a record boundary once a checkpoint exists to seed from;
+  // the backup attempt restores the newest image and replays only the
+  // un-acknowledged shuffle suffix.  Requires checkpointing
+  // (JobOptions::checkpoint.enabled) and, unlike map speculation, works
+  // under push shuffle: the retained-until-acknowledged feed makes the
+  // takeover recallable.
+  bool speculative_reduce = false;
+  double reduce_speculation_threshold = 2.0;
+
+  // Multi-job slot metering (see SchedHooks).  Not owned; must outlive
+  // every Run() that observes it.
+  const SchedHooks* sched_hooks = nullptr;
 
   // Chaos plane: when set, the injector is installed as the global I/O
   // fault hook for the duration of Run() and consulted at every engine
@@ -122,6 +166,9 @@ struct JobResult {
   int reduce_task_retries = 0;  // failed reduce attempts that were re-run
   int speculative_launched = 0; // backup map attempts started
   int speculative_wins = 0;     // backups that published before the original
+  int spec_reduce_launched = 0; // backup reduce attempts started (takeover)
+  int spec_reduce_seeded_from_ckpt = 0;  // backups seeded from a checkpoint
+  int spec_reduce_wins = 0;     // backup reduce attempts that completed
   std::int64_t faults_injected = 0;  // chaos-plane faults fired (all points)
 
   // Checkpoint activity (all zero with checkpointing off).
@@ -197,6 +244,13 @@ class ClusterExecutor {
   // configuration or task failure.
   JobResult Run(const JobSpec& spec, const JobOptions& options);
 
+  // Launches Run() on its own thread; the future carries the JobResult or
+  // rethrows the failure on get().  The executor, spec, and options must
+  // outlive the future's completion — the multi-job scheduler keeps all
+  // three in its per-job state.
+  std::future<JobResult> RunAsync(const JobSpec& spec,
+                                  const JobOptions& options);
+
   // Installs (or clears) the chaos-plane injector used by subsequent runs.
   void set_fault_injector(FaultInjector* injector) {
     cluster_.fault_injector = injector;
@@ -213,6 +267,13 @@ class ClusterExecutor {
   }
   void set_shuffle_shared_fs(bool shared) {
     cluster_.shuffle_shared_fs = shared;
+  }
+  void set_speculative_reduce(bool on, double threshold = 2.0) {
+    cluster_.speculative_reduce = on;
+    cluster_.reduce_speculation_threshold = threshold;
+  }
+  void set_sched_hooks(const SchedHooks* hooks) {
+    cluster_.sched_hooks = hooks;
   }
 
  private:

@@ -86,6 +86,11 @@ std::uint64_t IncrementalHashReducer::PrepareCheckpoint() {
   if (auto image = ckpt_->LoadLatest(); image.has_value()) {
     RestoreFromImage(*image);
     watermark = image->watermark;
+    if (env_.speculative_attempt && env_.metrics != nullptr) {
+      // A speculative backup attempt seeded itself from the primary's
+      // newest image instead of re-folding the whole feed.
+      env_.metrics->Get("speculation.reduce_seeded")->Increment();
+    }
   }
   // No (valid) checkpoint degrades to a full re-execution — feasible for
   // retained-feed shuffles, a structured Table III error otherwise.
@@ -176,6 +181,7 @@ std::uint64_t IncrementalHashReducer::Run() {
     {
       PhaseScope cpu(env_.profiler, "hash_group");
       while (stream->Next()) {
+        if (env_.fault != nullptr) env_.fault->OnReduceFold(++folded_);
         StateTable::Entry& entry =
             table_.Fold(stream->key(), stream->value(), values_are_states_);
         if (options_.early_emit && !entry.early_emitted &&
@@ -189,6 +195,12 @@ std::uint64_t IncrementalHashReducer::Run() {
         }
         if (++since_check >= 64) {
           since_check = 0;
+          if (env_.reduce_preempt != nullptr &&
+              env_.reduce_preempt->load(std::memory_order_relaxed)) {
+            throw ReducePreempted("reduce task " +
+                                  std::to_string(reducer_id_) +
+                                  " preempted for a speculative backup");
+          }
           if (table_.MemoryBytes() > options_.reduce_buffer_bytes) {
             SpillTable();
           }
@@ -202,6 +214,11 @@ std::uint64_t IncrementalHashReducer::Run() {
       feed_records_[static_cast<std::uint32_t>(item.map_task)] += item.records;
       ckpt_->OnProgress(item.records, item.size_bytes());
       if (ckpt_->Due()) WriteCheckpoint(watermark);
+    }
+    if (env_.reduce_preempt != nullptr &&
+        env_.reduce_preempt->load(std::memory_order_relaxed)) {
+      throw ReducePreempted("reduce task " + std::to_string(reducer_id_) +
+                            " preempted for a speculative backup");
     }
   }
   env_.timeline->Record(TaskKind::kShuffle, shuffle_begin,

@@ -66,6 +66,7 @@ class IncrementalHashReducer {
   std::vector<std::filesystem::path> spill_runs_;
   int table_spills_ = 0;
   std::uint64_t early_emits_ = 0;
+  std::uint64_t folded_ = 0;  // fold ordinal for the OnReduceFold fault site
 
   std::unique_ptr<CheckpointManager> ckpt_;
   std::map<std::uint32_t, std::uint64_t> feed_records_;  // map task -> records

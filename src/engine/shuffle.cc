@@ -235,6 +235,7 @@ void ShuffleService::SpillRetainedLocked(ReducerQueue* q) {
 }
 
 void ShuffleService::AcknowledgeLocked(ReducerQueue* q, std::uint64_t upto) {
+  q->acked_upto = std::max(q->acked_upto, upto);
   while (!q->retained.empty() && q->retained.front().ordinal <= upto) {
     ShuffleItem& item = q->retained.front();
     if (item.retain_spill) {
@@ -318,6 +319,16 @@ bool ShuffleService::Rewind(int reducer, std::uint64_t from_ordinal,
   lock.unlock();
   cv_.notify_all();
   return true;
+}
+
+std::uint64_t ShuffleService::ConsumedOrdinal(int reducer) const {
+  std::scoped_lock lock(mu_);
+  return queues_.at(reducer).next_ordinal;
+}
+
+std::uint64_t ShuffleService::AckedOrdinal(int reducer) const {
+  std::scoped_lock lock(mu_);
+  return queues_.at(reducer).acked_upto;
 }
 
 double ShuffleService::MapsDoneFraction() const {

@@ -223,6 +223,13 @@ class ShuffleService : public ShuffleMapEndpoint {
   // Fraction of map tasks completed (drives HOP snapshot points).
   [[nodiscard]] double MapsDoneFraction() const;
 
+  // Progress probes for the reduce-speculation watchdog: the highest
+  // consume ordinal handed to `reducer` so far, and the highest ordinal its
+  // checkpoint acknowledgements cover.  AckedOrdinal > 0 means a backup
+  // attempt has a checkpoint image to seed from.
+  [[nodiscard]] std::uint64_t ConsumedOrdinal(int reducer) const;
+  [[nodiscard]] std::uint64_t AckedOrdinal(int reducer) const;
+
   // Poisons the shuffle after a task failure: all blocked and future
   // NextItem calls throw, so reducer threads unwind instead of waiting for
   // map completions that will never come.
@@ -251,6 +258,9 @@ class ShuffleService : public ShuffleMapEndpoint {
     // Highest ordinal whose pushed payload was discarded; rewinding below
     // this point is impossible.
     std::uint64_t acked_payload_floor = 0;
+    // Highest ordinal any acknowledgement has covered (checkpoint
+    // watermarks and Rewind's implicit ack).
+    std::uint64_t acked_upto = 0;
     // In-memory payload bytes currently held in `retained`.
     std::size_t retained_payload_bytes = 0;
 

@@ -288,6 +288,34 @@ void FaultInjector::OnReduceRecord(std::uint64_t record) {
   }
 }
 
+void FaultInjector::OnReduceFold(std::uint64_t record) {
+  if (!has_point_[static_cast<int>(FaultPoint::kSlowNode)]) return;
+  const auto& frame = FaultScope::Current();
+  if (frame.kind != FaultScope::Kind::kReduce) return;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& s = plan_.faults[i];
+    if (s.point != FaultPoint::kSlowNode) continue;
+    if (frame.attempt > s.attempts) continue;
+    if (s.node >= 0 && frame.node != s.node) continue;
+    if (s.rate > 0.0 &&
+        Draw(i, static_cast<std::uint64_t>(frame.task), record) >= s.rate) {
+      continue;
+    }
+    slowed_records_->Increment();
+    SleepMs(s.delay_ms);
+  }
+}
+
+double FaultInjector::SlowNodeDelayMs(int node) const noexcept {
+  double delay = 0.0;
+  for (const FaultSpec& s : plan_.faults) {
+    if (s.point != FaultPoint::kSlowNode) continue;
+    if (s.node >= 0 && s.node != node) continue;
+    delay = std::max(delay, s.delay_ms);
+  }
+  return delay;
+}
+
 void FaultInjector::OnShuffleFetch(int reducer, int map_task) {
   if (!has_point_[static_cast<int>(FaultPoint::kFetchStall)]) return;
   const auto& frame = FaultScope::Current();

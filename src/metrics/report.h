@@ -82,6 +82,19 @@ inline std::vector<std::string> CheckpointCsvCells(std::int64_t written,
           std::to_string(recover_seconds)};
 }
 
+// Speculative-reduce columns (checkpoint-seeded backup reduce attempts
+// under the push shuffle), same contract again.
+inline std::vector<std::string> SpecReduceCsvHeader() {
+  return {"spec_reduce_launched", "spec_reduce_seeded_from_ckpt",
+          "spec_reduce_wins"};
+}
+
+inline std::vector<std::string> SpecReduceCsvCells(int launched, int seeded,
+                                                   int wins) {
+  return {std::to_string(launched), std::to_string(seeded),
+          std::to_string(wins)};
+}
+
 // Wire-activity columns (src/net transports), same contract again.  All
 // zero when the shuffle never left the process (the direct default path).
 inline std::vector<std::string> WireCsvHeader() {

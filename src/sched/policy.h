@@ -1,0 +1,47 @@
+// Slot-grant policies for the multi-job scheduler: when a shared slot
+// frees, which waiting job receives it.
+//
+//   * kFifo — strict admission order: the earliest-submitted waiter wins.
+//     Small jobs queue behind large ones (the Hadoop default's weakness on
+//     mixed workloads).
+//   * kFair — fewest-slots-held first: every admitted job converges to an
+//     equal share of the pool, so a short job finishes while a long one
+//     keeps streaming (the paper's one-pass jobs are long-running by
+//     design, which is exactly when fair sharing pays).
+//   * kSrw  — shortest remaining work first: the job with the fewest
+//     unfinished operations (map tasks + reducers, updated live from
+//     executor progress hooks) wins, minimizing mean job latency.
+//
+// Ties always break by admission order, making every grant sequence
+// deterministic for a fixed interleaving of requests.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace opmr::sched {
+
+enum class SchedPolicy {
+  kFifo,
+  kFair,
+  kSrw,
+};
+
+[[nodiscard]] inline const char* SchedPolicyName(SchedPolicy policy) noexcept {
+  switch (policy) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kFair: return "fair";
+    case SchedPolicy::kSrw: return "srw";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<SchedPolicy> ParseSchedPolicy(
+    const std::string& name) {
+  if (name == "fifo") return SchedPolicy::kFifo;
+  if (name == "fair") return SchedPolicy::kFair;
+  if (name == "srw") return SchedPolicy::kSrw;
+  return std::nullopt;
+}
+
+}  // namespace opmr::sched

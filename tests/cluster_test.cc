@@ -172,6 +172,66 @@ TEST_F(ClusterTest, SchedulerFallsBackToRemoteBlocks) {
   EXPECT_FALSE(local);
 }
 
+TEST_F(ClusterTest, BlockSchedulerAllBlocksRemoteToEveryNode) {
+  // Replicas live on a node outside the cluster (a decommissioned host):
+  // every Next() must still hand out every block exactly once, all remote.
+  std::vector<BlockInfo> blocks(6);
+  for (int i = 0; i < 6; ++i) {
+    blocks[i].block_id = static_cast<std::uint64_t>(i);
+    blocks[i].replica_nodes = {7};
+  }
+  BlockScheduler scheduler(blocks, 2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    bool local = true;
+    auto block = scheduler.Next(i % 2, &local);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_FALSE(local);
+    EXPECT_TRUE(seen.insert(block->block_id).second) << "duplicate block";
+  }
+  bool local = false;
+  EXPECT_FALSE(scheduler.Next(0, &local).has_value());
+  EXPECT_EQ(scheduler.local_count(), 0);
+}
+
+TEST_F(ClusterTest, BlockSchedulerLocalityTieBreakIsDeterministic) {
+  // Every block is replicated on both nodes, so every pick is a locality
+  // tie.  Two schedulers fed the same request sequence must hand out the
+  // same blocks in the same order.
+  std::vector<BlockInfo> blocks(8);
+  for (int i = 0; i < 8; ++i) {
+    blocks[i].block_id = static_cast<std::uint64_t>(100 + i);
+    blocks[i].replica_nodes = {0, 1};
+  }
+  BlockScheduler a(blocks, 2);
+  BlockScheduler b(blocks, 2);
+  for (int i = 0; i < 8; ++i) {
+    const int node = (i * 3) % 2;
+    bool local_a = false;
+    bool local_b = false;
+    const auto block_a = a.Next(node, &local_a);
+    const auto block_b = b.Next(node, &local_b);
+    ASSERT_TRUE(block_a.has_value());
+    ASSERT_TRUE(block_b.has_value());
+    EXPECT_EQ(block_a->block_id, block_b->block_id) << "pick " << i;
+    EXPECT_EQ(local_a, local_b);
+    EXPECT_TRUE(local_a);
+  }
+}
+
+TEST_F(ClusterTest, StragglerThresholdBoundaryIsInclusive) {
+  // elapsed == threshold * mean is a straggler (>=, not >); just below is
+  // not; a zero mean (no completed tasks yet) never speculates.
+  EXPECT_TRUE(IsStraggler(/*elapsed_s=*/2.0, /*mean_completed_s=*/1.0,
+                          /*threshold=*/2.0));
+  EXPECT_FALSE(IsStraggler(1.999999, 1.0, 2.0));
+  EXPECT_TRUE(IsStraggler(2.000001, 1.0, 2.0));
+  EXPECT_FALSE(IsStraggler(100.0, 0.0, 2.0));
+  // Scales with the mean, not absolute time.
+  EXPECT_FALSE(IsStraggler(5.0, 4.0, 2.0));
+  EXPECT_TRUE(IsStraggler(8.0, 4.0, 2.0));
+}
+
 TEST_F(ClusterTest, FlakyMapTasksSucceedWithRetries) {
   Platform platform({.num_nodes = 2, .block_bytes = 256u << 10,
                      .max_task_attempts = 3});

@@ -41,14 +41,31 @@
 //   opmr_cli sort [records=N] [reducers=R]
 //       TeraSort demo: random records, sampled range boundaries, globally
 //       sorted output; verifies and reports the order.
+//
+//   opmr_cli serve spool=<dir|-> [map-slots=N] [reduce-slots=N]
+//                  [policy=fifo|fair|srw] [memory-budget=BYTES]
+//                  [max-concurrent=N] [nodes=N]
+//       Multi-job mode: drains `*.job` spool files from <dir> (renaming
+//       each to `*.job.done`), or blank-line-separated key=value blocks
+//       from stdin with spool=-, and runs them all through the shared-slot
+//       JobScheduler (src/sched).  Each job gets its own `<id>.in` dataset
+//       and `<id>.out` output; the chosen policy arbitrates contended map/
+//       reduce slots.  Prints per-job reports, scheduler stats, and a
+//       cross-job task timeline.  Spool keys: workload, runtime, transport
+//       (direct|loopback|tcp), records, reducers, memory_bytes,
+//       speculative_reduce, checkpoint_interval, checkpoint_retain.
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/rng.h"
@@ -57,6 +74,9 @@
 #include "metrics/timeseries.h"
 #include "net/loopback.h"
 #include "net/tcp.h"
+#include "metrics/timeline.h"
+#include "sched/scheduler.h"
+#include "sched/spool.h"
 #include "sim/simulator.h"
 #include "workloads/global_sort.h"
 #include "workloads/pipelines.h"
@@ -100,41 +120,44 @@ std::int64_t GetCheckedInt(const Config& cfg, const std::string& key,
 }
 
 // Generates the right dataset and returns the job spec for `workload`.
+// Serve mode names the datasets per job so concurrent jobs never collide.
 JobSpec PrepareWorkload(Platform& platform, const std::string& workload,
-                        std::uint64_t records, int reducers) {
+                        std::uint64_t records, int reducers,
+                        const std::string& input = "input",
+                        const std::string& output = "output") {
   if (workload == "inverted_index" || workload == "word_count") {
     WebDocsOptions gen;
     gen.num_docs = std::max<std::uint64_t>(1, records / 120);
-    GenerateWebDocs(platform.dfs(), "input", gen);
+    GenerateWebDocs(platform.dfs(), input, gen);
     return workload == "inverted_index"
-               ? InvertedIndexJob("input", "output", reducers)
-               : WordCountJob("input", "output", reducers);
+               ? InvertedIndexJob(input, output, reducers)
+               : WordCountJob(input, output, reducers);
   }
   if (workload == "hashtag_count") {
     TweetStreamOptions gen;
     gen.num_tweets = records;
-    GenerateTweetStream(platform.dfs(), "input", gen);
-    return HashtagCountJob("input", "output", reducers);
+    GenerateTweetStream(platform.dfs(), input, gen);
+    return HashtagCountJob(input, output, reducers);
   }
   ClickStreamOptions gen;
   gen.num_records = records;
   gen.num_users = std::max<std::uint64_t>(100, records / 20);
   gen.num_urls = std::max<std::uint64_t>(100, records / 50);
-  GenerateClickStream(platform.dfs(), "input", gen);
+  GenerateClickStream(platform.dfs(), input, gen);
   if (workload == "sessionization") {
-    return SessionizationJob("input", "output", reducers);
+    return SessionizationJob(input, output, reducers);
   }
   if (workload == "sessionization_ss") {
-    return SessionizationSecondarySortJob("input", "output", reducers);
+    return SessionizationSecondarySortJob(input, output, reducers);
   }
   if (workload == "page_frequency") {
-    return PageFrequencyJob("input", "output", reducers);
+    return PageFrequencyJob(input, output, reducers);
   }
   if (workload == "per_user_count") {
-    return PerUserCountJob("input", "output", reducers);
+    return PerUserCountJob(input, output, reducers);
   }
   if (workload == "distinct_visitors") {
-    return DistinctVisitorsJob("input", "output", reducers);
+    return DistinctVisitorsJob(input, output, reducers);
   }
   throw std::invalid_argument("unknown workload: " + workload);
 }
@@ -163,13 +186,18 @@ void PrintJobReport(const JobResult& r) {
                 HumanBytes(double(r.Bytes(device::kSpillWrite)))});
   table.AddRow({"dfs written", HumanBytes(double(r.Bytes(device::kDfsWrite)))});
   if (r.map_task_retries > 0 || r.reduce_task_retries > 0 ||
-      r.speculative_launched > 0 || r.faults_injected > 0) {
+      r.speculative_launched > 0 || r.spec_reduce_launched > 0 ||
+      r.faults_injected > 0) {
     table.AddRow({"map task retries", std::to_string(r.map_task_retries)});
     table.AddRow(
         {"reduce task retries", std::to_string(r.reduce_task_retries)});
     table.AddRow({"speculative (wins)",
                   std::to_string(r.speculative_launched) + " (" +
                       std::to_string(r.speculative_wins) + ")"});
+    table.AddRow({"spec reduce (seeded/wins)",
+                  std::to_string(r.spec_reduce_launched) + " (" +
+                      std::to_string(r.spec_reduce_seeded_from_ckpt) + "/" +
+                      std::to_string(r.spec_reduce_wins) + ")"});
     table.AddRow({"faults injected", std::to_string(r.faults_injected)});
   }
   if (r.checkpoints_written > 0 || r.checkpoints_loaded > 0 ||
@@ -267,6 +295,7 @@ int CmdRun(const Config& cfg) {
   popts.max_task_attempts = static_cast<int>(
       GetCheckedInt(cfg, "max-attempts", 1, /*min_value=*/1));
   popts.speculative_execution = cfg.GetBool("speculate", false);
+  popts.speculative_reduce = cfg.GetBool("speculate-reduce", false);
   popts.fault_plan = cfg.GetString("fault-plan", "");
 
   Platform platform(popts);
@@ -309,6 +338,40 @@ int CmdRun(const Config& cfg) {
       GetCheckedInt(cfg, "shuffle-timeout", 30, /*min_value=*/1));
   const bool ship_segments = cfg.GetBool("ship-segments", false);
 
+  // Flag-combination validation: combinations that would silently do
+  // nothing are rejected with a pointer at what the user probably wanted.
+  if (popts.speculative_execution && options.shuffle == Shuffle::kPush) {
+    throw std::invalid_argument(
+        "--speculate is map-side speculation over a pull shuffle and is "
+        "inert under the pipelined push shuffle of runtime '" + runtime +
+        "': a duplicate map attempt's pushed output cannot be recalled. "
+        "Use a pull runtime (runtime=hadoop), or speculate on the reduce "
+        "side with --speculate-reduce + checkpointing.");
+  }
+  if (popts.max_task_attempts > 1 && options.shuffle == Shuffle::kPush &&
+      !options.checkpoint.enabled) {
+    throw std::invalid_argument(
+        "--max-attempts is pull-only: under the push shuffle of runtime '" +
+        runtime + "' a failed task's pipelined output cannot be recalled, "
+        "so retries could never succeed. Use runtime=hadoop, or add "
+        "--checkpoint-interval=N so reduce attempts resume from a "
+        "checkpoint image.");
+  }
+  if (popts.speculative_reduce && !options.checkpoint.enabled) {
+    throw std::invalid_argument(
+        "--speculate-reduce requires checkpointing: the backup reduce "
+        "attempt seeds from the primary's newest checkpoint image and "
+        "replays only the un-acked shuffle suffix. Add "
+        "--checkpoint-interval=N or use runtime=checkpoint.");
+  }
+  if (transport == "direct" &&
+      (cfg.Get("shuffle-timeout") || cfg.Get("ship-segments"))) {
+    throw std::invalid_argument(
+        "--shuffle-timeout/--ship-segments apply to framed transports only "
+        "(--transport=loopback or tcp); with --transport=direct the "
+        "shuffle never crosses a wire.");
+  }
+
   std::printf("running '%s' on runtime '%s' (transport %s)...\n",
               spec.name.c_str(), runtime.c_str(), transport.c_str());
   JobResult result;
@@ -327,6 +390,160 @@ int CmdRun(const Config& cfg) {
   }
   PrintJobReport(result);
   return 0;
+}
+
+sched::JobTransport TransportByName(const std::string& name) {
+  if (name == "direct") return sched::JobTransport::kDirect;
+  if (name == "loopback") return sched::JobTransport::kLoopback;
+  if (name == "tcp") return sched::JobTransport::kTcp;
+  throw std::invalid_argument("unknown transport: " + name);
+}
+
+// ASCII density view of the cross-job timeline: one row per task kind,
+// active-task counts sampled across the scheduler clock.
+void PrintCrossJobTimeline(const std::vector<TaskInterval>& intervals) {
+  double end = 0.0;
+  for (const auto& iv : intervals) end = std::max(end, iv.end_s);
+  if (end <= 0.0) return;
+  constexpr int kCols = 64;
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  std::printf("\ncross-job task activity (%s total):\n",
+              HumanSeconds(end).c_str());
+  for (int kind = 0; kind < 4; ++kind) {
+    std::vector<int> counts(kCols, 0);
+    int peak = 0;
+    for (int c = 0; c < kCols; ++c) {
+      const double t = end * (c + 0.5) / kCols;
+      for (const auto& iv : intervals) {
+        if (static_cast<int>(iv.kind) == kind && iv.begin_s <= t &&
+            t < iv.end_s) {
+          ++counts[c];
+        }
+      }
+      peak = std::max(peak, counts[c]);
+    }
+    if (peak == 0) continue;
+    std::string row(kCols, ' ');
+    for (int c = 0; c < kCols; ++c) {
+      row[c] = kRamp[std::min(9, counts[c] * 9 / peak)];
+    }
+    std::printf("  %-8s|%s| peak %d\n",
+                TaskKindName(static_cast<TaskKind>(kind)), row.c_str(), peak);
+  }
+}
+
+int CmdServe(const Config& cfg) {
+  const auto spool = cfg.GetString("spool", "");
+  if (spool.empty()) {
+    throw std::invalid_argument(
+        "serve: spool=<dir> (or spool=- for stdin) is required");
+  }
+  std::vector<sched::SpoolSpec> specs;
+  if (spool == "-") {
+    // Blank-line-separated key=value blocks on stdin.
+    std::string line;
+    std::string block;
+    int seq = 0;
+    const auto flush = [&] {
+      if (block.empty()) return;
+      std::istringstream in(block);
+      char id[16];
+      std::snprintf(id, sizeof(id), "job%03d", seq++);
+      specs.push_back(sched::ParseSpoolSpec(id, in));
+      block.clear();
+    };
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) {
+        flush();
+      } else {
+        block += line + "\n";
+      }
+    }
+    flush();
+  } else {
+    specs = sched::DrainSpoolDir(spool);
+  }
+  if (specs.empty()) {
+    std::printf("serve: no job specs found in %s\n", spool.c_str());
+    return 0;
+  }
+
+  PlatformOptions popts;
+  popts.num_nodes =
+      static_cast<int>(GetCheckedInt(cfg, "nodes", 4, /*min_value=*/1));
+  Platform platform(popts);
+
+  sched::SchedulerOptions sopts;
+  sopts.map_slots =
+      static_cast<int>(GetCheckedInt(cfg, "map-slots", 8, /*min_value=*/1));
+  sopts.reduce_slots =
+      static_cast<int>(GetCheckedInt(cfg, "reduce-slots", 8, /*min_value=*/1));
+  sopts.memory_budget_bytes = static_cast<std::size_t>(GetCheckedInt(
+      cfg, "memory-budget", 256ll << 20, /*min_value=*/1));
+  sopts.max_concurrent = static_cast<int>(
+      GetCheckedInt(cfg, "max-concurrent", 4, /*min_value=*/1));
+  sopts.num_nodes = popts.num_nodes;
+  const auto policy_name = cfg.GetString("policy", "fifo");
+  const auto policy = sched::ParseSchedPolicy(policy_name);
+  if (!policy) {
+    throw std::invalid_argument("unknown policy: " + policy_name +
+                                " (expected fifo, fair, or srw)");
+  }
+  sopts.policy = *policy;
+
+  sched::JobScheduler scheduler(&platform.dfs(), &platform.files(), sopts);
+  for (const auto& s : specs) {
+    std::printf("job '%s': generating %s input (%llu records)...\n",
+                s.id.c_str(), s.workload.c_str(),
+                static_cast<unsigned long long>(s.records));
+    sched::JobRequest request;
+    request.id = s.id;
+    request.spec = PrepareWorkload(platform, s.workload, s.records,
+                                   s.reducers, s.id + ".in", s.id + ".out");
+    request.options =
+        s.runtime == "checkpoint"
+            ? CheckpointedOnePassOptions(s.checkpoint_interval,
+                                         s.checkpoint_retain)
+            : RuntimeByName(s.runtime);
+    request.transport = TransportByName(s.transport);
+    request.memory_bytes = s.memory_bytes;
+    request.speculative_reduce = s.speculative_reduce;
+    if (request.speculative_reduce && !request.options.checkpoint.enabled) {
+      throw std::invalid_argument(
+          "spool job '" + s.id +
+          "': speculative_reduce=1 requires runtime=checkpoint (the backup "
+          "attempt seeds from a checkpoint image)");
+    }
+    scheduler.Submit(std::move(request));
+  }
+  std::printf("admitted %zu job(s): policy %s, %d map + %d reduce slots, "
+              "%s memory budget\n",
+              specs.size(), sched::SchedPolicyName(sopts.policy),
+              sopts.map_slots, sopts.reduce_slots,
+              HumanBytes(double(sopts.memory_budget_bytes)).c_str());
+
+  const auto reports = scheduler.Drain();
+  int failures = 0;
+  for (const auto& report : reports) {
+    std::printf("\n=== job '%s' (queued %s, ran %s) ===\n", report.id.c_str(),
+                HumanSeconds(report.queue_wait_s()).c_str(),
+                HumanSeconds(report.finished_s - report.started_s).c_str());
+    if (report.failed) {
+      ++failures;
+      std::printf("FAILED: %s\n", report.error.c_str());
+      continue;
+    }
+    PrintJobReport(report.result);
+  }
+  const auto stats = scheduler.stats();
+  std::printf("\nmakespan %s | %d/%d jobs ok | peak %d concurrent | "
+              "slot waits %lld (%s blocked)\n",
+              HumanSeconds(stats.makespan_s).c_str(), stats.completed,
+              stats.submitted, stats.peak_concurrent,
+              static_cast<long long>(stats.slots.waits),
+              HumanSeconds(stats.slots.wait_seconds).c_str());
+  PrintCrossJobTimeline(scheduler.Timeline());
+  return failures == 0 ? 0 : 1;
 }
 
 int CmdSim(const Config& cfg) {
@@ -440,7 +657,7 @@ int CmdSort(const Config& cfg) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: opmr_cli <run|sim|topk> [key=value ...]\n"
+                 "usage: opmr_cli <run|serve|sim|topk|sort> [key=value ...]\n"
                  "see the header of tools/opmr_cli.cc for the full flags\n");
     return 2;
   }
@@ -448,6 +665,7 @@ int main(int argc, char** argv) {
   const auto cfg = opmr::Config::FromArgs(argc - 1, argv + 1);
   try {
     if (command == "run") return CmdRun(cfg);
+    if (command == "serve") return CmdServe(cfg);
     if (command == "sim") return CmdSim(cfg);
     if (command == "topk") return CmdTopK(cfg);
     if (command == "sort") return CmdSort(cfg);
