@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
               WireCsvCells(r.net_bytes_sent, r.net_bytes_received,
                            r.net_frames_sent, r.net_frames_received,
                            r.net_retransmits, r.net_reconnects,
-                           r.net_stall_seconds));
+                           r.net_stall_seconds, r.shuffle_ack_replays));
     }
   }
   std::printf("%s", table.ToString().c_str());

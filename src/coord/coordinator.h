@@ -1,0 +1,120 @@
+// Coordinator: the cluster's membership endpoint.
+//
+// Serves Register / Heartbeat frames over a bound server Transport,
+// maintains the WorkerRegistry, and broadcasts a Membership view to every
+// registered worker whenever the view changes (register, re-register,
+// lease expiry).  A shared secret authenticates Register frames: a
+// mismatch is answered with Abort and the worker never enters the
+// registry.
+//
+// Failure detection is two-stage, mirroring the fault subsystem's
+// transient/terminal split:
+//
+//   lease expiry      -> the worker is SUSPECT.  Membership broadcasts it
+//                        as dead, but nothing is torn down yet; a worker
+//                        that was merely partitioned (or had heartbeats
+//                        suppressed by a fault plan) re-registers and the
+//                        on_worker_returned signal fires.
+//   rejoin grace gone -> the worker is LOST.  on_worker_lost fires once —
+//                        the terminal signal ClusterExecutor uses to abort
+//                        a shuffle fast instead of waiting for the
+//                        idle-timeout fallback.
+//
+// The registry itself is deterministic (see registry.h); the sweeper
+// thread only supplies wall-clock "now" values.  Tests that need exact
+// control call SweepNow() with their own timestamps.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "coord/registry.h"
+#include "metrics/counters.h"
+#include "net/transport.h"
+
+namespace opmr::coord {
+
+class Coordinator {
+ public:
+  struct Options {
+    std::string secret;            // empty = authentication disabled
+    double lease_s = 2.0;          // heartbeat lease before a worker is suspect
+    double rejoin_grace_s = 2.0;   // suspect -> lost after this much silence
+    double sweep_interval_ms = 50; // failure-detector poll cadence
+    // Fired from the sweeper thread (worker id is the argument).
+    std::function<void(const std::string&)> on_worker_lost;
+    std::function<void(const std::string&)> on_worker_returned;
+  };
+
+  // `transport` must already be bound (server mode); the coordinator
+  // Listen()s on it and starts the sweeper.  Does not take ownership.
+  Coordinator(net::Transport* transport, MetricRegistry* metrics,
+              Options options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Stops the sweeper.  The transport is the caller's to shut down.
+  void Stop();
+
+  // Runs one failure-detector pass at `now_s` (defaults to the steady
+  // clock).  Returns the number of workers newly marked suspect.
+  std::size_t SweepNow();
+  std::size_t SweepNow(double now_s);
+
+  [[nodiscard]] WorkerRegistry& registry() { return registry_; }
+
+  // Blocks until at least `n` live workers of `role` are registered.
+  // Returns false on timeout.
+  bool WaitForWorkers(net::WireRole role, std::size_t n, double timeout_s);
+
+  // Replaces the failure-detector callbacks after construction (pass {}
+  // to clear).  Thread-safe against a concurrent sweep; ClusterExecutor
+  // installs its shuffle-abort hook for the duration of one Run() this
+  // way.
+  void SetOnWorkerLost(std::function<void(const std::string&)> cb);
+  void SetOnWorkerReturned(std::function<void(const std::string&)> cb);
+
+ private:
+  void HandleFrame(net::Connection* from, net::Frame frame);
+  void BroadcastMembership();
+  void SweeperLoop();
+
+  net::Transport* transport_;
+  Options options_;
+  WorkerRegistry registry_;
+
+  Counter* registers_ = nullptr;
+  Counter* heartbeats_ = nullptr;
+  Counter* stale_heartbeats_ = nullptr;
+  Counter* expirations_ = nullptr;
+  Counter* auth_failures_ = nullptr;
+  Counter* workers_lost_ = nullptr;
+  Counter* workers_returned_ = nullptr;
+
+  // Callbacks live outside Options so they can be swapped mid-flight;
+  // invocations copy under cb_mu_ and fire outside every lock.
+  std::mutex cb_mu_;
+  std::function<void(const std::string&)> on_worker_lost_;
+  std::function<void(const std::string&)> on_worker_returned_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::map<std::string, net::Connection*> member_conns_;
+  // Suspect workers awaiting rejoin: id -> (generation at expiry, deadline).
+  struct Suspect {
+    std::uint64_t generation = 0;
+    double deadline_s = 0.0;
+  };
+  std::map<std::string, Suspect> suspects_;
+  std::thread sweeper_;
+};
+
+}  // namespace opmr::coord

@@ -82,6 +82,11 @@ class Platform {
   [[nodiscard]] MetricRegistry& metrics() noexcept { return *metrics_; }
   [[nodiscard]] FileManager& files() noexcept { return *files_; }
 
+  // Direct executor access for cluster-mode configuration (worker
+  // identity, map partition, coordination wiring) that the RunXxx
+  // wrappers below do not cover.
+  [[nodiscard]] ClusterExecutor& executor() noexcept { return *executor_; }
+
   // Runs a job under the given runtime options.
   JobResult Run(const JobSpec& spec, const JobOptions& options);
 

@@ -12,6 +12,8 @@
 
 #include "checkpoint/checkpoint.h"
 #include "common/rng.h"
+#include "coord/coordinator.h"
+#include "coord/member.h"
 #include "engine/map_task.h"
 #include "engine/reduce_hash.h"
 #include "engine/reduce_incremental.h"
@@ -66,6 +68,18 @@ class TransportShutdownGuard {
     if (transport != nullptr) transport->Shutdown();
   }
   net::Transport* transport = nullptr;
+};
+
+// Clears the per-run membership callbacks at scope exit, before the
+// ShuffleClient / ShuffleService they capture are destroyed.
+class CoordRunGuard {
+ public:
+  ~CoordRunGuard() {
+    if (client != nullptr) client->SetOnEvicted({});
+    if (coordinator != nullptr) coordinator->SetOnWorkerLost({});
+  }
+  coord::CoordClient* client = nullptr;
+  coord::Coordinator* coordinator = nullptr;
 };
 
 // One logical map task: its input block plus the coordination state rival
@@ -252,6 +266,19 @@ void ClusterExecutor::Validate(const JobSpec& spec,
         "a split worker role (kMapOnly / kReduceOnly) requires a "
         "shuffle_transport to reach the other group");
   }
+  if (cluster_.map_partition_count < 1 || cluster_.map_partition_index < 0 ||
+      cluster_.map_partition_index >= cluster_.map_partition_count) {
+    throw std::invalid_argument(
+        "map partition must satisfy 0 <= map_partition_index < "
+        "map_partition_count");
+  }
+  if (cluster_.map_partition_count > 1 &&
+      cluster_.role != WorkerRole::kMapOnly) {
+    throw std::invalid_argument(
+        "map_partition_count > 1 splits the map group across processes and "
+        "requires role == kMapOnly (the reduce group sees the full task "
+        "count via MapDone frames)");
+  }
 }
 
 void ClusterExecutor::RetryBackoff(int attempt, std::uint64_t salt) const {
@@ -296,7 +323,24 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
       fault->FilterReplicas(&block.replica_nodes, block.block_id);
     }
   }
+  // Task ids are global: in a multi-worker map group each sibling filters
+  // the same full listing down to its partition but numbers tasks off the
+  // unfiltered index, so ids never collide on the shared reduce side.
   const int num_maps = static_cast<int>(blocks.size());
+  std::map<std::uint64_t, int> global_task_id;
+  if (cluster_.map_partition_count > 1) {
+    for (int i = 0; i < num_maps; ++i) {
+      global_task_id[blocks[i].block_id] = i;
+    }
+    std::vector<BlockInfo> mine;
+    for (int i = 0; i < num_maps; ++i) {
+      if (i % cluster_.map_partition_count == cluster_.map_partition_index) {
+        mine.push_back(std::move(blocks[i]));
+      }
+    }
+    blocks = std::move(mine);
+  }
+  const int local_map_tasks = static_cast<int>(blocks.size());
   const int num_reducers = spec.num_reducers;
 
   WallTimer job_start;
@@ -345,6 +389,7 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
       shuffle_server = std::make_unique<ShuffleServer>(
           transport, &shuffle, files_, metrics_,
           /*merge_client_wire_stats=*/role == WorkerRole::kReduceOnly);
+      shuffle_server->SetAuthSecret(cluster_.shuffle_secret);
       shuffle_server->Start();
     }
     if (run_maps) {
@@ -354,10 +399,35 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
       client_options.num_reducers = num_reducers;
       client_options.push_queue_chunks = options.push_queue_chunks;
       client_options.shared_fs = cluster_.shuffle_shared_fs;
+      client_options.worker = cluster_.worker_id;
+      client_options.auth = cluster_.shuffle_secret;
       shuffle_client = std::make_unique<ShuffleClient>(
           transport, metrics_, std::move(client_options));
       endpoint = shuffle_client.get();
     }
+  }
+
+  // Membership wiring, per run: an evicted-and-rejoined map worker replays
+  // its delivered-but-unacked shuffle window (the reduce side may have
+  // dropped the tail with the flap); a worker declared LOST while map
+  // tasks are still outstanding aborts the shuffle immediately — the
+  // coordinator's failure detector is the primary death signal, the idle
+  // timeout only a fallback.
+  CoordRunGuard coord_guard;
+  if (cluster_.coord_client != nullptr && shuffle_client != nullptr) {
+    ShuffleClient* client = shuffle_client.get();
+    cluster_.coord_client->SetOnEvicted([client] { client->ReplayUnacked(); });
+    coord_guard.client = cluster_.coord_client;
+  }
+  if (cluster_.coordinator != nullptr && run_reducers) {
+    ShuffleService* service = &shuffle;
+    cluster_.coordinator->SetOnWorkerLost([service](const std::string& id) {
+      if (service->MapsDoneFraction() < 1.0) {
+        service->Abort("map worker '" + id +
+                       "' lost (lease expired past rejoin grace)");
+      }
+    });
+    coord_guard.coordinator = cluster_.coordinator;
   }
 
   RuntimeEnv env;
@@ -564,15 +634,20 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   auto register_entry = [&](BlockInfo block) -> MapTaskEntry* {
     std::scoped_lock lock(entries_mu);
     MapTaskEntry& entry = task_entries.emplace_back();
+    // Partitioned map groups use the globally-unique listing index;
+    // otherwise ids stay in claim order (the seed's behaviour, which
+    // fault plans target by task number).
+    entry.task_id = cluster_.map_partition_count > 1
+                        ? global_task_id.at(block.block_id)
+                        : static_cast<int>(task_entries.size()) - 1;
     entry.block = std::move(block);
-    entry.task_id = static_cast<int>(task_entries.size()) - 1;
     entry.started_s = job_start.Seconds();
     return &entry;
   };
 
   auto all_entries_done = [&] {
     std::scoped_lock lock(entries_mu);
-    if (static_cast<int>(task_entries.size()) < num_maps) return false;
+    if (static_cast<int>(task_entries.size()) < local_map_tasks) return false;
     for (const auto& entry : task_entries) {
       if (!entry.done.load(std::memory_order_acquire)) return false;
     }
@@ -842,6 +917,9 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.net_reconnects = result.Bytes(net::kNetReconnects);
   result.net_stall_seconds =
       static_cast<double>(result.Bytes(net::kNetStallNanos)) / 1e9;
+  result.shuffle_ack_replays = result.Bytes(kShuffleAckReplays);
+  result.shuffle_ack_replayed_frames = result.Bytes(kShuffleAckReplayedFrames);
+  result.shuffle_dup_frames = result.Bytes(kShuffleDupFrames);
   result.spec_reduce_seeded_from_ckpt =
       static_cast<int>(result.Bytes("speculation.reduce_seeded"));
   return result;

@@ -27,6 +27,11 @@ namespace net {
 class Transport;
 }  // namespace net
 
+namespace coord {
+class CoordClient;
+class Coordinator;
+}  // namespace coord
+
 // Which half of the job this executor instance runs.  kAll is the seed's
 // single-process mode.  kMapOnly / kReduceOnly split the worker groups
 // across OS processes: the map group serialises its shuffle traffic onto a
@@ -134,8 +139,40 @@ struct ClusterOptions {
   // Reduce-group liveness guard (seconds; 0 disables): abort a reducer
   // blocked in NextItem with no shuffle activity for this long while map
   // tasks are still outstanding — the mapper process likely died without
-  // sending Abort.  Only meaningful with role == kReduceOnly.
+  // sending Abort.  Demoted to a last-resort fallback in cluster mode:
+  // the coordinator's failure detector (on_worker_lost) is the primary
+  // death signal, and every inbound shuffle frame — including replayed
+  // duplicates — resets the idle clock, so the watchdog cannot fire
+  // while an ack-window replay is in flight.
   double shuffle_idle_timeout_s = 0.0;
+
+  // --- Cluster coordination (src/coord) -------------------------------------
+  // Registered worker id this process joined the group as; carried in the
+  // shuffle Hello so the reduce side can key its per-sender ack watermark.
+  // Empty in the single-process / forked modes.
+  std::string worker_id;
+
+  // Shared secret authenticating shuffle Hello and coordinator Register
+  // frames.  Empty disables authentication.
+  std::string shuffle_secret;
+
+  // Horizontal map partition for multi-worker map groups: this worker
+  // runs exactly the input blocks whose global index i satisfies
+  // i % map_partition_count == map_partition_index, under globally
+  // unique task ids, so sibling map workers cover the input disjointly.
+  int map_partition_index = 0;
+  int map_partition_count = 1;
+
+  // Membership agent of a map-group worker (not owned).  When set, an
+  // eviction/rejoin observed by the heartbeat thread fires
+  // ShuffleClient::ReplayUnacked() — the reduce side may have lost this
+  // worker's delivered-but-unacked tail with the membership flap.
+  coord::CoordClient* coord_client = nullptr;
+
+  // Coordinator hosted by a reduce-group process (not owned).  When set,
+  // its on_worker_lost signal aborts the shuffle fast (while map tasks
+  // are still outstanding) instead of waiting out the idle timeout.
+  coord::Coordinator* coordinator = nullptr;
 };
 
 struct JobResult {
@@ -187,6 +224,9 @@ struct JobResult {
   std::int64_t net_retransmits = 0;      // frame sends retried after a drop
   std::int64_t net_reconnects = 0;       // client connections re-established
   double net_stall_seconds = 0.0;        // injected stalls + reconnect waits
+  std::int64_t shuffle_ack_replays = 0;  // ack-window replay passes
+  std::int64_t shuffle_ack_replayed_frames = 0;  // frames resent by replays
+  std::int64_t shuffle_dup_frames = 0;   // dups absorbed by the watermark
 
   // Per-reducer output records: the partition-skew signal (related work
   // [19] targets exactly this imbalance).
@@ -274,6 +314,22 @@ class ClusterExecutor {
   }
   void set_sched_hooks(const SchedHooks* hooks) {
     cluster_.sched_hooks = hooks;
+  }
+
+  // Cluster-mode identity and coordination wiring (see ClusterOptions).
+  void set_cluster_identity(std::string worker_id, std::string secret) {
+    cluster_.worker_id = std::move(worker_id);
+    cluster_.shuffle_secret = std::move(secret);
+  }
+  void set_map_partition(int index, int count) {
+    cluster_.map_partition_index = index;
+    cluster_.map_partition_count = count;
+  }
+  void set_coord_client(coord::CoordClient* client) {
+    cluster_.coord_client = client;
+  }
+  void set_coordinator(coord::Coordinator* coordinator) {
+    cluster_.coordinator = coordinator;
   }
 
  private:

@@ -113,6 +113,14 @@ void ShuffleService::MapTaskDone(int /*map_task*/) {
   cv_.notify_all();
 }
 
+void ShuffleService::NoteActivity() {
+  {
+    std::scoped_lock lock(mu_);
+    ++activity_;
+  }
+  cv_.notify_all();
+}
+
 void ShuffleService::Abort(const std::string& reason) {
   {
     std::scoped_lock lock(mu_);
@@ -192,7 +200,7 @@ bool ShuffleService::NextItem(int reducer, ShuffleItem* item) {
   lock.unlock();
   cv_.notify_all();
   if (chunk_consumed_probe_ && first_consume && !item->from_file) {
-    chunk_consumed_probe_(reducer);
+    chunk_consumed_probe_(reducer, item->map_task);
   }
   if (fetch_probe_ && item->map_task >= 0) {
     fetch_probe_(reducer, item->map_task);

@@ -203,8 +203,10 @@ class ShuffleService : public ShuffleMapEndpoint {
   // Optional probe invoked (outside the lock) the FIRST time a pushed
   // in-memory chunk is consumed for `reducer` — replayed items keep their
   // ordinal and do not re-fire.  The remote shuffle server uses it to grant
-  // one flow-control credit back to the mapper.  Set before threads start.
-  void SetChunkConsumedProbe(std::function<void(int reducer)> probe) {
+  // one flow-control credit back to the mapper that owns `map_task`.  Set
+  // before threads start.
+  void SetChunkConsumedProbe(
+      std::function<void(int reducer, int map_task)> probe) {
     chunk_consumed_probe_ = std::move(probe);
   }
 
@@ -217,8 +219,19 @@ class ShuffleService : public ShuffleMapEndpoint {
   // sees no shuffle activity at all for `seconds` while map tasks are still
   // outstanding throws (the mapper process likely died without an Abort
   // frame).  0 (default) disables the guard — the seed's in-process
-  // behaviour, where map worker threads can always be joined.
+  // behaviour, where map worker threads can always be joined.  With
+  // per-chunk acks this is a demoted last-resort fallback: the shuffle
+  // server calls NoteActivity() for every frame it receives — including
+  // duplicates absorbed by the ack watermark — so the guard cannot fire
+  // while an ack-window replay is in progress; the coordinator's lease
+  // detector is the primary (and much faster) death signal.
   void SetIdleTimeout(double seconds) { idle_timeout_s_ = seconds; }
+
+  // Resets the idle-timeout window.  For shuffle progress that bypasses
+  // Enqueue/TryPush — e.g. replayed frames deduplicated away by the remote
+  // server's applied-seq watermark, which are proof the mapper is alive
+  // even though no new item lands in any queue.
+  void NoteActivity();
 
   // Fraction of map tasks completed (drives HOP snapshot points).
   [[nodiscard]] double MapsDoneFraction() const;
@@ -293,7 +306,7 @@ class ShuffleService : public ShuffleMapEndpoint {
   std::size_t retain_budget_bytes_ = 0;
   std::uint64_t retain_file_seq_ = 0;
   std::function<void(int, int)> fetch_probe_;
-  std::function<void(int)> chunk_consumed_probe_;
+  std::function<void(int, int)> chunk_consumed_probe_;
   std::function<void(int)> gone_probe_;
   double idle_timeout_s_ = 0;
   // Bumped (under mu_) by every state change NextItem could be waiting on;

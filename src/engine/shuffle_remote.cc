@@ -1,5 +1,7 @@
 #include "engine/shuffle_remote.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -12,16 +14,37 @@ ShuffleClient::ShuffleClient(net::Transport* transport,
     : transport_(transport),
       metrics_(metrics),
       options_(std::move(options)),
+      ack_replays_(metrics->Get(kShuffleAckReplays)),
+      ack_replayed_frames_(metrics->Get(kShuffleAckReplayedFrames)),
       credits_(options_.num_reducers, options_.push_queue_chunks),
       gone_(options_.num_reducers, false) {
   net::HelloMsg hello;
   hello.job = options_.job;
   hello.num_map_tasks = options_.num_map_tasks;
   hello.num_reducers = options_.num_reducers;
+  hello.worker = options_.worker;
+  hello.auth = options_.auth;
   // Preamble first: if the explicit Hello send below is dropped by an
   // injected fault, the reconnect path re-introduces us before the
   // retransmit goes out.
   transport_->SetConnectPreamble(hello.ToFrame());
+  // Reconnect replay: after any reconnect (injected drop or a real
+  // peer-side crash), resend the whole unacked window right behind the
+  // Hello.  The server's applied-seq watermark absorbs whatever actually
+  // survived, so this is safe to over-send.
+  transport_->SetReconnectReplay([this] {
+    std::vector<net::Frame> frames;
+    {
+      std::scoped_lock lock(mu_);
+      frames.reserve(window_.size());
+      for (const auto& [seq, frame] : window_) frames.push_back(frame);
+    }
+    if (!frames.empty()) {
+      ack_replays_->Increment();
+      ack_replayed_frames_->Add(static_cast<std::int64_t>(frames.size()));
+    }
+    return frames;
+  });
   conn_ = transport_->Connect([this](net::Connection* from, net::Frame frame) {
     HandleReply(from, std::move(frame));
   });
@@ -44,6 +67,17 @@ void ShuffleClient::HandleReply(net::Connection* /*from*/, net::Frame frame) {
       credits_.at(msg.reducer) += msg.credits;
       break;
     }
+    case net::FrameType::kAck: {
+      const auto msg = net::AckMsg::Parse(frame);
+      {
+        std::scoped_lock lock(mu_);
+        while (!window_.empty() && window_.front().first <= msg.upto) {
+          window_.pop_front();
+        }
+      }
+      cv_.notify_all();
+      break;
+    }
     case net::FrameType::kGone: {
       const auto msg = net::GoneMsg::Parse(frame);
       std::scoped_lock lock(mu_);
@@ -52,14 +86,35 @@ void ShuffleClient::HandleReply(net::Connection* /*from*/, net::Frame frame) {
     }
     case net::FrameType::kAbort: {
       const auto msg = net::AbortMsg::Parse(frame);
-      std::scoped_lock lock(mu_);
-      aborted_ = true;
-      abort_reason_ = msg.reason;
+      {
+        std::scoped_lock lock(mu_);
+        aborted_ = true;
+        abort_reason_ = msg.reason;
+      }
+      cv_.notify_all();
       break;
     }
     default:
       break;  // unexpected reply type; ignore
   }
+}
+
+void ShuffleClient::SendSequenced(
+    const std::function<net::Frame(std::uint64_t)>& build) {
+  // seq_mu_ serialises seq assignment WITH the send, so frames hit the
+  // wire in seq order (the server discards out-of-order gaps unacked).
+  // mu_ is never held across Send: a send can block in the transport's
+  // reconnect path, which joins the reader thread — and the reader may be
+  // waiting on mu_ to deliver an Ack.
+  std::scoped_lock send_order(seq_mu_);
+  net::Frame frame;
+  {
+    std::scoped_lock lock(mu_);
+    const std::uint64_t seq = ++next_seq_;
+    frame = build(seq);
+    window_.emplace_back(seq, frame);
+  }
+  conn_->Send(frame);
 }
 
 PushResult ShuffleClient::TryPush(int reducer, ShuffleItem chunk) {
@@ -79,7 +134,10 @@ PushResult ShuffleClient::TryPush(int reducer, ShuffleItem chunk) {
   msg.sorted = chunk.sorted;
   msg.records = chunk.records;
   msg.bytes = std::move(chunk.bytes);
-  conn_->Send(msg.ToFrame());
+  SendSequenced([&](std::uint64_t seq) {
+    msg.seq = seq;
+    return msg.ToFrame();
+  });
   return PushResult::kAccepted;
 }
 
@@ -113,7 +171,10 @@ void ShuffleClient::SendSegment(int map_task,
     msg.offset = segment.offset;
     msg.length = segment.bytes;
     msg.path = path.string();
-    conn_->Send(msg.ToFrame());
+    SendSequenced([&](std::uint64_t seq) {
+      msg.seq = seq;
+      return msg.ToFrame();
+    });
     return;
   }
   // No shared filesystem: ship the segment bytes inline.  The read is not
@@ -132,7 +193,10 @@ void ShuffleClient::SendSegment(int map_task,
   msg.sorted = sorted;
   msg.records = segment.records;
   msg.bytes = std::move(bytes);
-  conn_->Send(msg.ToFrame());
+  SendSequenced([&](std::uint64_t seq) {
+    msg.seq = seq;
+    return msg.ToFrame();
+  });
 }
 
 void ShuffleClient::MapTaskDone(int map_task, std::uint64_t input_records,
@@ -142,7 +206,35 @@ void ShuffleClient::MapTaskDone(int map_task, std::uint64_t input_records,
   msg.map_task = map_task;
   msg.input_records = input_records;
   msg.output_records = output_records;
-  conn_->Send(msg.ToFrame());
+  SendSequenced([&](std::uint64_t seq) {
+    msg.seq = seq;
+    return msg.ToFrame();
+  });
+}
+
+void ShuffleClient::ReplayUnacked() {
+  std::scoped_lock send_order(seq_mu_);
+  std::vector<net::Frame> frames;
+  {
+    std::scoped_lock lock(mu_);
+    frames.reserve(window_.size());
+    for (const auto& [seq, frame] : window_) frames.push_back(frame);
+  }
+  if (frames.empty()) return;
+  ack_replays_->Increment();
+  ack_replayed_frames_->Add(static_cast<std::int64_t>(frames.size()));
+  for (const net::Frame& frame : frames) {
+    try {
+      conn_->Send(frame);
+    } catch (const net::TransportError&) {
+      return;  // connection unrecoverable; the drain in Finish gives up
+    }
+  }
+}
+
+std::size_t ShuffleClient::UnackedFrames() const {
+  std::scoped_lock lock(mu_);
+  return window_.size();
 }
 
 void ShuffleClient::Finish() {
@@ -150,6 +242,22 @@ void ShuffleClient::Finish() {
     std::scoped_lock lock(mu_);
     if (closed_) return;
     closed_ = true;
+  }
+  // Drain the replay window before Bye: on a clean run the acks for the
+  // tail are already in flight; after a reducer-side crash the first wait
+  // times out, one explicit replay re-delivers the window, and the second
+  // wait confirms the acks.  If even that fails, Bye goes out anyway — the
+  // reduce side's idle-timeout watchdog is the last-resort backstop.
+  const auto drained = [this] { return window_.empty() || aborted_; };
+  const auto half = std::chrono::duration<double>(options_.ack_drain_s / 2);
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, half, drained);
+  }
+  if (UnackedFrames() > 0) {
+    ReplayUnacked();
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, half, drained);
   }
   net::ByeMsg bye;
   bye.frames_sent =
@@ -162,6 +270,9 @@ void ShuffleClient::Finish() {
       static_cast<std::uint64_t>(metrics_->Value(net::kNetReconnects));
   bye.stall_nanos =
       static_cast<std::uint64_t>(metrics_->Value(net::kNetStallNanos));
+  bye.ack_replays = static_cast<std::uint64_t>(ack_replays_->value());
+  bye.ack_replayed_frames =
+      static_cast<std::uint64_t>(ack_replayed_frames_->value());
   try {
     conn_->Send(bye.ToFrame());
   } catch (const net::TransportError&) {
@@ -196,46 +307,69 @@ ShuffleServer::ShuffleServer(net::Transport* transport,
       shuffle_(shuffle),
       files_(files),
       metrics_(metrics),
-      merge_client_wire_stats_(merge_client_wire_stats) {}
+      merge_client_wire_stats_(merge_client_wire_stats),
+      dup_frames_(metrics->Get(kShuffleDupFrames)),
+      auth_failures_(metrics->Get("shuffle.auth_failures")) {}
 
 ShuffleServer::~ShuffleServer() {
   shuffle_->SetChunkConsumedProbe(nullptr);
   shuffle_->SetGoneProbe(nullptr);
   std::scoped_lock lock(mu_);
-  for (auto& [conn, writer] : spills_) {
-    if (writer != nullptr) writer->Close();
+  for (auto& [worker, state] : clients_) {
+    if (state.spill != nullptr) state.spill->Close();
   }
 }
 
 void ShuffleServer::Start() {
-  shuffle_->SetChunkConsumedProbe([this](int reducer) {
+  shuffle_->SetChunkConsumedProbe([this](int reducer, int map_task) {
     net::CreditMsg credit;
     credit.reducer = reducer;
-    SendToClient(credit.ToFrame());
+    SendTo(TaskOwnerConn(map_task), credit.ToFrame());
   });
   shuffle_->SetGoneProbe([this](int reducer) {
     net::GoneMsg gone;
     gone.reducer = reducer;
-    SendToClient(gone.ToFrame());
+    Broadcast(gone.ToFrame());
   });
   transport_->Listen([this](net::Connection* from, net::Frame frame) {
     HandleFrame(from, std::move(frame));
   });
 }
 
-void ShuffleServer::SendToClient(const net::Frame& frame) {
-  net::Connection* client = nullptr;
+void ShuffleServer::SendTo(net::Connection* conn, const net::Frame& frame) {
+  if (conn == nullptr) return;
+  try {
+    conn->Send(frame);
+  } catch (const net::TransportError&) {
+    // A lost credit only costs pipelining (the mapper diverts to disk); a
+    // lost Gone only costs fail-fast latency; a lost Ack is re-sent when
+    // the client replays.  Correctness is kept.
+  }
+}
+
+net::Connection* ShuffleServer::TaskOwnerConn(int map_task) {
+  std::scoped_lock lock(mu_);
+  auto owner = task_owner_.find(map_task);
+  if (owner != task_owner_.end()) {
+    auto client = clients_.find(owner->second);
+    if (client != clients_.end()) return client->second.conn;
+  }
+  // Single-client local modes never record owners per task; route to the
+  // only connection there is.
+  if (clients_.size() == 1) return clients_.begin()->second.conn;
+  return nullptr;
+}
+
+void ShuffleServer::Broadcast(const net::Frame& frame) {
+  std::vector<net::Connection*> conns;
   {
     std::scoped_lock lock(mu_);
-    client = client_;
+    conns.reserve(clients_.size());
+    for (const auto& [worker, state] : clients_) {
+      if (state.conn != nullptr) conns.push_back(state.conn);
+    }
   }
-  if (client == nullptr) return;
-  try {
-    client->Send(frame);
-  } catch (const net::TransportError&) {
-    // A lost credit only costs pipelining (the mapper diverts to disk);
-    // a lost Gone only costs fail-fast latency.  Correctness is kept.
-  }
+  for (net::Connection* conn : conns) SendTo(conn, frame);
 }
 
 std::uint64_t ShuffleServer::map_input_records() const {
@@ -248,19 +382,88 @@ std::uint64_t ShuffleServer::map_output_records() const {
   return map_output_records_;
 }
 
+bool ShuffleServer::AdmitSequenced(net::Connection* from, std::uint64_t seq) {
+  if (seq == 0) return true;  // unsequenced legacy frame: apply, never ack
+  net::NetFaultHook* hook = net::GetNetFaultHook();
+  int receive_attempt = 1;
+  std::uint64_t applied_upto = 0;
+  {
+    std::scoped_lock lock(mu_);
+    ClientState& st = clients_[conn_worker_[from]];
+    if (hook != nullptr) receive_attempt = ++st.recv_attempts[seq];
+    applied_upto = st.applied_upto;
+  }
+  if (hook != nullptr && hook->OnServerFrameApply(seq, receive_attempt)) {
+    // peer_crash: the frame was delivered to this host but dies before
+    // apply, and the connection dies with it.  Only the client's
+    // ack-window replay can bring the data back.
+    from->Close();
+    return false;
+  }
+  if (seq <= applied_upto) {
+    // Replayed duplicate of an applied frame: skip, but re-ack so the
+    // client prunes its window.
+    dup_frames_->Increment();
+    net::AckMsg ack;
+    ack.upto = applied_upto;
+    SendTo(from, ack.ToFrame());
+    return false;
+  }
+  if (seq != applied_upto + 1) {
+    // Out-of-order gap: frames after a discarded one on a dying
+    // connection.  Drop unacked — the replay re-delivers them in order.
+    return false;
+  }
+  return true;
+}
+
+void ShuffleServer::AckApplied(net::Connection* from, std::uint64_t seq) {
+  if (seq == 0) return;
+  std::uint64_t upto = 0;
+  {
+    std::scoped_lock lock(mu_);
+    ClientState& st = clients_[conn_worker_[from]];
+    st.applied_upto = std::max(st.applied_upto, seq);
+    upto = st.applied_upto;
+  }
+  net::AckMsg ack;
+  ack.upto = upto;
+  SendTo(from, ack.ToFrame());
+}
+
+void ShuffleServer::RecordTaskOwner(net::Connection* from, int map_task) {
+  std::scoped_lock lock(mu_);
+  task_owner_[map_task] = conn_worker_[from];
+}
+
 void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
+  // Every received frame — including duplicates the seq watermark will
+  // absorb — is proof the mapper side is alive: reset the idle-timeout
+  // fallback so it cannot fire while an ack replay is in progress.
+  shuffle_->NoteActivity();
   // Never let a malformed frame unwind a transport reader thread: poison
   // the shuffle instead so reducers fail with a diagnosis.
   try {
     switch (frame.type) {
       case net::FrameType::kHello: {
-        (void)net::HelloMsg::Parse(frame);  // validates version
+        const auto msg = net::HelloMsg::Parse(frame);  // validates version
+        if (!secret_.empty() && msg.auth != secret_) {
+          auth_failures_->Increment();
+          net::AbortMsg abort;
+          abort.reason = "shuffle server: authentication failed for worker '" +
+                         msg.worker + "'";
+          SendTo(from, abort.ToFrame());
+          break;
+        }
         std::scoped_lock lock(mu_);
-        client_ = from;  // idempotent; re-Hello after reconnect re-routes
+        conn_worker_[from] = msg.worker;
+        clients_[msg.worker].conn = from;  // re-Hello after reconnect re-routes
         break;
       }
       case net::FrameType::kChunk: {
         auto msg = net::ChunkMsg::Parse(frame);
+        RecordTaskOwner(from, msg.map_task);
+        if (!AdmitSequenced(from, msg.seq)) break;
         ShuffleItem item;
         item.map_task = msg.map_task;
         item.sorted = msg.sorted;
@@ -270,10 +473,13 @@ void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
         // window; the bounded re-check would spuriously reject after a
         // Rewind re-queued consumed items.
         shuffle_->ForcePush(msg.reducer, std::move(item));
+        AckApplied(from, msg.seq);
         break;
       }
       case net::FrameType::kSegmentRef: {
         const auto msg = net::SegmentRefMsg::Parse(frame);
+        RecordTaskOwner(from, msg.map_task);
+        if (!AdmitSequenced(from, msg.seq)) break;
         Segment seg;
         seg.offset = msg.offset;
         seg.bytes = msg.length;
@@ -281,15 +487,18 @@ void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
         shuffle_->RegisterSegment(msg.map_task,
                                   std::filesystem::path(msg.path),
                                   msg.reducer, seg, msg.sorted);
+        AckApplied(from, msg.seq);
         break;
       }
       case net::FrameType::kSegmentData: {
         auto msg = net::SegmentDataMsg::Parse(frame);
+        RecordTaskOwner(from, msg.map_task);
+        if (!AdmitSequenced(from, msg.seq)) break;
         std::filesystem::path spill_path;
         Segment seg;
         {
           std::scoped_lock lock(mu_);
-          auto& writer = spills_[from];
+          auto& writer = clients_[conn_worker_[from]].spill;
           if (writer == nullptr) {
             writer = std::make_unique<SequentialWriter>(
                 files_->NewFile("net_seg"),
@@ -304,16 +513,20 @@ void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
         }
         shuffle_->RegisterSegment(msg.map_task, spill_path, msg.reducer, seg,
                                   msg.sorted);
+        AckApplied(from, msg.seq);
         break;
       }
       case net::FrameType::kMapDone: {
         const auto msg = net::MapDoneMsg::Parse(frame);
+        RecordTaskOwner(from, msg.map_task);
+        if (!AdmitSequenced(from, msg.seq)) break;
         {
           std::scoped_lock lock(mu_);
           map_input_records_ += msg.input_records;
           map_output_records_ += msg.output_records;
         }
         shuffle_->MapTaskDone(msg.map_task);
+        AckApplied(from, msg.seq);
         break;
       }
       case net::FrameType::kBye: {
@@ -328,6 +541,10 @@ void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
               ->Add(static_cast<std::int64_t>(msg.reconnects));
           metrics_->Get(net::kNetStallNanos)
               ->Add(static_cast<std::int64_t>(msg.stall_nanos));
+          metrics_->Get(kShuffleAckReplays)
+              ->Add(static_cast<std::int64_t>(msg.ack_replays));
+          metrics_->Get(kShuffleAckReplayedFrames)
+              ->Add(static_cast<std::int64_t>(msg.ack_replayed_frames));
         }
         break;
       }

@@ -100,17 +100,18 @@ inline std::vector<std::string> SpecReduceCsvCells(int launched, int seeded,
 inline std::vector<std::string> WireCsvHeader() {
   return {"net_bytes_sent",  "net_bytes_received", "net_frames_sent",
           "net_frames_received", "net_retransmits", "net_reconnects",
-          "net_stall_seconds"};
+          "net_stall_seconds", "shuffle_ack_replays"};
 }
 
 inline std::vector<std::string> WireCsvCells(
     std::int64_t bytes_sent, std::int64_t bytes_received,
     std::int64_t frames_sent, std::int64_t frames_received,
-    std::int64_t retransmits, std::int64_t reconnects, double stall_seconds) {
+    std::int64_t retransmits, std::int64_t reconnects, double stall_seconds,
+    std::int64_t ack_replays) {
   return {std::to_string(bytes_sent),   std::to_string(bytes_received),
           std::to_string(frames_sent),  std::to_string(frames_received),
           std::to_string(retransmits),  std::to_string(reconnects),
-          std::to_string(stall_seconds)};
+          std::to_string(stall_seconds), std::to_string(ack_replays)};
 }
 
 }  // namespace opmr

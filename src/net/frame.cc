@@ -18,13 +18,17 @@ const char* FrameTypeName(FrameType type) noexcept {
     case FrameType::kGone: return "gone";
     case FrameType::kAbort: return "abort";
     case FrameType::kBye: return "bye";
+    case FrameType::kRegister: return "register";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kMembership: return "membership";
+    case FrameType::kAck: return "ack";
   }
   return "unknown";
 }
 
 bool IsKnownFrameType(std::uint8_t type) noexcept {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kBye);
+         type <= static_cast<std::uint8_t>(FrameType::kAck);
 }
 
 void AppendFrame(std::string* out, const Frame& frame) {

@@ -278,10 +278,12 @@ class TcpClientConnection final : public Connection {
     // stream, so the Hello preamble must lead it.
     Frame preamble;
     bool has_preamble = false;
+    std::function<std::vector<Frame>()> replay;
     {
       std::scoped_lock lock(owner_->mu_);
       has_preamble = owner_->has_preamble_;
       preamble = owner_->preamble_;
+      replay = owner_->reconnect_replay_;
     }
     if (has_preamble) {
       const std::string bytes = EncodeFrame(preamble);
@@ -290,6 +292,20 @@ class TcpClientConnection final : public Connection {
       }
       owner_->frames_sent_->Increment();
       owner_->bytes_sent_->Add(static_cast<std::int64_t>(bytes.size()));
+    }
+    if (replay) {
+      // Ack-window replay: everything delivered on the dead connection but
+      // not yet acknowledged goes out again, ahead of the frame whose send
+      // triggered this reconnect.  The receiver's applied-seq watermark
+      // absorbs any copies that did survive.
+      for (const Frame& frame : replay()) {
+        const std::string bytes = EncodeFrame(frame);
+        if (!WriteAll(fd_, bytes)) {
+          throw TransportError("tcp: reconnect replay failed");
+        }
+        owner_->frames_sent_->Increment();
+        owner_->bytes_sent_->Add(static_cast<std::int64_t>(bytes.size()));
+      }
     }
     owner_->stall_nanos_->Add(NowNanos() - t0);
   }
@@ -343,12 +359,21 @@ void TcpTransport::Bind() {
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  if (options_.bind_address == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                         &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TransportError("tcp: bad bind address '" + options_.bind_address +
+                         "'");
+  }
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.bind_port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 16) != 0) {
     ::close(fd);
-    throw TransportError("tcp: bind/listen failed");
+    throw TransportError("tcp: bind/listen failed on " +
+                         options_.bind_address + ":" +
+                         std::to_string(options_.bind_port));
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -409,7 +434,7 @@ std::shared_ptr<Connection> TcpTransport::Connect(FrameHandler on_reply) {
     if (!remote_endpoint_.empty()) {
       ep = ParseEndpoint(remote_endpoint_);
     } else if (listen_fd_ >= 0) {
-      ep = Endpoint{"127.0.0.1", port_};  // single-process self-dial
+      ep = Endpoint{AdvertisedHostLocked(), port_};  // self-dial
     } else {
       throw TransportError("tcp: Connect before Bind and without endpoint");
     }
@@ -424,13 +449,27 @@ std::shared_ptr<Connection> TcpTransport::Connect(FrameHandler on_reply) {
 std::string TcpTransport::endpoint() const {
   std::scoped_lock lock(mu_);
   if (!remote_endpoint_.empty()) return remote_endpoint_;
-  return "127.0.0.1:" + std::to_string(port_);
+  return AdvertisedHostLocked() + ":" + std::to_string(port_);
+}
+
+std::string TcpTransport::AdvertisedHostLocked() const {
+  if (!options_.advertise_address.empty()) return options_.advertise_address;
+  // A wildcard bind is not dialable; fall back to loopback, which matches
+  // the historical single-host behavior.
+  if (options_.bind_address == "0.0.0.0") return "127.0.0.1";
+  return options_.bind_address;
 }
 
 void TcpTransport::SetConnectPreamble(Frame preamble) {
   std::scoped_lock lock(mu_);
   preamble_ = std::move(preamble);
   has_preamble_ = true;
+}
+
+void TcpTransport::SetReconnectReplay(
+    std::function<std::vector<Frame>()> replay) {
+  std::scoped_lock lock(mu_);
+  reconnect_replay_ = std::move(replay);
 }
 
 void TcpTransport::Shutdown() {

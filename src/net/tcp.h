@@ -40,6 +40,13 @@ class TcpTransport final : public Transport {
     int connect_attempts = 20;       // dial retries (server may lag behind)
     double connect_backoff_ms = 25;  // linear backoff between dial attempts
     int send_attempts = 4;           // transmissions per frame before giving up
+    // Server-mode addressing.  Defaults preserve the historical localhost
+    // behavior; cluster mode binds "0.0.0.0" and advertises a reachable
+    // address.  advertise_address feeds endpoint() (and the single-process
+    // self-dial); empty means the bind address, or loopback when bound any.
+    std::string bind_address = "127.0.0.1";
+    int bind_port = 0;  // 0 = ephemeral
+    std::string advertise_address;
   };
 
   explicit TcpTransport(MetricRegistry* metrics);
@@ -60,9 +67,17 @@ class TcpTransport final : public Transport {
   // Frame resent first on every client reconnect (the Hello re-introduction).
   void SetConnectPreamble(Frame preamble) override;
 
+  // Frames resent after the preamble on every client reconnect (the
+  // shuffle client's delivered-but-unacked window).
+  void SetReconnectReplay(std::function<std::vector<Frame>()> replay) override;
+
  private:
   friend class TcpServerConnection;
   friend class TcpClientConnection;
+
+  // Requires mu_.  The host part of endpoint(): advertise_address when
+  // set, else the bind address (loopback when bound to the wildcard).
+  [[nodiscard]] std::string AdvertisedHostLocked() const;
 
   MetricRegistry* metrics_;
   Options options_;
@@ -86,6 +101,7 @@ class TcpTransport final : public Transport {
   std::vector<std::shared_ptr<TcpClientConnection>> client_connections_;
   Frame preamble_;
   bool has_preamble_ = false;
+  std::function<std::vector<Frame>()> reconnect_replay_;
 };
 
 }  // namespace opmr::net

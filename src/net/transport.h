@@ -25,6 +25,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/frame.h"
 
@@ -74,6 +75,14 @@ class Transport {
   // re-established after a drop (the Hello re-introduction).  Transports
   // without reconnection (loopback) ignore it.
   virtual void SetConnectPreamble(Frame preamble) { (void)preamble; }
+
+  // Callback invoked right after the preamble on every client reconnect;
+  // the frames it returns are resent in order before the frame that
+  // triggered the reconnect.  This is the ack-window replay seam: the
+  // shuffle client returns its delivered-but-unacked frames so a peer
+  // crash loses nothing.  Transports without reconnection ignore it.
+  virtual void SetReconnectReplay(
+      std::function<std::vector<Frame>()> replay) { (void)replay; }
 };
 
 // --- Fault-injection seam ----------------------------------------------------
@@ -88,6 +97,36 @@ class NetFaultHook {
  public:
   virtual ~NetFaultHook() = default;
   virtual bool OnFrameSend(std::uint64_t frame_seq, int attempt) = 0;
+
+  // Consulted by CoordClient before each heartbeat send.  `ordinal` is the
+  // 1-based heartbeat number within the worker's current registration
+  // `generation`.  Returning true suppresses the heartbeat (the lease is
+  // silently not renewed), which is how heartbeat_loss faults starve the
+  // failure detector.
+  virtual bool OnHeartbeatSend(const std::string& worker,
+                               std::uint64_t ordinal, int generation) {
+    (void)worker; (void)ordinal; (void)generation;
+    return false;
+  }
+
+  // Consulted by CoordClient before each Register send (`attempt` is
+  // 1-based).  Returning true drops the registration — a simulated
+  // network partition between worker and coordinator.
+  virtual bool OnRegisterSend(const std::string& worker, int attempt) {
+    (void)worker; (void)attempt;
+    return false;
+  }
+
+  // Consulted by the shuffle server before APPLYING a received sequenced
+  // frame (`receive_attempt` is the 1-based count of times this worker's
+  // frame `seq` has been received).  Returning true discards the frame
+  // after delivery and kills the connection — the peer_crash fault: the
+  // bytes reached the reducer host but died unapplied, so only an
+  // ack-window replay can recover them.
+  virtual bool OnServerFrameApply(std::uint64_t seq, int receive_attempt) {
+    (void)seq; (void)receive_attempt;
+    return false;
+  }
 };
 
 // Installs (or, with nullptr, removes) the process-global hook.  The

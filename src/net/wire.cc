@@ -57,6 +57,8 @@ Frame HelloMsg::ToFrame() const {
   AppendBytes(&frame.payload, job);
   AppendU32(frame.payload, static_cast<std::uint32_t>(num_map_tasks));
   AppendU32(frame.payload, static_cast<std::uint32_t>(num_reducers));
+  AppendBytes(&frame.payload, worker);
+  AppendBytes(&frame.payload, auth);
   return frame;
 }
 
@@ -68,6 +70,8 @@ HelloMsg HelloMsg::Parse(const Frame& frame) {
   msg.job = in.Bytes();
   msg.num_map_tasks = in.I32();
   msg.num_reducers = in.I32();
+  msg.worker = in.Bytes();
+  msg.auth = in.Bytes();
   in.ExpectExhausted("hello");
   return msg;
 }
@@ -76,11 +80,12 @@ HelloMsg HelloMsg::Parse(const Frame& frame) {
 
 Frame ChunkMsg::ToFrame() const {
   Frame frame{FrameType::kChunk, {}};
-  frame.payload.reserve(21 + bytes.size());
+  frame.payload.reserve(29 + bytes.size());
   AppendU32(frame.payload, static_cast<std::uint32_t>(map_task));
   AppendU32(frame.payload, static_cast<std::uint32_t>(reducer));
   frame.payload.push_back(sorted ? 1 : 0);
   AppendU64(frame.payload, records);
+  AppendU64(frame.payload, seq);
   AppendBytes(&frame.payload, bytes);
   return frame;
 }
@@ -93,6 +98,7 @@ ChunkMsg ChunkMsg::Parse(const Frame& frame) {
   msg.reducer = in.I32();
   msg.sorted = in.U8() != 0;
   msg.records = in.U64();
+  msg.seq = in.U64();
   msg.bytes = in.Bytes();
   in.ExpectExhausted("chunk");
   return msg;
@@ -108,6 +114,7 @@ Frame SegmentRefMsg::ToFrame() const {
   AppendU64(frame.payload, records);
   AppendU64(frame.payload, offset);
   AppendU64(frame.payload, length);
+  AppendU64(frame.payload, seq);
   AppendBytes(&frame.payload, path);
   return frame;
 }
@@ -122,6 +129,7 @@ SegmentRefMsg SegmentRefMsg::Parse(const Frame& frame) {
   msg.records = in.U64();
   msg.offset = in.U64();
   msg.length = in.U64();
+  msg.seq = in.U64();
   msg.path = in.Bytes();
   in.ExpectExhausted("segment_ref");
   return msg;
@@ -131,11 +139,12 @@ SegmentRefMsg SegmentRefMsg::Parse(const Frame& frame) {
 
 Frame SegmentDataMsg::ToFrame() const {
   Frame frame{FrameType::kSegmentData, {}};
-  frame.payload.reserve(21 + bytes.size());
+  frame.payload.reserve(29 + bytes.size());
   AppendU32(frame.payload, static_cast<std::uint32_t>(map_task));
   AppendU32(frame.payload, static_cast<std::uint32_t>(reducer));
   frame.payload.push_back(sorted ? 1 : 0);
   AppendU64(frame.payload, records);
+  AppendU64(frame.payload, seq);
   AppendBytes(&frame.payload, bytes);
   return frame;
 }
@@ -148,6 +157,7 @@ SegmentDataMsg SegmentDataMsg::Parse(const Frame& frame) {
   msg.reducer = in.I32();
   msg.sorted = in.U8() != 0;
   msg.records = in.U64();
+  msg.seq = in.U64();
   msg.bytes = in.Bytes();
   in.ExpectExhausted("segment_data");
   return msg;
@@ -160,6 +170,7 @@ Frame MapDoneMsg::ToFrame() const {
   AppendU32(frame.payload, static_cast<std::uint32_t>(map_task));
   AppendU64(frame.payload, input_records);
   AppendU64(frame.payload, output_records);
+  AppendU64(frame.payload, seq);
   return frame;
 }
 
@@ -170,6 +181,7 @@ MapDoneMsg MapDoneMsg::Parse(const Frame& frame) {
   msg.map_task = in.I32();
   msg.input_records = in.U64();
   msg.output_records = in.U64();
+  msg.seq = in.U64();
   in.ExpectExhausted("map_done");
   return msg;
 }
@@ -236,6 +248,8 @@ Frame ByeMsg::ToFrame() const {
   AppendU64(frame.payload, retransmits);
   AppendU64(frame.payload, reconnects);
   AppendU64(frame.payload, stall_nanos);
+  AppendU64(frame.payload, ack_replays);
+  AppendU64(frame.payload, ack_replayed_frames);
   return frame;
 }
 
@@ -248,7 +262,115 @@ ByeMsg ByeMsg::Parse(const Frame& frame) {
   msg.retransmits = in.U64();
   msg.reconnects = in.U64();
   msg.stall_nanos = in.U64();
+  msg.ack_replays = in.U64();
+  msg.ack_replayed_frames = in.U64();
   in.ExpectExhausted("bye");
+  return msg;
+}
+
+// --- Ack ---------------------------------------------------------------------
+
+Frame AckMsg::ToFrame() const {
+  Frame frame{FrameType::kAck, {}};
+  AppendU64(frame.payload, upto);
+  return frame;
+}
+
+AckMsg AckMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kAck);
+  WireReader in(frame.payload);
+  AckMsg msg;
+  msg.upto = in.U64();
+  in.ExpectExhausted("ack");
+  return msg;
+}
+
+// --- Register ----------------------------------------------------------------
+
+Frame RegisterMsg::ToFrame() const {
+  Frame frame{FrameType::kRegister, {}};
+  AppendBytes(&frame.payload, worker);
+  AppendBytes(&frame.payload, endpoint);
+  frame.payload.push_back(static_cast<char>(role));
+  AppendBytes(&frame.payload, auth);
+  return frame;
+}
+
+RegisterMsg RegisterMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kRegister);
+  WireReader in(frame.payload);
+  RegisterMsg msg;
+  msg.worker = in.Bytes();
+  msg.endpoint = in.Bytes();
+  const std::uint8_t role = in.U8();
+  if (role > static_cast<std::uint8_t>(WireRole::kReduce)) {
+    throw WireError("wire: unknown worker role " + std::to_string(role));
+  }
+  msg.role = static_cast<WireRole>(role);
+  msg.auth = in.Bytes();
+  in.ExpectExhausted("register");
+  return msg;
+}
+
+// --- Heartbeat ---------------------------------------------------------------
+
+Frame HeartbeatMsg::ToFrame() const {
+  Frame frame{FrameType::kHeartbeat, {}};
+  AppendBytes(&frame.payload, worker);
+  AppendU64(frame.payload, generation);
+  AppendU64(frame.payload, seq);
+  return frame;
+}
+
+HeartbeatMsg HeartbeatMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kHeartbeat);
+  WireReader in(frame.payload);
+  HeartbeatMsg msg;
+  msg.worker = in.Bytes();
+  msg.generation = in.U64();
+  msg.seq = in.U64();
+  in.ExpectExhausted("heartbeat");
+  return msg;
+}
+
+// --- Membership --------------------------------------------------------------
+
+Frame MembershipMsg::ToFrame() const {
+  Frame frame{FrameType::kMembership, {}};
+  AppendU64(frame.payload, epoch);
+  AppendU32(frame.payload, static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    AppendBytes(&frame.payload, e.worker);
+    AppendBytes(&frame.payload, e.endpoint);
+    frame.payload.push_back(static_cast<char>(e.role));
+    AppendU64(frame.payload, e.generation);
+    frame.payload.push_back(e.alive ? 1 : 0);
+  }
+  return frame;
+}
+
+MembershipMsg MembershipMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kMembership);
+  WireReader in(frame.payload);
+  MembershipMsg msg;
+  msg.epoch = in.U64();
+  // No reserve(n): a corrupt count would pre-allocate gigabytes; the
+  // bounds-checked reads below cap real work at the payload size.
+  const std::uint32_t n = in.U32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Entry e;
+    e.worker = in.Bytes();
+    e.endpoint = in.Bytes();
+    const std::uint8_t role = in.U8();
+    if (role > static_cast<std::uint8_t>(WireRole::kReduce)) {
+      throw WireError("wire: unknown worker role " + std::to_string(role));
+    }
+    e.role = static_cast<WireRole>(role);
+    e.generation = in.U64();
+    e.alive = in.U8() != 0;
+    msg.entries.push_back(std::move(e));
+  }
+  in.ExpectExhausted("membership");
   return msg;
 }
 

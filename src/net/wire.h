@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/frame.h"
 
@@ -53,23 +54,43 @@ class WireReader {
   std::size_t pos_ = 0;
 };
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+// Worker roles carried on the wire (Register / Membership).  Kept apart
+// from the engine's WorkerRole so src/net stays dependency-free.
+enum class WireRole : std::uint8_t {
+  kMap = 0,
+  kReduce = 1,
+};
 
 struct HelloMsg {
   std::uint32_t version = kProtocolVersion;
   std::string job;
   std::int32_t num_map_tasks = 0;
   std::int32_t num_reducers = 0;
+  // Cluster-mode identity: which registered worker this connection belongs
+  // to (empty for the single-client local modes) and the shared secret the
+  // serving side authenticates against (empty = no auth configured).
+  std::string worker;
+  std::string auth;
 
   [[nodiscard]] Frame ToFrame() const;
   static HelloMsg Parse(const Frame& frame);
 };
 
+// Every data frame (Chunk / SegmentRef / SegmentData / MapDone) carries a
+// per-sender sequence number `seq`, 1-based and monotonic across
+// reconnects.  The receiver applies frames idempotently (a seq at or below
+// its cumulative applied watermark is skipped) and acknowledges with Ack
+// frames, so a sender can replay its delivered-but-unacked window after a
+// peer crash without ever duplicating applied data.  seq == 0 marks an
+// unsequenced frame (applied unconditionally, never acked).
 struct ChunkMsg {
   std::int32_t map_task = -1;
   std::int32_t reducer = -1;
   bool sorted = false;
   std::uint64_t records = 0;
+  std::uint64_t seq = 0;
   std::string bytes;
 
   [[nodiscard]] Frame ToFrame() const;
@@ -85,6 +106,7 @@ struct SegmentRefMsg {
   std::uint64_t records = 0;
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
+  std::uint64_t seq = 0;
   std::string path;
 
   [[nodiscard]] Frame ToFrame() const;
@@ -98,6 +120,7 @@ struct SegmentDataMsg {
   std::int32_t reducer = -1;
   bool sorted = false;
   std::uint64_t records = 0;
+  std::uint64_t seq = 0;
   std::string bytes;
 
   [[nodiscard]] Frame ToFrame() const;
@@ -108,6 +131,7 @@ struct MapDoneMsg {
   std::int32_t map_task = -1;
   std::uint64_t input_records = 0;
   std::uint64_t output_records = 0;
+  std::uint64_t seq = 0;
 
   [[nodiscard]] Frame ToFrame() const;
   static MapDoneMsg Parse(const Frame& frame);
@@ -119,6 +143,16 @@ struct CreditMsg {
 
   [[nodiscard]] Frame ToFrame() const;
   static CreditMsg Parse(const Frame& frame);
+};
+
+// Cumulative receipt acknowledgement: every sequenced data frame with
+// seq <= `upto` has been applied by the receiver, so the sender may prune
+// its replay window up to that point.
+struct AckMsg {
+  std::uint64_t upto = 0;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static AckMsg Parse(const Frame& frame);
 };
 
 struct GoneMsg {
@@ -144,9 +178,59 @@ struct ByeMsg {
   std::uint64_t retransmits = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t stall_nanos = 0;
+  std::uint64_t ack_replays = 0;          // ack-window replay events
+  std::uint64_t ack_replayed_frames = 0;  // frames resent by those replays
 
   [[nodiscard]] Frame ToFrame() const;
   static ByeMsg Parse(const Frame& frame);
+};
+
+// --- Coordination-plane messages (src/coord) ---------------------------------
+
+// Worker → coordinator: join (or rejoin) the worker-group registry.  The
+// coordinator authenticates `auth` against its shared secret, assigns a
+// fresh generation, and answers — to everyone registered — with a
+// Membership broadcast.
+struct RegisterMsg {
+  std::string worker;    // stable worker id (unique per process)
+  std::string endpoint;  // advertised host:port the worker serves on
+  WireRole role = WireRole::kMap;
+  std::string auth;      // shared secret (empty = no auth configured)
+
+  [[nodiscard]] Frame ToFrame() const;
+  static RegisterMsg Parse(const Frame& frame);
+};
+
+// Worker → coordinator: lease renewal.  `generation` must match the
+// registry's current generation for the worker (a stale generation means
+// the worker was evicted and re-registered elsewhere); `seq` is the
+// 1-based heartbeat ordinal within the generation.
+struct HeartbeatMsg {
+  std::string worker;
+  std::uint64_t generation = 0;
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static HeartbeatMsg Parse(const Frame& frame);
+};
+
+// Coordinator → workers: the registry view.  Broadcast on every change
+// (register, re-register, lease expiry).  `epoch` increments with each
+// change, so receivers can ignore stale views.
+struct MembershipMsg {
+  struct Entry {
+    std::string worker;
+    std::string endpoint;
+    WireRole role = WireRole::kMap;
+    std::uint64_t generation = 0;
+    bool alive = true;
+  };
+
+  std::uint64_t epoch = 0;
+  std::vector<Entry> entries;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static MembershipMsg Parse(const Frame& frame);
 };
 
 }  // namespace opmr::net

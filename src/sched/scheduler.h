@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "coord/registry.h"
 #include "dfs/dfs.h"
 #include "engine/cluster.h"
 #include "engine/job.h"
@@ -61,6 +62,13 @@ struct SchedulerOptions {
   // shared Dfs was built with).
   int num_nodes = 4;
   int map_slots_per_node = 2;
+  // Registry-driven placement gate (src/coord; not owned, must outlive
+  // the scheduler): when set, the queue head is dispatched only while the
+  // registry holds at least one live map worker AND one live reduce
+  // worker.  A membership gap holds jobs in the queue — counted in
+  // SchedulerStats::placement_deferrals — instead of letting them fail at
+  // shuffle-connect time.
+  coord::WorkerRegistry* registry = nullptr;
 };
 
 enum class JobTransport {
@@ -102,6 +110,9 @@ struct SchedulerStats {
   int failed = 0;
   int peak_concurrent = 0;
   double makespan_s = 0.0;  // first submission -> last completion
+  // Dispatch episodes where a ready job was held back because the worker
+  // registry lacked a live map or reduce group (0 without a registry).
+  std::int64_t placement_deferrals = 0;
   SlotPool::Stats slots;
 };
 
@@ -164,6 +175,8 @@ class JobScheduler {
   std::deque<int> queued_;
   int running_ = 0;
   int peak_concurrent_ = 0;
+  std::int64_t placement_deferrals_ = 0;
+  bool head_deferred_ = false;  // current queue head already counted
   double first_submit_s_ = -1.0;
   double last_finish_s_ = 0.0;
 

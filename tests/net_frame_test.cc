@@ -105,12 +105,151 @@ TEST(NetFrame, EveryMessageTypeRoundTrips) {
   bye.retransmits = 2;
   bye.reconnects = 1;
   bye.stall_nanos = 5'000'000;
+  bye.ack_replays = 1;
+  bye.ack_replayed_frames = 4;
   const auto bye2 = ByeMsg::Parse(DecodeOne(EncodeFrame(bye.ToFrame())));
   EXPECT_EQ(bye2.frames_sent, 10u);
   EXPECT_EQ(bye2.bytes_sent, 123456u);
   EXPECT_EQ(bye2.retransmits, 2u);
   EXPECT_EQ(bye2.reconnects, 1u);
   EXPECT_EQ(bye2.stall_nanos, 5'000'000u);
+  EXPECT_EQ(bye2.ack_replays, 1u);
+  EXPECT_EQ(bye2.ack_replayed_frames, 4u);
+}
+
+TEST(NetFrame, CoordinationMessagesRoundTrip) {
+  HelloMsg hello;
+  hello.job = "cluster job";
+  hello.worker = "reduce-0";
+  hello.auth = "s3cret";
+  const auto hello2 = HelloMsg::Parse(DecodeOne(EncodeFrame(hello.ToFrame())));
+  EXPECT_EQ(hello2.worker, "reduce-0");
+  EXPECT_EQ(hello2.auth, "s3cret");
+
+  AckMsg ack;
+  ack.upto = 0xDEADBEEFCAFEull;
+  EXPECT_EQ(AckMsg::Parse(DecodeOne(EncodeFrame(ack.ToFrame()))).upto,
+            0xDEADBEEFCAFEull);
+
+  RegisterMsg reg;
+  reg.worker = "map-1";
+  reg.endpoint = "10.0.0.7:9131";
+  reg.role = WireRole::kReduce;
+  reg.auth = std::string("shared secret\0with nul", 22);
+  const auto reg2 = RegisterMsg::Parse(DecodeOne(EncodeFrame(reg.ToFrame())));
+  EXPECT_EQ(reg2.worker, reg.worker);
+  EXPECT_EQ(reg2.endpoint, reg.endpoint);
+  EXPECT_EQ(reg2.role, WireRole::kReduce);
+  EXPECT_EQ(reg2.auth, reg.auth);
+
+  HeartbeatMsg hb;
+  hb.worker = "map-1";
+  hb.generation = 3;
+  hb.seq = 99;
+  const auto hb2 = HeartbeatMsg::Parse(DecodeOne(EncodeFrame(hb.ToFrame())));
+  EXPECT_EQ(hb2.worker, "map-1");
+  EXPECT_EQ(hb2.generation, 3u);
+  EXPECT_EQ(hb2.seq, 99u);
+
+  MembershipMsg view;
+  view.epoch = 12;
+  view.entries.push_back({"map-0", "-", WireRole::kMap, 1, true});
+  view.entries.push_back({"map-1", "-", WireRole::kMap, 4, false});
+  view.entries.push_back({"reduce-0", "127.0.0.1:40001", WireRole::kReduce,
+                          2, true});
+  const auto view2 =
+      MembershipMsg::Parse(DecodeOne(EncodeFrame(view.ToFrame())));
+  EXPECT_EQ(view2.epoch, 12u);
+  ASSERT_EQ(view2.entries.size(), 3u);
+  EXPECT_EQ(view2.entries[1].worker, "map-1");
+  EXPECT_EQ(view2.entries[1].generation, 4u);
+  EXPECT_FALSE(view2.entries[1].alive);
+  EXPECT_EQ(view2.entries[2].endpoint, "127.0.0.1:40001");
+  EXPECT_EQ(view2.entries[2].role, WireRole::kReduce);
+}
+
+TEST(NetFrame, CoordinationFrameEveryTruncationIsNeedMore) {
+  MembershipMsg view;
+  view.epoch = 7;
+  view.entries.push_back({"map-0", "host-a:1", WireRole::kMap, 1, true});
+  view.entries.push_back({"reduce-0", "host-b:2", WireRole::kReduce, 2, true});
+  const std::string wire = EncodeFrame(view.ToFrame());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), cut);
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kNeedMore)
+        << "truncated to " << cut << " bytes";
+    EXPECT_FALSE(decoder.poisoned());
+  }
+}
+
+TEST(NetFrame, CoordinationFrameEverySingleBitFlipIsDetected) {
+  // Same integrity property as the data-plane frames, over each of the new
+  // coordination frame types: no single-bit flip may decode as kOk.
+  std::vector<std::string> wires;
+  RegisterMsg reg;
+  reg.worker = "map-0";
+  reg.endpoint = "10.1.2.3:4567";
+  reg.auth = "secret";
+  wires.push_back(EncodeFrame(reg.ToFrame()));
+  HeartbeatMsg hb;
+  hb.worker = "map-0";
+  hb.generation = 2;
+  hb.seq = 17;
+  wires.push_back(EncodeFrame(hb.ToFrame()));
+  MembershipMsg view;
+  view.epoch = 3;
+  view.entries.push_back({"map-0", "10.1.2.3:4567", WireRole::kMap, 2, true});
+  wires.push_back(EncodeFrame(view.ToFrame()));
+  AckMsg ack;
+  ack.upto = 41;
+  wires.push_back(EncodeFrame(ack.ToFrame()));
+
+  for (const std::string& wire : wires) {
+    for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupt = wire;
+        corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+        FrameDecoder decoder;
+        decoder.Feed(corrupt.data(), corrupt.size());
+        Frame frame;
+        EXPECT_NE(decoder.Next(&frame), DecodeStatus::kOk)
+            << "flip of bit " << bit << " in byte " << byte
+            << " decoded as a valid frame";
+      }
+    }
+  }
+}
+
+TEST(NetFrame, CoordinationPayloadSemanticCorruptionIsWireError) {
+  // CRC-clean but semantically damaged payloads: truncated body, trailing
+  // junk, and a Membership entry count pointing past the payload (the
+  // classic length-field lie — must error, not preallocate or overread).
+  RegisterMsg reg;
+  reg.worker = "map-0";
+  reg.endpoint = "h:1";
+  Frame frame = reg.ToFrame();
+  frame.payload.resize(frame.payload.size() / 2);
+  EXPECT_THROW((void)RegisterMsg::Parse(DecodeOne(EncodeFrame(frame))),
+               WireError);
+
+  MembershipMsg view;
+  view.entries.push_back({"w", "e:1", WireRole::kMap, 1, true});
+  Frame padded = view.ToFrame();
+  padded.payload += "junk";
+  EXPECT_THROW((void)MembershipMsg::Parse(DecodeOne(EncodeFrame(padded))),
+               WireError);
+
+  Frame lying = MembershipMsg{}.ToFrame();
+  // epoch(u64) then count(u32): claim 2^31 entries with an empty body.
+  ASSERT_GE(lying.payload.size(), 12u);
+  lying.payload[8] = '\x00';
+  lying.payload[9] = '\x00';
+  lying.payload[10] = '\x00';
+  lying.payload[11] = '\x40';
+  EXPECT_THROW((void)MembershipMsg::Parse(DecodeOne(EncodeFrame(lying))),
+               WireError);
 }
 
 TEST(NetFrame, ByteAtATimeFeedReassembles) {

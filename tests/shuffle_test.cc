@@ -210,7 +210,7 @@ TEST_F(ShuffleTest, ChunkConsumedProbeFiresOncePerChunk) {
   ShuffleService service(1, 1, &metrics_, 4);
   service.EnableCheckpointReplay(files_.NewDir("retain"), 1 << 20);
   int credits = 0;
-  service.SetChunkConsumedProbe([&](int) { ++credits; });
+  service.SetChunkConsumedProbe([&](int, int) { ++credits; });
 
   ShuffleItem chunk;
   chunk.bytes = "pushed";

@@ -2,6 +2,7 @@
 //
 //   opmr_cli run workload=<w> runtime=<r> [records=N] [reducers=R]
 //                [nodes=N] [combine=0|1] [compress=0|1] [reduce_buffer=BYTES]
+//                [dump-output=PATH]
 //                [--max-attempts=N] [--speculate] [--fault-plan=<file|spec>]
 //                [--checkpoint-interval=N] [--checkpoint-dir=PATH]
 //                [--checkpoint-retain=K] [--checkpoint-compress]
@@ -42,6 +43,32 @@
 //       TeraSort demo: random records, sampled range boundaries, globally
 //       sorted output; verifies and reports the order.
 //
+//   opmr_cli coordinator listen=<host:port> [secret=S] [map-workers=N]
+//                  [reduce-workers=N] [lease-ms=MS] [grace-ms=MS] [wait=SECONDS]
+//       Cluster mode, membership endpoint: binds <host:port>, serves
+//       Register/Heartbeat frames from joining workers (authenticated
+//       against `secret` when set), broadcasts the Membership view, and
+//       runs the two-stage lease failure detector (suspect after
+//       lease-ms of silence, LOST after grace-ms more).  Waits for the
+//       expected worker counts, prints the roster and every
+//       suspect/returned/lost transition, and exits once all workers
+//       have departed.
+//
+//   opmr_cli worker join=<host:port> id=<worker> role=map|reduce [secret=S]
+//                  [index=I] [count=N] [shared-fs=0|1] [bind=ADDR]
+//                  [advertise=ADDR] [dump-output=PATH] <workload flags>
+//       Cluster mode, one worker process: joins the coordinator's group,
+//       then runs its half of the job.  A reduce worker binds a shuffle
+//       server socket and advertises it through the registry; map workers
+//       discover it from the Membership view and run input blocks
+//       i % count == index (a disjoint partition per sibling).  Segment
+//       bytes ship inline by default (shared-fs=1 restores path
+//       descriptors for same-host workers).  Map-side delivery is
+//       exactly-once via per-chunk sequence acks: a reducer-side crash
+//       replays only the delivered-but-unacked window (see the ack
+//       replay rows in the report).  dump-output writes the reduce
+//       side's sorted output for byte-identity checks.
+//
 //   opmr_cli serve spool=<dir|-> [map-slots=N] [reduce-slots=N]
 //                  [policy=fifo|fair|srw] [memory-budget=BYTES]
 //                  [max-concurrent=N] [nodes=N]
@@ -59,17 +86,22 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/format.h"
+#include "coord/coordinator.h"
+#include "coord/member.h"
 #include "core/opmr.h"
 #include "metrics/timeseries.h"
 #include "net/loopback.h"
@@ -220,6 +252,13 @@ void PrintJobReport(const JobResult& r) {
     table.AddRow({"net retransmits", std::to_string(r.net_retransmits)});
     table.AddRow({"net reconnects", std::to_string(r.net_reconnects)});
     table.AddRow({"net stall time", HumanSeconds(r.net_stall_seconds)});
+    if (r.shuffle_ack_replays > 0 || r.shuffle_dup_frames > 0) {
+      table.AddRow({"ack replays (frames)",
+                    std::to_string(r.shuffle_ack_replays) + " (" +
+                        std::to_string(r.shuffle_ack_replayed_frames) + ")"});
+      table.AddRow(
+          {"dup frames absorbed", std::to_string(r.shuffle_dup_frames)});
+    }
   }
   std::printf("%s", table.ToString().c_str());
   std::printf("\nper-phase CPU seconds:\n");
@@ -389,6 +428,17 @@ int CmdRun(const Config& cfg) {
                                 " (expected loopback, tcp, or direct)");
   }
   PrintJobReport(result);
+  const auto dump = cfg.GetString("dump-output", "");
+  if (!dump.empty()) {
+    auto rows = platform.ReadOutput("output", reducers);
+    std::sort(rows.begin(), rows.end());
+    std::ofstream out(dump, std::ios::trunc);
+    for (const auto& [key, value] : rows) {
+      out << key << '\t' << value << '\n';
+    }
+    std::printf("wrote %zu sorted output rows to %s\n", rows.size(),
+                dump.c_str());
+  }
   return 0;
 }
 
@@ -652,12 +702,262 @@ int CmdSort(const Config& cfg) {
   return ordered && rows == records ? 0 : 1;
 }
 
+// Splits "host:port" at the last colon; throws on malformed input.
+std::pair<std::string, int> SplitHostPort(const std::string& endpoint,
+                                          const std::string& flag) {
+  const auto colon = endpoint.rfind(':');
+  if (endpoint.empty() || colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    throw std::invalid_argument(flag + ": expected <host:port>, got '" +
+                                endpoint + "'");
+  }
+  int port = 0;
+  try {
+    std::size_t consumed = 0;
+    port = std::stoi(endpoint.substr(colon + 1), &consumed);
+    if (consumed != endpoint.size() - colon - 1 || port < 0 || port > 65535) {
+      throw std::invalid_argument("bad port");
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + ": '" + endpoint.substr(colon + 1) +
+                                "' is not a port number");
+  }
+  return {endpoint.substr(0, colon), port};
+}
+
+int CmdCoordinator(const Config& cfg) {
+  const auto [host, port] =
+      SplitHostPort(cfg.GetString("listen", ""), "listen");
+  const int want_maps =
+      static_cast<int>(GetCheckedInt(cfg, "map-workers", 1, /*min_value=*/0));
+  const int want_reduces = static_cast<int>(
+      GetCheckedInt(cfg, "reduce-workers", 1, /*min_value=*/0));
+  const double lease_s =
+      static_cast<double>(GetCheckedInt(cfg, "lease-ms", 2000, 1)) / 1e3;
+  const double grace_s =
+      static_cast<double>(GetCheckedInt(cfg, "grace-ms", 2000, 1)) / 1e3;
+  const double wait_s =
+      static_cast<double>(GetCheckedInt(cfg, "wait", 120, /*min_value=*/1));
+
+  MetricRegistry metrics;
+  net::TcpTransport::Options topts;
+  topts.bind_address = host;
+  topts.bind_port = port;
+  net::TcpTransport transport(&metrics, topts);
+  transport.Bind();
+
+  coord::Coordinator::Options copts;
+  copts.secret = cfg.GetString("secret", "");
+  copts.lease_s = lease_s;
+  copts.rejoin_grace_s = grace_s;
+  copts.on_worker_lost = [](const std::string& id) {
+    std::printf("coordinator: worker '%s' LOST (lease + rejoin grace "
+                "expired)\n", id.c_str());
+    std::fflush(stdout);
+  };
+  copts.on_worker_returned = [](const std::string& id) {
+    std::printf("coordinator: worker '%s' returned (re-registered while "
+                "suspect)\n", id.c_str());
+    std::fflush(stdout);
+  };
+  coord::Coordinator coordinator(&transport, &metrics, copts);
+  std::printf("coordinator: listening on %s (lease %.1fs, rejoin grace "
+              "%.1fs, auth %s)\n",
+              transport.endpoint().c_str(), lease_s, grace_s,
+              copts.secret.empty() ? "off" : "on");
+  std::fflush(stdout);
+
+  if (!coordinator.WaitForWorkers(net::WireRole::kMap,
+                                  static_cast<std::size_t>(want_maps),
+                                  wait_s) ||
+      !coordinator.WaitForWorkers(net::WireRole::kReduce,
+                                  static_cast<std::size_t>(want_reduces),
+                                  wait_s)) {
+    std::fprintf(stderr,
+                 "coordinator: timed out after %.0fs waiting for %d map + "
+                 "%d reduce workers\n", wait_s, want_maps, want_reduces);
+    return 1;
+  }
+  const auto roster = coordinator.registry().Snapshot();
+  std::printf("coordinator: group complete (epoch %llu):\n",
+              static_cast<unsigned long long>(roster.epoch));
+  for (const auto& e : roster.entries) {
+    std::printf("  %-12s %-6s gen %llu  %s\n", e.worker.c_str(),
+                e.role == net::WireRole::kMap ? "map" : "reduce",
+                static_cast<unsigned long long>(e.generation),
+                e.endpoint.c_str());
+  }
+  std::fflush(stdout);
+
+  // Serve membership until every worker has stopped heartbeating and aged
+  // out of the registry (normal completion), bounded by the same wait.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(wait_s);
+  while (coordinator.registry().LiveCount(net::WireRole::kMap) > 0 ||
+         coordinator.registry().LiveCount(net::WireRole::kReduce) > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "coordinator: %zu worker(s) still registered "
+                   "after %.0fs; giving up\n",
+                   coordinator.registry().LiveCount(net::WireRole::kMap) +
+                       coordinator.registry().LiveCount(net::WireRole::kReduce),
+                   wait_s);
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  coordinator.Stop();
+  transport.Shutdown();
+  std::printf("coordinator: all workers departed | %lld registers, %lld "
+              "heartbeats, %lld lease expirations, %lld lost, %lld "
+              "returned, %lld auth failures\n",
+              static_cast<long long>(metrics.Value("coord.registers")),
+              static_cast<long long>(metrics.Value("coord.heartbeats")),
+              static_cast<long long>(metrics.Value("coord.expirations")),
+              static_cast<long long>(metrics.Value("coord.workers_lost")),
+              static_cast<long long>(metrics.Value("coord.workers_returned")),
+              static_cast<long long>(metrics.Value("coord.auth_failures")));
+  return 0;
+}
+
+int CmdWorker(const Config& cfg) {
+  const auto join = cfg.GetString("join", "");
+  if (join.empty()) {
+    throw std::invalid_argument("worker: join=<host:port> is required");
+  }
+  (void)SplitHostPort(join, "join");  // validate shape early
+  const auto id = cfg.GetString("id", "");
+  if (id.empty()) throw std::invalid_argument("worker: id=<name> is required");
+  const auto role = cfg.GetString("role", "");
+  const bool is_reduce = role == "reduce";
+  if (!is_reduce && role != "map") {
+    throw std::invalid_argument("worker: role=map|reduce is required");
+  }
+  const auto secret = cfg.GetString("secret", "");
+  const int index =
+      static_cast<int>(GetCheckedInt(cfg, "index", 0, /*min_value=*/0));
+  const int count =
+      static_cast<int>(GetCheckedInt(cfg, "count", 1, /*min_value=*/1));
+  const double join_timeout = static_cast<double>(
+      GetCheckedInt(cfg, "join-timeout", 30, /*min_value=*/1));
+  const double shuffle_timeout = static_cast<double>(
+      GetCheckedInt(cfg, "shuffle-timeout", 30, /*min_value=*/1));
+  const bool shared_fs = cfg.GetBool("shared-fs", false);
+
+  const auto workload = cfg.GetString("workload", "per_user_count");
+  const auto runtime = cfg.GetString("runtime", "hash");
+  const auto records = static_cast<std::uint64_t>(
+      GetCheckedInt(cfg, "records", 1'000'000, /*min_value=*/1));
+  const int reducers =
+      static_cast<int>(GetCheckedInt(cfg, "reducers", 4, /*min_value=*/1));
+
+  PlatformOptions popts;
+  popts.num_nodes =
+      static_cast<int>(GetCheckedInt(cfg, "nodes", 4, /*min_value=*/1));
+  popts.fault_plan = cfg.GetString("fault-plan", "");
+  Platform platform(popts);
+  if (platform.fault_injector() != nullptr) {
+    std::printf("worker '%s': fault plan: %s\n", id.c_str(),
+                platform.fault_injector()->plan().ToString().c_str());
+    // Run() scopes the net fault hook to the job; install it here too so
+    // coordination traffic (Register/Heartbeat) outside Run() is gated.
+    net::SetNetFaultHook(platform.fault_injector());
+  }
+
+  // Every worker generates the full dataset deterministically, so DFS
+  // block metadata (ids, order) agrees across the group without a shared
+  // filesystem; map workers then run only their partition of the blocks.
+  const auto spec = PrepareWorkload(platform, workload, records, reducers);
+  JobOptions options = RuntimeByName(runtime);
+  options.map_side_combine = cfg.GetBool("combine", true);
+
+  int rc = 0;
+  if (is_reduce) {
+    net::TcpTransport::Options sopts;
+    sopts.bind_address = cfg.GetString("bind", "127.0.0.1");
+    sopts.advertise_address = cfg.GetString("advertise", "");
+    net::TcpTransport shuffle_server(&platform.metrics(), sopts);
+    shuffle_server.Bind();
+
+    coord::CoordClient::Options mopts;
+    mopts.coordinator = join;
+    mopts.worker_id = id;
+    mopts.endpoint = shuffle_server.endpoint();
+    mopts.role = net::WireRole::kReduce;
+    mopts.secret = secret;
+    coord::CoordClient member(&platform.metrics(), mopts);
+    member.Join(join_timeout);
+    std::printf("worker '%s': joined %s as reduce group (gen %llu), "
+                "shuffle at %s\n", id.c_str(), join.c_str(),
+                static_cast<unsigned long long>(member.generation()),
+                shuffle_server.endpoint().c_str());
+    std::fflush(stdout);
+
+    platform.executor().set_cluster_identity(id, secret);
+    const auto result =
+        platform.RunReduceGroup(spec, options, &shuffle_server,
+                                shuffle_timeout);
+    PrintJobReport(result);
+    const auto dump = cfg.GetString("dump-output", "");
+    if (!dump.empty()) {
+      auto rows = platform.ReadOutput("output", reducers);
+      std::sort(rows.begin(), rows.end());
+      std::ofstream out(dump, std::ios::trunc);
+      for (const auto& [key, value] : rows) {
+        out << key << '\t' << value << '\n';
+      }
+      std::printf("worker '%s': wrote %zu sorted output rows to %s\n",
+                  id.c_str(), rows.size(), dump.c_str());
+    }
+    member.Stop();
+  } else {
+    coord::CoordClient::Options mopts;
+    mopts.coordinator = join;
+    mopts.worker_id = id;
+    mopts.endpoint = "-";  // map workers serve nothing
+    mopts.role = net::WireRole::kMap;
+    mopts.secret = secret;
+    coord::CoordClient member(&platform.metrics(), mopts);
+    member.Join(join_timeout);
+    std::vector<net::MembershipMsg::Entry> reduce_live;
+    if (!member.WaitForRole(net::WireRole::kReduce, 1, join_timeout,
+                            &reduce_live)) {
+      throw std::runtime_error(
+          "worker '" + id + "': no live reduce worker appeared in the "
+          "membership view within " + std::to_string(join_timeout) + "s");
+    }
+    const std::string shuffle_endpoint = reduce_live.front().endpoint;
+    std::printf("worker '%s': joined %s as map partition %d/%d (gen %llu) "
+                "-> shuffle at %s\n", id.c_str(), join.c_str(), index, count,
+                static_cast<unsigned long long>(member.generation()),
+                shuffle_endpoint.c_str());
+    std::fflush(stdout);
+
+    net::TcpTransport transport(&platform.metrics(), shuffle_endpoint);
+    platform.executor().set_cluster_identity(id, secret);
+    platform.executor().set_map_partition(index, count);
+    platform.executor().set_coord_client(&member);
+    try {
+      const auto result =
+          platform.RunMapGroup(spec, options, &transport, shared_fs);
+      PrintJobReport(result);
+    } catch (...) {
+      platform.executor().set_coord_client(nullptr);
+      throw;
+    }
+    platform.executor().set_coord_client(nullptr);
+    member.Stop();
+  }
+  net::SetNetFaultHook(nullptr);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: opmr_cli <run|serve|sim|topk|sort> [key=value ...]\n"
+                 "usage: opmr_cli <run|coordinator|worker|serve|sim|topk|"
+                 "sort> [key=value ...]\n"
                  "see the header of tools/opmr_cli.cc for the full flags\n");
     return 2;
   }
@@ -665,6 +965,8 @@ int main(int argc, char** argv) {
   const auto cfg = opmr::Config::FromArgs(argc - 1, argv + 1);
   try {
     if (command == "run") return CmdRun(cfg);
+    if (command == "coordinator") return CmdCoordinator(cfg);
+    if (command == "worker") return CmdWorker(cfg);
     if (command == "serve") return CmdServe(cfg);
     if (command == "sim") return CmdSim(cfg);
     if (command == "topk") return CmdTopK(cfg);
