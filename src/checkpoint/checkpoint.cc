@@ -61,7 +61,9 @@ class PayloadReader {
   std::size_t pos_ = 0;
 };
 
-std::string SerializeImage(const CheckpointImage& image) {
+}  // namespace
+
+std::string SerializeCheckpointImage(const CheckpointImage& image) {
   std::string body;
   AppendU64(body, image.watermark);
   AppendU32(body, static_cast<std::uint32_t>(image.feeds.size()));
@@ -94,7 +96,7 @@ std::string SerializeImage(const CheckpointImage& image) {
   return body;
 }
 
-CheckpointImage ParseImage(const std::string& body) {
+CheckpointImage ParseCheckpointImage(const std::string& body) {
   PayloadReader in(body);
   CheckpointImage image;
   image.watermark = in.U64();
@@ -138,8 +140,6 @@ CheckpointImage ParseImage(const std::string& body) {
   }
   return image;
 }
-
-}  // namespace
 
 std::string CheckpointJobPrefix(const std::string& job) {
   return SanitizeForFilename(job) + "_w";
@@ -223,7 +223,7 @@ bool CheckpointManager::Due() const {
 
 std::uint64_t CheckpointManager::Write(CheckpointImage* image) {
   image->seq = next_seq_;
-  std::string payload = SerializeImage(*image);
+  std::string payload = SerializeCheckpointImage(*image);
   std::uint8_t flags = 0;
   if (options_.compress) {
     payload = OzCompress(payload);
@@ -309,7 +309,7 @@ std::optional<CheckpointImage> CheckpointManager::LoadLatest() {
       if ((static_cast<std::uint8_t>(flags_byte) & kFlagCompressed) != 0) {
         payload = OzDecompress(payload);
       }
-      CheckpointImage image = ParseImage(payload);
+      CheckpointImage image = ParseCheckpointImage(payload);
       image.seq = seq;
       // Continue numbering past everything on disk so a post-recovery write
       // never collides with (or is shadowed by) an existing file.
@@ -344,9 +344,12 @@ int CheckpointManager::SweepFinishedJobs(const std::filesystem::path& dir,
   // Match "<job prefix><digits>_<digits>.ckpt" (optionally "+ .tmp" for a
   // commit interrupted mid-rename), never a mere job-name prefix collision:
   // job "a" must not sweep job "a-long"'s images because both sanitize to
-  // names starting with "a".
-  const std::string prefix = CheckpointJobPrefix(finished_job);
-  auto is_image_of_job = [&](const std::string& name) {
+  // names starting with "a".  Serve-plane snapshots live under the
+  // "<job>.serve" pseudo-job and are reclaimed by the same sweep.
+  const std::string prefixes[] = {
+      CheckpointJobPrefix(finished_job),
+      CheckpointJobPrefix(finished_job + kServeJobSuffix)};
+  auto matches_prefix = [&](const std::string& name, const std::string& prefix) {
     if (name.rfind(prefix, 0) != 0) return false;
     std::string rest = name.substr(prefix.size());
     for (const char* suffix : {".ckpt.tmp", ".ckpt"}) {
@@ -367,6 +370,12 @@ int CheckpointManager::SweepFinishedJobs(const std::filesystem::path& dir,
         return digits(rest.substr(0, underscore)) &&
                digits(rest.substr(underscore + 1));
       }
+    }
+    return false;
+  };
+  auto is_image_of_job = [&](const std::string& name) {
+    for (const std::string& prefix : prefixes) {
+      if (matches_prefix(name, prefix)) return true;
     }
     return false;
   };

@@ -41,6 +41,12 @@ namespace opmr {
 // one job; SweepFinishedJobs matches on it to garbage-collect a shared dir.
 [[nodiscard]] std::string CheckpointJobPrefix(const std::string& job);
 
+// Serve-plane snapshot images are checkpoints of the pseudo-job
+// "<job>.serve" ('.' survives filename sanitization but never appears in a
+// worker role suffix, so the namespaces cannot collide).  SweepFinishedJobs
+// covers both, so job-completion GC also reclaims published snapshots.
+inline constexpr const char* kServeJobSuffix = ".serve";
+
 // One checkpoint's logical content, independent of on-disk framing.  The
 // owner (batch reducer / streaming worker) fills it before Write and applies
 // it after LoadLatest.
@@ -77,6 +83,14 @@ struct CheckpointImage {
   };
   std::vector<TableEntry> entries;
 };
+
+// The on-disk payload codec, exported for the serve plane: a publisher
+// serializes one image for the wire exactly as CheckpointManager lays it
+// out inside a file, and a replica parses the fetched bytes back.  Both
+// are deterministic, so identical images yield identical byte strings.
+[[nodiscard]] std::string SerializeCheckpointImage(const CheckpointImage& image);
+// Throws std::runtime_error on truncated / trailing bytes.
+[[nodiscard]] CheckpointImage ParseCheckpointImage(const std::string& body);
 
 class CheckpointManager {
  public:

@@ -106,6 +106,78 @@ class AvgAggregator final : public Aggregator {
   }
 };
 
+// Session COUNT per key over [u64 timestamp] values: cuts a new session
+// whenever the inter-click gap exceeds `gap_seconds`.  The algebraic form
+// of the paper's sessionization workload — holistic per-click output needs
+// end-of-stream, but the session *count* folds incrementally, which is what
+// a live serving plane can answer mid-job.  State layout:
+// [u64 sessions][u64 first_ts][u64 last_ts].
+//
+// Update assumes timestamps arrive non-decreasing (the click-stream
+// generator's contract); a late value inside the current session is folded
+// without moving the watermark back.  Merge joins two time-disjoint
+// segments, fusing the boundary sessions when their gap is within limit.
+class SessionCountAggregator final : public Aggregator {
+ public:
+  explicit SessionCountAggregator(std::uint64_t gap_seconds)
+      : gap_(gap_seconds) {
+    if (gap_ == 0) {
+      throw std::invalid_argument("SessionCountAggregator: gap must be > 0");
+    }
+  }
+
+  void Init(Slice value, std::string* state) const override {
+    const std::uint64_t ts = DecodeValueU64(value);
+    state->resize(24);
+    EncodeU64(state->data(), 1);        // sessions
+    EncodeU64(state->data() + 8, ts);   // first_ts
+    EncodeU64(state->data() + 16, ts);  // last_ts
+  }
+
+  void Update(std::string* state, Slice value) const override {
+    const std::uint64_t ts = DecodeValueU64(value);
+    const std::uint64_t last = DecodeU64(state->data() + 16);
+    if (ts > last) {
+      if (ts - last > gap_) {
+        EncodeU64(state->data(), DecodeU64(state->data()) + 1);
+      }
+      EncodeU64(state->data() + 16, ts);
+    }
+  }
+
+  void Merge(std::string* state, Slice other) const override {
+    if (other.size() != 24 || state->size() != 24) {
+      throw std::runtime_error("SessionCountAggregator: bad state");
+    }
+    // Order the two segments by first click; fuse across the boundary.
+    struct Segment {
+      std::uint64_t sessions, first, last;
+    };
+    Segment a{DecodeU64(state->data()), DecodeU64(state->data() + 8),
+              DecodeU64(state->data() + 16)};
+    Segment b{DecodeU64(other.data()), DecodeU64(other.data() + 8),
+              DecodeU64(other.data() + 16)};
+    if (b.first < a.first) std::swap(a, b);
+    std::uint64_t sessions = a.sessions + b.sessions;
+    if (b.first >= a.last && b.first - a.last <= gap_) --sessions;
+    EncodeU64(state->data(), sessions);
+    EncodeU64(state->data() + 8, a.first);
+    EncodeU64(state->data() + 16, std::max(a.last, b.last));
+  }
+
+  void Finalize(Slice state, std::string* out) const override {
+    if (state.size() != 24) {
+      throw std::runtime_error("SessionCountAggregator: bad state");
+    }
+    *out = EncodeValueU64(DecodeU64(state.data()));
+  }
+
+  [[nodiscard]] std::uint64_t gap() const noexcept { return gap_; }
+
+ private:
+  std::uint64_t gap_;
+};
+
 // --- Top-k -------------------------------------------------------------------
 //
 // The paper leaves "how to support the combine function for complex

@@ -22,13 +22,17 @@ const char* FrameTypeName(FrameType type) noexcept {
     case FrameType::kHeartbeat: return "heartbeat";
     case FrameType::kMembership: return "membership";
     case FrameType::kAck: return "ack";
+    case FrameType::kSnapshotAnnounce: return "snapshot_announce";
+    case FrameType::kSnapshotFetch: return "snapshot_fetch";
+    case FrameType::kQuery: return "query";
+    case FrameType::kQueryResult: return "query_result";
   }
   return "unknown";
 }
 
 bool IsKnownFrameType(std::uint8_t type) noexcept {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kAck);
+         type <= static_cast<std::uint8_t>(FrameType::kQueryResult);
 }
 
 void AppendFrame(std::string* out, const Frame& frame) {

@@ -39,6 +39,10 @@ enum class FrameType : std::uint8_t {
   kHeartbeat = 11,   // lease renewal for a registered worker
   kMembership = 12,  // coordinator's worker-group view (epoch + entries)
   kAck = 13,         // cumulative receipt ack for sequenced data frames
+  kSnapshotAnnounce = 14,  // publisher: a new snapshot version is servable
+  kSnapshotFetch = 15,     // replica <-> publisher: image request / bytes
+  kQuery = 16,             // client -> frontend: point / top-k / scan
+  kQueryResult = 17,       // frontend -> client: rows or rejection status
 };
 
 [[nodiscard]] const char* FrameTypeName(FrameType type) noexcept;

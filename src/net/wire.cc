@@ -303,7 +303,7 @@ RegisterMsg RegisterMsg::Parse(const Frame& frame) {
   msg.worker = in.Bytes();
   msg.endpoint = in.Bytes();
   const std::uint8_t role = in.U8();
-  if (role > static_cast<std::uint8_t>(WireRole::kReduce)) {
+  if (role > static_cast<std::uint8_t>(WireRole::kFrontend)) {
     throw WireError("wire: unknown worker role " + std::to_string(role));
   }
   msg.role = static_cast<WireRole>(role);
@@ -362,7 +362,7 @@ MembershipMsg MembershipMsg::Parse(const Frame& frame) {
     e.worker = in.Bytes();
     e.endpoint = in.Bytes();
     const std::uint8_t role = in.U8();
-    if (role > static_cast<std::uint8_t>(WireRole::kReduce)) {
+    if (role > static_cast<std::uint8_t>(WireRole::kFrontend)) {
       throw WireError("wire: unknown worker role " + std::to_string(role));
     }
     e.role = static_cast<WireRole>(role);
@@ -371,6 +371,145 @@ MembershipMsg MembershipMsg::Parse(const Frame& frame) {
     msg.entries.push_back(std::move(e));
   }
   in.ExpectExhausted("membership");
+  return msg;
+}
+
+// --- SnapshotAnnounce --------------------------------------------------------
+
+Frame SnapshotAnnounceMsg::ToFrame() const {
+  Frame frame{FrameType::kSnapshotAnnounce, {}};
+  AppendBytes(&frame.payload, job);
+  AppendU64(frame.payload, version);
+  AppendU64(frame.payload, watermark);
+  AppendU64(frame.payload, bytes);
+  AppendU32(frame.payload, crc);
+  return frame;
+}
+
+SnapshotAnnounceMsg SnapshotAnnounceMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kSnapshotAnnounce);
+  WireReader in(frame.payload);
+  SnapshotAnnounceMsg msg;
+  msg.job = in.Bytes();
+  msg.version = in.U64();
+  msg.watermark = in.U64();
+  msg.bytes = in.U64();
+  msg.crc = in.U32();
+  in.ExpectExhausted("snapshot_announce");
+  return msg;
+}
+
+// --- SnapshotFetch -----------------------------------------------------------
+
+Frame SnapshotFetchMsg::ToFrame() const {
+  Frame frame{FrameType::kSnapshotFetch, {}};
+  frame.payload.reserve(21 + job.size() + bytes.size());
+  AppendBytes(&frame.payload, job);
+  AppendU64(frame.payload, version);
+  frame.payload.push_back(reply ? 1 : 0);
+  AppendU32(frame.payload, crc);
+  AppendBytes(&frame.payload, bytes);
+  return frame;
+}
+
+SnapshotFetchMsg SnapshotFetchMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kSnapshotFetch);
+  WireReader in(frame.payload);
+  SnapshotFetchMsg msg;
+  msg.job = in.Bytes();
+  msg.version = in.U64();
+  msg.reply = in.U8() != 0;
+  msg.crc = in.U32();
+  msg.bytes = in.Bytes();
+  in.ExpectExhausted("snapshot_fetch");
+  return msg;
+}
+
+// --- Query -------------------------------------------------------------------
+
+const char* QueryStatusName(QueryStatus status) noexcept {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kNotFound: return "not_found";
+    case QueryStatus::kStale: return "stale";
+    case QueryStatus::kThrottled: return "throttled";
+    case QueryStatus::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+Frame QueryMsg::ToFrame() const {
+  Frame frame{FrameType::kQuery, {}};
+  AppendU64(frame.payload, id);
+  AppendBytes(&frame.payload, tenant);
+  frame.payload.push_back(static_cast<char>(op));
+  AppendBytes(&frame.payload, key);
+  AppendBytes(&frame.payload, end_key);
+  AppendU32(frame.payload, limit);
+  AppendU64(frame.payload, staleness_budget);
+  return frame;
+}
+
+QueryMsg QueryMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kQuery);
+  WireReader in(frame.payload);
+  QueryMsg msg;
+  msg.id = in.U64();
+  msg.tenant = in.Bytes();
+  const std::uint8_t op = in.U8();
+  if (op > static_cast<std::uint8_t>(QueryOp::kScan)) {
+    throw WireError("wire: unknown query op " + std::to_string(op));
+  }
+  msg.op = static_cast<QueryOp>(op);
+  msg.key = in.Bytes();
+  msg.end_key = in.Bytes();
+  msg.limit = in.U32();
+  msg.staleness_budget = in.U64();
+  in.ExpectExhausted("query");
+  return msg;
+}
+
+// --- QueryResult -------------------------------------------------------------
+
+Frame QueryResultMsg::ToFrame() const {
+  Frame frame{FrameType::kQueryResult, {}};
+  AppendU64(frame.payload, id);
+  frame.payload.push_back(static_cast<char>(status));
+  AppendU64(frame.payload, version);
+  AppendU64(frame.payload, watermark);
+  AppendU64(frame.payload, lag);
+  AppendU32(frame.payload, static_cast<std::uint32_t>(rows.size()));
+  for (const auto& [key, value] : rows) {
+    AppendBytes(&frame.payload, key);
+    AppendBytes(&frame.payload, value);
+  }
+  AppendBytes(&frame.payload, error);
+  return frame;
+}
+
+QueryResultMsg QueryResultMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kQueryResult);
+  WireReader in(frame.payload);
+  QueryResultMsg msg;
+  msg.id = in.U64();
+  const std::uint8_t status = in.U8();
+  if (status > static_cast<std::uint8_t>(QueryStatus::kBadRequest)) {
+    throw WireError("wire: unknown query status " + std::to_string(status));
+  }
+  msg.status = static_cast<QueryStatus>(status);
+  msg.version = in.U64();
+  msg.watermark = in.U64();
+  msg.lag = in.U64();
+  // No reserve(n): a corrupt count would pre-allocate gigabytes; the
+  // bounds-checked reads below cap real work at the payload size.
+  const std::uint32_t n = in.U32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = in.Bytes();
+    std::string value = in.Bytes();
+    msg.rows.emplace_back(std::move(key), std::move(value));
+  }
+  msg.error = in.Bytes();
+  in.ExpectExhausted("query_result");
   return msg;
 }
 

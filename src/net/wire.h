@@ -54,13 +54,18 @@ class WireReader {
   std::size_t pos_ = 0;
 };
 
-inline constexpr std::uint32_t kProtocolVersion = 2;
+// v3 adds the serving-plane frames (SnapshotAnnounce / SnapshotFetch /
+// Query / QueryResult) and the kFrontend worker role.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 // Worker roles carried on the wire (Register / Membership).  Kept apart
 // from the engine's WorkerRole so src/net stays dependency-free.
+// kFrontend is a read-only snapshot replica: it registers with the
+// coordinator for observability but holds no map/reduce job slots.
 enum class WireRole : std::uint8_t {
   kMap = 0,
   kReduce = 1,
+  kFrontend = 2,
 };
 
 struct HelloMsg {
@@ -231,6 +236,98 @@ struct MembershipMsg {
 
   [[nodiscard]] Frame ToFrame() const;
   static MembershipMsg Parse(const Frame& frame);
+};
+
+// --- Serving-plane messages (src/serve) --------------------------------------
+//
+// Protocol sketch (publisher = job side, frontend = replica side):
+//
+//   frontend                          publisher
+//   ----------------------------------------------------------
+//   Hello{job}                     ->          (subscribe; preamble on
+//                                               reconnect re-subscribes)
+//                                  <- SnapshotAnnounce{version, ...}
+//   SnapshotFetch{version}         ->
+//                                  <- SnapshotFetch{version, reply, bytes}
+//
+//   client                            frontend
+//   ----------------------------------------------------------
+//   Query{id, tenant, op, ...}     ->
+//                                  <- QueryResult{id, status, rows, ...}
+
+// Publisher → subscribed frontends: snapshot `version` of `job` is
+// committed and fetchable.  `watermark` is the ingest sequence the image
+// reflects; `bytes`/`crc` let a replica pre-validate the fetched image.
+struct SnapshotAnnounceMsg {
+  std::string job;
+  std::uint64_t version = 0;
+  std::uint64_t watermark = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static SnapshotAnnounceMsg Parse(const Frame& frame);
+};
+
+// Request (reply == false, bytes empty) and response (reply == true) share
+// the frame type.  An empty `bytes` in a reply means the version is gone
+// (pruned past retention) — a real serialized image is never empty.
+struct SnapshotFetchMsg {
+  std::string job;
+  std::uint64_t version = 0;
+  bool reply = false;
+  std::uint32_t crc = 0;
+  std::string bytes;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static SnapshotFetchMsg Parse(const Frame& frame);
+};
+
+enum class QueryOp : std::uint8_t {
+  kPoint = 0,  // exact-key lookup
+  kTopK = 1,   // highest aggregates first
+  kScan = 2,   // key range [key, end_key), capped at `limit`
+};
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,    // point query, key absent from the view
+  kStale = 2,       // replica lag exceeds the effective staleness budget
+  kThrottled = 3,   // tenant token bucket empty
+  kBadRequest = 4,  // malformed op / missing key
+};
+
+[[nodiscard]] const char* QueryStatusName(QueryStatus status) noexcept;
+
+// Client → frontend.  `staleness_budget` tightens (never loosens) the
+// tenant's configured budget; ~0 keeps the tenant default.
+struct QueryMsg {
+  std::uint64_t id = 0;  // client-chosen correlation id, echoed back
+  std::string tenant;
+  QueryOp op = QueryOp::kPoint;
+  std::string key;
+  std::string end_key;
+  std::uint32_t limit = 0;
+  std::uint64_t staleness_budget = ~0ull;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static QueryMsg Parse(const Frame& frame);
+};
+
+// Frontend → client.  `version`/`watermark` identify the view the answer
+// came from; `lag` is announced watermark minus served watermark, so a
+// client can see exactly how stale its answer is.
+struct QueryResultMsg {
+  std::uint64_t id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  std::uint64_t version = 0;
+  std::uint64_t watermark = 0;
+  std::uint64_t lag = 0;
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::string error;
+
+  [[nodiscard]] Frame ToFrame() const;
+  static QueryResultMsg Parse(const Frame& frame);
 };
 
 }  // namespace opmr::net

@@ -89,13 +89,18 @@ void JobScheduler::DispatchLoop(const std::stop_token& stop) {
       if (queued_.empty() || running_ >= options_.max_concurrent) return false;
       // Placement gate: with a worker registry installed, the head job
       // waits out membership gaps (no live map or reduce worker) in the
-      // queue instead of failing at shuffle-connect time.
+      // queue instead of failing at shuffle-connect time.  Frontend
+      // registrations are read-only serve replicas, not job slots — they
+      // never satisfy the gate.
       if (options_.registry != nullptr &&
           (options_.registry->LiveCount(net::WireRole::kMap) == 0 ||
            options_.registry->LiveCount(net::WireRole::kReduce) == 0)) {
         if (!head_deferred_) {
           head_deferred_ = true;
           ++placement_deferrals_;
+          if (options_.registry->LiveCount(net::WireRole::kFrontend) > 0) {
+            ++frontend_only_deferrals_;
+          }
         }
         return false;
       }
@@ -254,6 +259,7 @@ SchedulerStats JobScheduler::stats() const {
   }
   s.peak_concurrent = peak_concurrent_;
   s.placement_deferrals = placement_deferrals_;
+  s.frontend_only_deferrals = frontend_only_deferrals_;
   s.makespan_s =
       first_submit_s_ >= 0.0 ? last_finish_s_ - first_submit_s_ : 0.0;
   s.slots = pool_.stats();

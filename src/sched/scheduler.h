@@ -67,7 +67,8 @@ struct SchedulerOptions {
   // registry holds at least one live map worker AND one live reduce
   // worker.  A membership gap holds jobs in the queue — counted in
   // SchedulerStats::placement_deferrals — instead of letting them fail at
-  // shuffle-connect time.
+  // shuffle-connect time.  Frontend (serve-plane) registrations are NOT
+  // slots: a registry of only frontends still defers placement.
   coord::WorkerRegistry* registry = nullptr;
 };
 
@@ -113,6 +114,11 @@ struct SchedulerStats {
   // Dispatch episodes where a ready job was held back because the worker
   // registry lacked a live map or reduce group (0 without a registry).
   std::int64_t placement_deferrals = 0;
+  // Of those, episodes where the registry DID hold live frontend replicas:
+  // serve-plane workers are read-only and hold no job slots, so they never
+  // satisfy the placement gate — heavy read traffic cannot perturb
+  // placement (the OS4M operation-level separation).
+  std::int64_t frontend_only_deferrals = 0;
   SlotPool::Stats slots;
 };
 
@@ -176,6 +182,7 @@ class JobScheduler {
   int running_ = 0;
   int peak_concurrent_ = 0;
   std::int64_t placement_deferrals_ = 0;
+  std::int64_t frontend_only_deferrals_ = 0;
   bool head_deferred_ = false;  // current queue head already counted
   double first_submit_s_ = -1.0;
   double last_finish_s_ = 0.0;

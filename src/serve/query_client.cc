@@ -1,0 +1,74 @@
+#include "serve/query_client.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace opmr::serve {
+
+QueryClient::QueryClient(net::Transport* transport, std::string tenant)
+    : tenant_(std::move(tenant)) {
+  conn_ = transport->Connect([this](net::Connection*, net::Frame frame) {
+    if (frame.type != net::FrameType::kQueryResult) return;
+    net::QueryResultMsg result;
+    try {
+      result = net::QueryResultMsg::Parse(frame);
+    } catch (const net::WireError&) {
+      return;  // corrupt reply; the waiter times out
+    }
+    {
+      std::scoped_lock lock(mu_);
+      ready_[result.id] = std::move(result);
+    }
+    cv_.notify_all();
+  });
+}
+
+net::QueryResultMsg QueryClient::Query(net::QueryMsg query,
+                                       std::chrono::milliseconds timeout) {
+  std::uint64_t id = 0;
+  {
+    std::scoped_lock lock(mu_);
+    id = next_id_++;
+  }
+  query.id = id;
+  query.tenant = tenant_;
+  conn_->Send(query.ToFrame());
+
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] { return ready_.contains(id); })) {
+    throw std::runtime_error("QueryClient: timed out waiting for reply " +
+                             std::to_string(id));
+  }
+  net::QueryResultMsg result = std::move(ready_[id]);
+  ready_.erase(id);
+  return result;
+}
+
+net::QueryResultMsg QueryClient::Point(const std::string& key,
+                                       std::uint64_t staleness_budget) {
+  net::QueryMsg query;
+  query.op = net::QueryOp::kPoint;
+  query.key = key;
+  query.staleness_budget = staleness_budget;
+  return Query(std::move(query));
+}
+
+net::QueryResultMsg QueryClient::TopK(std::uint32_t n) {
+  net::QueryMsg query;
+  query.op = net::QueryOp::kTopK;
+  query.limit = n;
+  return Query(std::move(query));
+}
+
+net::QueryResultMsg QueryClient::Scan(const std::string& begin,
+                                      const std::string& end,
+                                      std::uint32_t limit) {
+  net::QueryMsg query;
+  query.op = net::QueryOp::kScan;
+  query.key = begin;
+  query.end_key = end;
+  query.limit = limit;
+  return Query(std::move(query));
+}
+
+}  // namespace opmr::serve

@@ -1,0 +1,50 @@
+// QueryClient — a tenant's handle on one frontend.  Sends Query frames,
+// correlates QueryResult replies by id, and offers typed point / top-k /
+// scan convenience calls.  Thread-safe; concurrent queries multiplex over
+// the single connection.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace opmr::serve {
+
+class QueryClient {
+ public:
+  // `transport` dials the frontend; not owned.
+  QueryClient(net::Transport* transport, std::string tenant);
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  // Sends `query` (id/tenant are filled in) and waits for its reply.
+  // Throws std::runtime_error on timeout.
+  net::QueryResultMsg Query(
+      net::QueryMsg query,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10));
+
+  net::QueryResultMsg Point(const std::string& key,
+                            std::uint64_t staleness_budget = ~0ull);
+  net::QueryResultMsg TopK(std::uint32_t n);
+  net::QueryResultMsg Scan(const std::string& begin, const std::string& end,
+                           std::uint32_t limit);
+
+ private:
+  std::string tenant_;
+  std::shared_ptr<net::Connection> conn_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, net::QueryResultMsg> ready_;
+};
+
+}  // namespace opmr::serve

@@ -87,6 +87,23 @@ class StreamingJob::Worker {
     idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
   }
 
+  // Appends this worker's resident states and sketch summary to a job-wide
+  // snapshot image.  Call after WaitIdle() for a consistent view.
+  void AppendImage(CheckpointImage* image) const {
+    std::scoped_lock lock(state_mu_);
+    if (sketch_ != nullptr) {
+      for (const auto& hitter : sketch_->Candidates()) {
+        image->sketch.push_back(
+            {hitter.key, hitter.count_estimate, hitter.error_bound});
+      }
+      image->sketch_stream_length += sketch_->StreamLength();
+    }
+    table_.ForEach([&](Slice key, const StateTable::Entry& entry) {
+      image->entries.push_back(
+          {std::string(key.view()), entry.state, entry.early_emitted});
+    });
+  }
+
   // Simulates losing this worker's process: in-flight queue, resident
   // state, sketch and spill manifest are discarded.  On-disk checkpoints
   // and spill files survive (they are the recovery source).
@@ -430,6 +447,12 @@ StreamingJob::StreamingJob(StreamingQuery query, StreamingOptions options,
                    ? files_.NewDir("checkpoints")
                    : std::filesystem::path(options_.checkpoint.dir);
   }
+  if ((options_.snapshot_interval_records > 0) !=
+      static_cast<bool>(options_.publish_snapshot)) {
+    throw std::invalid_argument(
+        "StreamingJob: snapshot publication requires both "
+        "snapshot_interval_records and publish_snapshot");
+  }
   workers_.reserve(num_workers);
   for (int w = 0; w < num_workers; ++w) {
     workers_.push_back(std::make_unique<Worker>(&query_, &options_, &files_,
@@ -479,6 +502,24 @@ void StreamingJob::Ingest(Slice record) {
     std::uint64_t seq_;
   } collector(this, seq);
   query_.map(record, collector);
+  if (options_.snapshot_interval_records > 0 &&
+      seq % options_.snapshot_interval_records == 0) {
+    // The publish runs on the ingesting thread: the stream stalls for the
+    // settle + serialize, which is exactly the perturbation the serving
+    // ablation measures.
+    options_.publish_snapshot(CollectSnapshot());
+  }
+}
+
+CheckpointImage StreamingJob::CollectSnapshot() {
+  if (finished_.load(std::memory_order_relaxed)) {
+    throw std::logic_error("StreamingJob: snapshot after Finish()");
+  }
+  for (auto& worker : workers_) worker->WaitIdle();
+  CheckpointImage image;
+  image.watermark = records_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) worker->AppendImage(&image);
+  return image;
 }
 
 std::optional<std::string> StreamingJob::Query(Slice key) const {

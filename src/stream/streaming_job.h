@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "checkpoint/checkpoint.h"
 #include "checkpoint/options.h"
 #include "engine/aggregators.h"
 #include "engine/job.h"
@@ -65,6 +66,15 @@ struct StreamingOptions {
   // count the records a worker has fully folded.  Incompatible with
   // early_emit (replayed records would duplicate early answers).
   CheckpointOptions checkpoint;
+
+  // Serve-plane publication: every `snapshot_interval_records` ingested
+  // records, the ingesting thread settles the workers and hands a
+  // consistent job-wide CheckpointImage (watermark = records ingested) to
+  // `publish_snapshot`.  Both must be set together.  Like recovery, this
+  // assumes the single-ingest-thread contract — the settle happens on the
+  // one thread that could otherwise be enqueueing.
+  std::uint64_t snapshot_interval_records = 0;
+  std::function<void(CheckpointImage)> publish_snapshot;
 };
 
 // A streaming query: map + aggregator (streaming needs the algebraic form;
@@ -111,6 +121,12 @@ class StreamingJob {
   // returns the exact final (key, value) results, sorted by key.
   // Idempotent — repeated calls return the same results.
   std::vector<std::pair<std::string, std::string>> Finish();
+
+  // Settles every worker, then collects the resident states (plus sketch
+  // summaries) of all workers into one image whose watermark is the ingest
+  // sequence covered.  The serve plane's snapshot source; also usable
+  // directly for a one-off consistent view.  Throws after Finish().
+  [[nodiscard]] CheckpointImage CollectSnapshot();
 
   // --- fault injection & recovery (requires checkpoint.enabled) -------------
 

@@ -1,0 +1,67 @@
+#include "workloads/streaming_queries.h"
+
+#include <stdexcept>
+
+#include "engine/aggregators.h"
+#include "workloads/clickstream.h"
+
+namespace opmr {
+
+namespace {
+
+// Second tab field of a text click record ("<ts>\tu000042\t/page/...").
+Slice UserField(Slice record) {
+  std::size_t first = 0;
+  while (first < record.size() && record[first] != '\t') ++first;
+  std::size_t second = first + 1;
+  while (second < record.size() && record[second] != '\t') ++second;
+  return {record.data() + first + 1, second - first - 1};
+}
+
+Slice UrlField(Slice record) {
+  std::size_t tabs = 0;
+  std::size_t i = 0;
+  for (; i < record.size(); ++i) {
+    if (record[i] == '\t' && ++tabs == 2) break;
+  }
+  return {record.data() + i + 1, record.size() - i - 1};
+}
+
+}  // namespace
+
+StreamingQuery StreamingQueryByName(const std::string& workload,
+                                    std::uint64_t session_gap) {
+  StreamingQuery query;
+  query.name = workload;
+  if (workload == "sessionization") {
+    query.aggregator = std::make_shared<SessionCountAggregator>(session_gap);
+    query.map = [](Slice record, OutputCollector& out) {
+      const ClickRecord click = ParseClick(record, ClickFormat::kText);
+      out.Emit(UserField(record), EncodeValueU64(click.timestamp));
+    };
+  } else if (workload == "per_user_count") {
+    query.aggregator = std::make_shared<SumAggregator>();
+    query.map = [](Slice record, OutputCollector& out) {
+      static thread_local std::string one = EncodeValueU64(1);
+      out.Emit(UserField(record), one);
+    };
+  } else if (workload == "page_frequency") {
+    query.aggregator = std::make_shared<SumAggregator>();
+    query.map = [](Slice record, OutputCollector& out) {
+      static thread_local std::string one = EncodeValueU64(1);
+      out.Emit(UrlField(record), one);
+    };
+  } else {
+    throw std::invalid_argument(
+        "unknown streaming workload '" + workload +
+        "' (expected sessionization, per_user_count or page_frequency)");
+  }
+  return query;
+}
+
+bool IsStreamingWorkload(const std::string& workload) {
+  return workload == "sessionization" || workload == "per_user_count" ||
+         workload == "page_frequency";
+}
+
+}  // namespace opmr

@@ -1,0 +1,30 @@
+// Streaming (algebraic) forms of the paper's click-stream workloads, for
+// jobs that publish live snapshots to the serve plane.  Each query maps a
+// click record to (key, value) pairs and folds them with an aggregator:
+//
+//   * sessionization  — (user, timestamp) folded by SessionCountAggregator:
+//                       the live session COUNT per user (the holistic
+//                       per-click output needs end-of-stream; the count is
+//                       the early-answer surface).
+//   * per_user_count  — (user, 1) summed.
+//   * page_frequency  — (url, 1) summed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/streaming_job.h"
+#include "workloads/tasks.h"
+
+namespace opmr {
+
+// Builds the streaming query for `workload` (one of the names above) over
+// text click records.  Throws std::invalid_argument for unknown names.
+StreamingQuery StreamingQueryByName(
+    const std::string& workload,
+    std::uint64_t session_gap = kDefaultSessionGap);
+
+// True when `workload` names one of the streaming queries above.
+[[nodiscard]] bool IsStreamingWorkload(const std::string& workload);
+
+}  // namespace opmr

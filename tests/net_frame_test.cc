@@ -252,6 +252,175 @@ TEST(NetFrame, CoordinationPayloadSemanticCorruptionIsWireError) {
                WireError);
 }
 
+TEST(NetFrame, ServingMessagesRoundTrip) {
+  SnapshotAnnounceMsg announce;
+  announce.job = "live job";
+  announce.version = 12;
+  announce.watermark = 345'678;
+  announce.bytes = 9'000;
+  announce.crc = 0xCAFEF00D;
+  const auto announce2 =
+      SnapshotAnnounceMsg::Parse(DecodeOne(EncodeFrame(announce.ToFrame())));
+  EXPECT_EQ(announce2.job, "live job");
+  EXPECT_EQ(announce2.version, 12u);
+  EXPECT_EQ(announce2.watermark, 345'678u);
+  EXPECT_EQ(announce2.bytes, 9'000u);
+  EXPECT_EQ(announce2.crc, 0xCAFEF00Du);
+
+  SnapshotFetchMsg fetch;
+  fetch.job = "live job";
+  fetch.version = 12;
+  fetch.reply = true;
+  fetch.crc = 7;
+  fetch.bytes = std::string("image\0bytes", 11);  // binary-safe
+  const auto fetch2 =
+      SnapshotFetchMsg::Parse(DecodeOne(EncodeFrame(fetch.ToFrame())));
+  EXPECT_EQ(fetch2.job, "live job");
+  EXPECT_EQ(fetch2.version, 12u);
+  EXPECT_TRUE(fetch2.reply);
+  EXPECT_EQ(fetch2.bytes, fetch.bytes);
+
+  QueryMsg query;
+  query.id = 31337;
+  query.tenant = "tenant-a";
+  query.op = QueryOp::kScan;
+  query.key = "begin";
+  query.end_key = "end";
+  query.limit = 42;
+  query.staleness_budget = 500;
+  const auto query2 = QueryMsg::Parse(DecodeOne(EncodeFrame(query.ToFrame())));
+  EXPECT_EQ(query2.id, 31337u);
+  EXPECT_EQ(query2.tenant, "tenant-a");
+  EXPECT_EQ(query2.op, QueryOp::kScan);
+  EXPECT_EQ(query2.key, "begin");
+  EXPECT_EQ(query2.end_key, "end");
+  EXPECT_EQ(query2.limit, 42u);
+  EXPECT_EQ(query2.staleness_budget, 500u);
+
+  QueryResultMsg result;
+  result.id = 31337;
+  result.status = QueryStatus::kStale;
+  result.version = 12;
+  result.watermark = 340'000;
+  result.lag = 5'678;
+  result.rows.emplace_back("k1", std::string("\x01\0\0\0\0\0\0\0", 8));
+  result.rows.emplace_back("k2", "text value");
+  result.error = "replica lag 5678 exceeds staleness budget 500";
+  const auto result2 =
+      QueryResultMsg::Parse(DecodeOne(EncodeFrame(result.ToFrame())));
+  EXPECT_EQ(result2.id, 31337u);
+  EXPECT_EQ(result2.status, QueryStatus::kStale);
+  EXPECT_EQ(result2.version, 12u);
+  EXPECT_EQ(result2.watermark, 340'000u);
+  EXPECT_EQ(result2.lag, 5'678u);
+  EXPECT_EQ(result2.rows, result.rows);
+  EXPECT_EQ(result2.error, result.error);
+}
+
+TEST(NetFrame, ServingFrameEveryTruncationIsNeedMore) {
+  QueryResultMsg result;
+  result.id = 1;
+  result.rows.emplace_back("key", "value");
+  result.error = "e";
+  const std::string wire = EncodeFrame(result.ToFrame());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), cut);
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kNeedMore)
+        << "truncated to " << cut << " bytes";
+    EXPECT_FALSE(decoder.poisoned());
+  }
+}
+
+TEST(NetFrame, ServingFrameEverySingleBitFlipIsDetected) {
+  std::vector<std::string> wires;
+  SnapshotAnnounceMsg announce;
+  announce.job = "j";
+  announce.version = 3;
+  announce.crc = 0xAB;
+  wires.push_back(EncodeFrame(announce.ToFrame()));
+  SnapshotFetchMsg fetch;
+  fetch.job = "j";
+  fetch.version = 3;
+  fetch.reply = true;
+  fetch.bytes = "img";
+  wires.push_back(EncodeFrame(fetch.ToFrame()));
+  QueryMsg query;
+  query.id = 9;
+  query.op = QueryOp::kPoint;
+  query.key = "k";
+  wires.push_back(EncodeFrame(query.ToFrame()));
+  QueryResultMsg result;
+  result.id = 9;
+  result.rows.emplace_back("k", "v");
+  wires.push_back(EncodeFrame(result.ToFrame()));
+
+  for (const std::string& wire : wires) {
+    for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupt = wire;
+        corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+        FrameDecoder decoder;
+        decoder.Feed(corrupt.data(), corrupt.size());
+        Frame frame;
+        EXPECT_NE(decoder.Next(&frame), DecodeStatus::kOk)
+            << "flip of bit " << bit << " in byte " << byte
+            << " decoded as a valid frame";
+      }
+    }
+  }
+}
+
+TEST(NetFrame, ServingPayloadSemanticCorruptionIsWireError) {
+  // CRC-clean but semantically damaged serving payloads: truncated body,
+  // trailing junk, out-of-range enum bytes, and a row count pointing past
+  // the payload.
+  QueryMsg query;
+  query.op = QueryOp::kTopK;
+  query.limit = 5;
+  Frame truncated = query.ToFrame();
+  truncated.payload.resize(truncated.payload.size() / 2);
+  EXPECT_THROW((void)QueryMsg::Parse(DecodeOne(EncodeFrame(truncated))),
+               WireError);
+
+  SnapshotAnnounceMsg announce;
+  announce.job = "j";
+  Frame padded = announce.ToFrame();
+  padded.payload += "junk";
+  EXPECT_THROW(
+      (void)SnapshotAnnounceMsg::Parse(DecodeOne(EncodeFrame(padded))),
+      WireError);
+
+  // op byte past the enum range must be rejected, not cast through.
+  Frame bad_op = QueryMsg{}.ToFrame();
+  bool mutated = false;
+  for (std::size_t i = 0; i < bad_op.payload.size(); ++i) {
+    // id(u64) + tenant len(u32) + op(u8): the op byte sits at offset 12
+    // when the tenant is empty.
+    if (i == 12) {
+      bad_op.payload[i] = '\x7F';
+      mutated = true;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_THROW((void)QueryMsg::Parse(DecodeOne(EncodeFrame(bad_op))),
+               WireError);
+
+  QueryResultMsg result;
+  result.id = 1;
+  Frame lying = result.ToFrame();
+  // id(u64) + status(u8) + version(u64) + watermark(u64) + lag(u64) then
+  // row count(u32): claim 2^30 rows with an empty body.
+  ASSERT_GE(lying.payload.size(), 37u);
+  lying.payload[33] = '\x00';
+  lying.payload[34] = '\x00';
+  lying.payload[35] = '\x00';
+  lying.payload[36] = '\x40';
+  EXPECT_THROW((void)QueryResultMsg::Parse(DecodeOne(EncodeFrame(lying))),
+               WireError);
+}
+
 TEST(NetFrame, ByteAtATimeFeedReassembles) {
   ChunkMsg msg;
   msg.map_task = 0;

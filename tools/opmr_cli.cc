@@ -69,6 +69,43 @@
 //       replay rows in the report).  dump-output writes the reduce
 //       side's sorted output for byte-identity checks.
 //
+//   opmr_cli stream workload=<w> [records=N] [workers=R] [session-gap=S]
+//                  [hot-keys=N] [--publish-snapshots=<host:port>]
+//                  [snapshot-interval=N] [snapshot-retain=K]
+//                  [snapshot-dir=PATH] [secret=S] [linger=SECONDS] [nodes=N]
+//       Streaming mode: ingests a generated click stream through a live
+//       StreamingJob (algebraic workloads only: sessionization |
+//       per_user_count | page_frequency) and prints the final answers.
+//       With --publish-snapshots the job binds a serving endpoint and
+//       publishes an immutable, versioned snapshot image of its state
+//       every snapshot-interval records (default records/10); frontends
+//       subscribe there to answer queries mid-job.  linger keeps the
+//       publisher up that many seconds after ingest finishes so replicas
+//       can drain the final version.
+//
+//   opmr_cli frontend publisher=<host:port> [listen=<host:port>]
+//                  [workload=<w>] [session-gap=S] [staleness-budget=N]
+//                  [rate=QPS] [burst=N] [scan-limit=N] [id=<name>]
+//                  [secret=S] [advertise=ADDR] [wait=SECONDS]
+//                  [join=<host:port>] [coord-secret=S]
+//       Serving replica: subscribes to a streaming job's snapshot
+//       publisher, applies each announced version to an in-memory view,
+//       and serves point / top-k / scan queries on <listen> (default
+//       127.0.0.1: ephemeral).  --staleness-budget bounds the replica lag
+//       (in ingest records) a query may observe — staler answers are
+//       REJECTED, not served; rate/burst set the default per-tenant token
+//       bucket.  join= additionally registers with a coordinator under
+//       role `frontend` (read-only: frontends hold no job slots and never
+//       satisfy the scheduler's placement gate).  Runs for wait seconds
+//       (default 60), then prints serving counters.
+//
+//   opmr_cli query at=<host:port> op=point|topk|scan [key=K] [end=K]
+//                  [n=N] [limit=N] [tenant=T] [staleness-budget=N]
+//       One-shot client against a frontend: prints the reply status, the
+//       snapshot version/watermark/lag it was answered from, and the rows.
+//       staleness-budget tightens (never loosens) the tenant's budget for
+//       this query alone.
+//
 //   opmr_cli serve spool=<dir|-> [map-slots=N] [reduce-slots=N]
 //                  [policy=fifo|fair|srw] [memory-budget=BYTES]
 //                  [max-concurrent=N] [nodes=N]
@@ -109,7 +146,12 @@
 #include "metrics/timeline.h"
 #include "sched/scheduler.h"
 #include "sched/spool.h"
+#include "serve/frontend.h"
+#include "serve/publisher.h"
+#include "serve/query_client.h"
 #include "sim/simulator.h"
+#include "stream/streaming_job.h"
+#include "workloads/streaming_queries.h"
 #include "workloads/global_sort.h"
 #include "workloads/pipelines.h"
 #include "workloads/tasks.h"
@@ -337,15 +379,6 @@ int CmdRun(const Config& cfg) {
   popts.speculative_reduce = cfg.GetBool("speculate-reduce", false);
   popts.fault_plan = cfg.GetString("fault-plan", "");
 
-  Platform platform(popts);
-  if (platform.fault_injector() != nullptr) {
-    std::printf("fault plan: %s\n",
-                platform.fault_injector()->plan().ToString().c_str());
-  }
-  std::printf("generating %s input (%llu records)...\n", workload.c_str(),
-              static_cast<unsigned long long>(records));
-  const auto spec = PrepareWorkload(platform, workload, records, reducers);
-
   JobOptions options = RuntimeByName(runtime);
   options.map_side_combine = cfg.GetBool("combine", true);
   options.compress_spills = cfg.GetBool("compress", false);
@@ -410,6 +443,32 @@ int CmdRun(const Config& cfg) {
         "(--transport=loopback or tcp); with --transport=direct the "
         "shuffle never crosses a wire.");
   }
+  if (cfg.Get("publish-snapshots") || cfg.Get("snapshot-interval") ||
+      cfg.Get("snapshot-retain")) {
+    throw std::invalid_argument(
+        "--publish-snapshots/--snapshot-interval/--snapshot-retain belong to "
+        "the serving plane, which snapshots a LIVE streaming job's state "
+        "mid-run; a batch `run` job materializes its full output at the end "
+        "and has nothing to serve early. Use `opmr_cli stream workload=" +
+        workload + " --publish-snapshots=<host:port>` (algebraic workloads "
+        "only) and point `opmr_cli frontend` at it.");
+  }
+  if (cfg.Get("staleness-budget")) {
+    throw std::invalid_argument(
+        "--staleness-budget is a serving-replica policy (the max ingest lag "
+        "a query may observe) and means nothing to a batch `run` job. Set "
+        "it on `opmr_cli frontend` as the tenant default, or per query on "
+        "`opmr_cli query`.");
+  }
+
+  Platform platform(popts);
+  if (platform.fault_injector() != nullptr) {
+    std::printf("fault plan: %s\n",
+                platform.fault_injector()->plan().ToString().c_str());
+  }
+  std::printf("generating %s input (%llu records)...\n", workload.c_str(),
+              static_cast<unsigned long long>(records));
+  const auto spec = PrepareWorkload(platform, workload, records, reducers);
 
   std::printf("running '%s' on runtime '%s' (transport %s)...\n",
               spec.name.c_str(), runtime.c_str(), transport.c_str());
@@ -725,6 +784,288 @@ std::pair<std::string, int> SplitHostPort(const std::string& endpoint,
   return {endpoint.substr(0, colon), port};
 }
 
+// Pretty-prints a servable value: aggregates are 8-byte u64s; anything
+// else is shown raw.
+std::string ShowValue(const std::string& value) {
+  return value.size() == 8 ? std::to_string(DecodeU64(value.data())) : value;
+}
+
+int CmdStream(const Config& cfg) {
+  const auto workload = cfg.GetString("workload", "sessionization");
+  if (!IsStreamingWorkload(workload)) {
+    throw std::invalid_argument(
+        "stream: workload '" + workload + "' has no algebraic streaming "
+        "form (expected sessionization, per_user_count or page_frequency); "
+        "holistic workloads need end-of-stream and run with `opmr_cli run`.");
+  }
+  if (cfg.Get("staleness-budget")) {
+    throw std::invalid_argument(
+        "--staleness-budget is a replica-side policy: the publisher always "
+        "publishes its freshest state. Set it on `opmr_cli frontend` (tenant "
+        "default) or `opmr_cli query` (per query).");
+  }
+  const auto publish = cfg.GetString("publish-snapshots", "");
+  if (publish.empty() &&
+      (cfg.Get("snapshot-interval") || cfg.Get("snapshot-retain") ||
+       cfg.Get("snapshot-dir") || cfg.Get("linger"))) {
+    throw std::invalid_argument(
+        "--snapshot-interval/--snapshot-retain/--snapshot-dir/--linger "
+        "shape snapshot publication and require "
+        "--publish-snapshots=<host:port> (the endpoint frontends subscribe "
+        "to); without it the stream publishes nothing.");
+  }
+  const auto records = static_cast<std::uint64_t>(
+      GetCheckedInt(cfg, "records", 200'000, /*min_value=*/1));
+  const int workers =
+      static_cast<int>(GetCheckedInt(cfg, "workers", 4, /*min_value=*/1));
+  const auto gap = static_cast<std::uint64_t>(GetCheckedInt(
+      cfg, "session-gap", static_cast<std::int64_t>(kDefaultSessionGap),
+      /*min_value=*/1));
+
+  PlatformOptions popts;
+  popts.num_nodes =
+      static_cast<int>(GetCheckedInt(cfg, "nodes", 4, /*min_value=*/1));
+  Platform platform(popts);
+  std::printf("generating %s click stream (%llu records)...\n",
+              workload.c_str(), static_cast<unsigned long long>(records));
+  ClickStreamOptions gen;
+  gen.num_records = records;
+  gen.num_users = std::max<std::uint64_t>(100, records / 20);
+  gen.num_urls = std::max<std::uint64_t>(100, records / 50);
+  GenerateClickStream(platform.dfs(), "stream_input", gen);
+
+  MetricRegistry metrics;
+  std::unique_ptr<net::TcpTransport> server;
+  std::unique_ptr<serve::SnapshotPublisher> publisher;
+  StreamingOptions sopts;
+  sopts.hot_key_capacity = static_cast<std::size_t>(
+      GetCheckedInt(cfg, "hot-keys", 0, /*min_value=*/0));
+  if (!publish.empty()) {
+    const auto [host, port] = SplitHostPort(publish, "publish-snapshots");
+    net::TcpTransport::Options topts;
+    topts.bind_address = host;
+    topts.bind_port = port;
+    server = std::make_unique<net::TcpTransport>(&metrics, topts);
+    server->Bind();
+    serve::PublisherOptions pub;
+    pub.job = workload;
+    pub.dir = cfg.GetString("snapshot-dir", "serve_images");
+    pub.retain = static_cast<int>(
+        GetCheckedInt(cfg, "snapshot-retain", 4, /*min_value=*/1));
+    pub.secret = cfg.GetString("secret", "");
+    publisher = std::make_unique<serve::SnapshotPublisher>(server.get(),
+                                                           &metrics, pub);
+    sopts.snapshot_interval_records = static_cast<std::uint64_t>(
+        GetCheckedInt(cfg, "snapshot-interval",
+                      static_cast<std::int64_t>(
+                          std::max<std::uint64_t>(records / 10, 1)),
+                      /*min_value=*/1));
+    sopts.publish_snapshot = [&pub_ref = *publisher](CheckpointImage image) {
+      pub_ref.Publish(std::move(image));
+    };
+    std::printf("stream: serving '%s' snapshots at %s every %llu records "
+                "(retain %d, auth %s)\n",
+                workload.c_str(), server->endpoint().c_str(),
+                static_cast<unsigned long long>(
+                    sopts.snapshot_interval_records),
+                pub.retain, pub.secret.empty() ? "off" : "on");
+    std::fflush(stdout);
+  }
+
+  StreamingJob job(StreamingQueryByName(workload, gap), sopts, workers);
+  for (const auto& block : platform.dfs().ListBlocks("stream_input")) {
+    auto reader = platform.dfs().OpenBlock(block);
+    Slice record;
+    while (reader->Next(&record)) job.Ingest(record);
+  }
+  if (publisher != nullptr) {
+    // Final image: the tail since the last interval boundary.
+    publisher->Publish(job.CollectSnapshot());
+    std::printf("stream: ingest done; published %llu versions (latest v%llu) "
+                "to %zu subscriber(s)\n",
+                static_cast<unsigned long long>(publisher->published()),
+                static_cast<unsigned long long>(publisher->latest_version()),
+                publisher->subscribers());
+    std::fflush(stdout);
+    const auto linger =
+        GetCheckedInt(cfg, "linger", 0, /*min_value=*/0);
+    if (linger > 0) {
+      std::printf("stream: lingering %llds for late fetches...\n",
+                  static_cast<long long>(linger));
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger));
+    }
+  }
+
+  std::printf("top answers:\n");
+  for (const auto& [key, value] : job.TopAnswers(10)) {
+    std::printf("  %-24s %s\n", key.c_str(), ShowValue(value).c_str());
+  }
+  const auto results = job.Finish();
+  std::printf("stream: %llu records -> %llu routed pairs -> %zu final keys\n",
+              static_cast<unsigned long long>(job.records_ingested()),
+              static_cast<unsigned long long>(job.pairs_routed()),
+              results.size());
+  if (server != nullptr) server->Shutdown();
+  return 0;
+}
+
+int CmdFrontend(const Config& cfg) {
+  const auto publisher_ep = cfg.GetString("publisher", "");
+  if (publisher_ep.empty()) {
+    throw std::invalid_argument(
+        "frontend: publisher=<host:port> is required (the streaming job's "
+        "--publish-snapshots endpoint)");
+  }
+  (void)SplitHostPort(publisher_ep, "publisher");
+  const auto [lhost, lport] =
+      SplitHostPort(cfg.GetString("listen", "127.0.0.1:0"), "listen");
+  const auto workload = cfg.GetString("workload", "sessionization");
+  if (!IsStreamingWorkload(workload)) {
+    throw std::invalid_argument(
+        "frontend: workload '" + workload + "' has no streaming form, so no "
+        "publisher can exist for it (expected sessionization, per_user_count "
+        "or page_frequency)");
+  }
+  const auto gap = static_cast<std::uint64_t>(GetCheckedInt(
+      cfg, "session-gap", static_cast<std::int64_t>(kDefaultSessionGap),
+      /*min_value=*/1));
+  const double wait_s =
+      static_cast<double>(GetCheckedInt(cfg, "wait", 60, /*min_value=*/1));
+
+  MetricRegistry metrics;
+  net::TcpTransport::Options bopts;
+  bopts.bind_address = lhost;
+  bopts.bind_port = lport;
+  bopts.advertise_address = cfg.GetString("advertise", "");
+  net::TcpTransport server(&metrics, bopts);
+  server.Bind();
+  net::TcpTransport link(&metrics, publisher_ep);
+
+  serve::FrontendOptions fopts;
+  fopts.job = workload;
+  fopts.aggregator = StreamingQueryByName(workload, gap).aggregator;
+  fopts.worker = cfg.GetString("id", "frontend");
+  fopts.secret = cfg.GetString("secret", "");
+  fopts.scan_limit = static_cast<std::uint32_t>(
+      GetCheckedInt(cfg, "scan-limit", 1000, /*min_value=*/1));
+  if (cfg.Get("staleness-budget")) {
+    fopts.default_policy.staleness_budget = static_cast<std::uint64_t>(
+        GetCheckedInt(cfg, "staleness-budget", 0, /*min_value=*/0));
+  }
+  fopts.default_policy.rate_per_s = static_cast<double>(
+      GetCheckedInt(cfg, "rate", 0, /*min_value=*/0));
+  fopts.default_policy.burst = static_cast<double>(
+      GetCheckedInt(cfg, "burst", 0, /*min_value=*/0));
+  serve::SnapshotFrontend frontend(&server, &link, &metrics, fopts);
+  std::printf("frontend '%s': serving '%s' at %s, snapshots from %s "
+              "(staleness budget %s, rate %s)\n",
+              fopts.worker.c_str(), workload.c_str(),
+              server.endpoint().c_str(), publisher_ep.c_str(),
+              cfg.Get("staleness-budget")
+                  ? std::to_string(fopts.default_policy.staleness_budget)
+                        .c_str()
+                  : "unlimited",
+              fopts.default_policy.rate_per_s > 0
+                  ? (std::to_string(fopts.default_policy.rate_per_s) + "/s")
+                        .c_str()
+                  : "unlimited");
+  std::fflush(stdout);
+
+  // Optional membership: frontends register read-only — the scheduler's
+  // placement gate never counts them as job slots.
+  std::unique_ptr<coord::CoordClient> member;
+  const auto join = cfg.GetString("join", "");
+  if (!join.empty()) {
+    (void)SplitHostPort(join, "join");
+    coord::CoordClient::Options mopts;
+    mopts.coordinator = join;
+    mopts.worker_id = fopts.worker;
+    mopts.endpoint = server.endpoint();
+    mopts.role = net::WireRole::kFrontend;
+    mopts.secret = cfg.GetString("coord-secret", fopts.secret);
+    member = std::make_unique<coord::CoordClient>(&metrics, mopts);
+    member->Join(static_cast<double>(
+        GetCheckedInt(cfg, "join-timeout", 30, /*min_value=*/1)));
+    std::printf("frontend '%s': joined %s as role frontend (gen %llu)\n",
+                fopts.worker.c_str(), join.c_str(),
+                static_cast<unsigned long long>(member->generation()));
+    std::fflush(stdout);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(wait_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("frontend '%s': served %lld queries (%lld throttled, %lld "
+              "stale-rejected), applied %lld snapshot(s), serving v%llu "
+              "(watermark %llu, announced %llu)\n",
+              fopts.worker.c_str(),
+              static_cast<long long>(metrics.Value("serve.queries")),
+              static_cast<long long>(metrics.Value("serve.throttled")),
+              static_cast<long long>(metrics.Value("serve.stale_rejects")),
+              static_cast<long long>(metrics.Value("serve.applied")),
+              static_cast<unsigned long long>(frontend.serving_version()),
+              static_cast<unsigned long long>(frontend.serving_watermark()),
+              static_cast<unsigned long long>(frontend.announced_watermark()));
+  if (member != nullptr) member->Stop();
+  server.Shutdown();
+  return 0;
+}
+
+int CmdQuery(const Config& cfg) {
+  const auto at = cfg.GetString("at", "");
+  if (at.empty()) {
+    throw std::invalid_argument(
+        "query: at=<host:port> is required (a frontend's listen endpoint)");
+  }
+  (void)SplitHostPort(at, "at");
+  const auto op = cfg.GetString("op", "point");
+
+  net::QueryMsg q;
+  if (cfg.Get("staleness-budget")) {
+    q.staleness_budget = static_cast<std::uint64_t>(
+        GetCheckedInt(cfg, "staleness-budget", 0, /*min_value=*/0));
+  }
+  if (op == "point") {
+    q.op = net::QueryOp::kPoint;
+    q.key = cfg.GetString("key", "");
+    if (q.key.empty()) {
+      throw std::invalid_argument("query: op=point requires key=<K>");
+    }
+  } else if (op == "topk") {
+    q.op = net::QueryOp::kTopK;
+    q.limit = static_cast<std::uint32_t>(
+        GetCheckedInt(cfg, "n", 10, /*min_value=*/1));
+  } else if (op == "scan") {
+    q.op = net::QueryOp::kScan;
+    q.key = cfg.GetString("key", "");
+    q.end_key = cfg.GetString("end", "");
+    q.limit = static_cast<std::uint32_t>(
+        GetCheckedInt(cfg, "limit", 100, /*min_value=*/1));
+  } else {
+    throw std::invalid_argument("query: unknown op '" + op +
+                                "' (expected point, topk or scan)");
+  }
+
+  MetricRegistry metrics;
+  net::TcpTransport transport(&metrics, at);
+  serve::QueryClient client(&transport, cfg.GetString("tenant", "cli"));
+  const auto result = client.Query(std::move(q));
+  std::printf("status %s | answered from v%llu (watermark %llu, lag %llu)\n",
+              net::QueryStatusName(result.status),
+              static_cast<unsigned long long>(result.version),
+              static_cast<unsigned long long>(result.watermark),
+              static_cast<unsigned long long>(result.lag));
+  if (!result.error.empty()) std::printf("  %s\n", result.error.c_str());
+  for (const auto& [key, value] : result.rows) {
+    std::printf("  %-24s %s\n", key.c_str(), ShowValue(value).c_str());
+  }
+  transport.Shutdown();
+  return result.status == net::QueryStatus::kOk ? 0 : 1;
+}
+
 int CmdCoordinator(const Config& cfg) {
   const auto [host, port] =
       SplitHostPort(cfg.GetString("listen", ""), "listen");
@@ -956,8 +1297,8 @@ int CmdWorker(const Config& cfg) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: opmr_cli <run|coordinator|worker|serve|sim|topk|"
-                 "sort> [key=value ...]\n"
+                 "usage: opmr_cli <run|stream|frontend|query|coordinator|"
+                 "worker|serve|sim|topk|sort> [key=value ...]\n"
                  "see the header of tools/opmr_cli.cc for the full flags\n");
     return 2;
   }
@@ -965,6 +1306,9 @@ int main(int argc, char** argv) {
   const auto cfg = opmr::Config::FromArgs(argc - 1, argv + 1);
   try {
     if (command == "run") return CmdRun(cfg);
+    if (command == "stream") return CmdStream(cfg);
+    if (command == "frontend") return CmdFrontend(cfg);
+    if (command == "query") return CmdQuery(cfg);
     if (command == "coordinator") return CmdCoordinator(cfg);
     if (command == "worker") return CmdWorker(cfg);
     if (command == "serve") return CmdServe(cfg);
