@@ -54,7 +54,8 @@ void Coordinator::HandleFrame(net::Connection* from, net::Frame frame) {
     switch (frame.type) {
       case net::FrameType::kRegister: {
         const net::RegisterMsg msg = net::RegisterMsg::Parse(frame);
-        if (!options_.secret.empty() && msg.auth != options_.secret) {
+        if (!options_.secret.empty() &&
+            !net::ConstantTimeEquals(options_.secret, msg.auth)) {
           auth_failures_->Increment();
           net::AbortMsg abort;
           abort.reason = "coordinator: authentication failed for worker '" +

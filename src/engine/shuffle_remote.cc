@@ -447,7 +447,7 @@ void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
     switch (frame.type) {
       case net::FrameType::kHello: {
         const auto msg = net::HelloMsg::Parse(frame);  // validates version
-        if (!secret_.empty() && msg.auth != secret_) {
+        if (!secret_.empty() && !net::ConstantTimeEquals(secret_, msg.auth)) {
           auth_failures_->Increment();
           net::AbortMsg abort;
           abort.reason = "shuffle server: authentication failed for worker '" +

@@ -114,7 +114,7 @@ class TcpServerConnection final : public Connection {
           break;
         }
       }
-      CloseSocket();
+      CloseFd();
     });
   }
 
@@ -129,22 +129,33 @@ class TcpServerConnection final : public Connection {
     owner_->bytes_sent_->Add(static_cast<std::int64_t>(bytes.size()));
   }
 
-  void Close() override { CloseSocket(); }
+  // External close only shutdown()s the socket: that wakes the reader out
+  // of its blocked read(), and the reader — the sole thread allowed to
+  // close() the fd while it is alive — releases it on the way out.  A
+  // close() here would race the reader's read() on the same descriptor.
+  void Close() override {
+    std::scoped_lock lock(write_mu_);
+    if (!shutdown_done_ && !socket_closed_) {
+      ::shutdown(fd_, SHUT_RDWR);
+      shutdown_done_ = true;
+    }
+    closed_ = true;
+  }
 
   void Join() {
     if (reader_.joinable()) reader_.join();
   }
 
   ~TcpServerConnection() override {
-    CloseSocket();
+    Close();
     Join();
+    CloseFd();  // reader already closed it unless Start() was never called
   }
 
  private:
-  void CloseSocket() {
+  void CloseFd() {
     std::scoped_lock lock(write_mu_);
     if (!socket_closed_) {
-      ::shutdown(fd_, SHUT_RDWR);
       ::close(fd_);
       socket_closed_ = true;
     }
@@ -155,6 +166,7 @@ class TcpServerConnection final : public Connection {
   int fd_;
   std::mutex write_mu_;
   bool closed_ = false;
+  bool shutdown_done_ = false;
   bool socket_closed_ = false;
   std::thread reader_;
 };

@@ -20,6 +20,25 @@ void AppendBytes(std::string* out, const std::string& bytes) {
 
 }  // namespace
 
+bool ConstantTimeEquals(const std::string& secret,
+                        const std::string& guess) noexcept {
+  // Fold every byte of the guess into one accumulator; no data-dependent
+  // branch or early exit.  When lengths differ the result is forced
+  // non-zero up front but the scan still covers all of `guess`, so timing
+  // depends only on the guess length (which the frame size reveals anyway).
+  unsigned char acc =
+      secret.size() == guess.size() ? 0 : 1;
+  for (std::size_t i = 0; i < guess.size(); ++i) {
+    const unsigned char s = secret.empty()
+                                ? 0
+                                : static_cast<unsigned char>(
+                                      secret[i < secret.size() ? i : 0]);
+    acc = static_cast<unsigned char>(
+        acc | (s ^ static_cast<unsigned char>(guess[i])));
+  }
+  return acc == 0;
+}
+
 const char* WireReader::Take(std::size_t n) {
   if (body_.size() - pos_ < n) {
     throw WireError("wire: truncated message payload");
@@ -346,6 +365,8 @@ Frame MembershipMsg::ToFrame() const {
     AppendU64(frame.payload, e.generation);
     frame.payload.push_back(e.alive ? 1 : 0);
   }
+  AppendU64(frame.payload, leader_epoch);
+  AppendU32(frame.payload, leader);
   return frame;
 }
 
@@ -370,7 +391,120 @@ MembershipMsg MembershipMsg::Parse(const Frame& frame) {
     e.alive = in.U8() != 0;
     msg.entries.push_back(std::move(e));
   }
+  msg.leader_epoch = in.U64();
+  msg.leader = in.U32();
   in.ExpectExhausted("membership");
+  return msg;
+}
+
+// --- LogAppend ---------------------------------------------------------------
+
+Frame LogAppendMsg::ToFrame() const {
+  Frame frame{FrameType::kLogAppend, {}};
+  frame.payload.reserve(21 + record.size());
+  AppendU64(frame.payload, epoch);
+  AppendU64(frame.payload, index);
+  frame.payload.push_back(static_cast<char>(record_type));
+  AppendBytes(&frame.payload, record);
+  return frame;
+}
+
+LogAppendMsg LogAppendMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kLogAppend);
+  WireReader in(frame.payload);
+  LogAppendMsg msg;
+  msg.epoch = in.U64();
+  msg.index = in.U64();
+  msg.record_type = in.U8();
+  msg.record = in.Bytes();
+  in.ExpectExhausted("log_append");
+  return msg;
+}
+
+// --- LogAck ------------------------------------------------------------------
+
+Frame LogAckMsg::ToFrame() const {
+  Frame frame{FrameType::kLogAck, {}};
+  AppendU32(frame.payload, replica);
+  AppendU64(frame.payload, epoch);
+  AppendU64(frame.payload, index);
+  return frame;
+}
+
+LogAckMsg LogAckMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kLogAck);
+  WireReader in(frame.payload);
+  LogAckMsg msg;
+  msg.replica = in.U32();
+  msg.epoch = in.U64();
+  msg.index = in.U64();
+  in.ExpectExhausted("log_ack");
+  return msg;
+}
+
+// --- SnapshotOffer -----------------------------------------------------------
+
+Frame SnapshotOfferMsg::ToFrame() const {
+  Frame frame{FrameType::kSnapshotOffer, {}};
+  frame.payload.reserve(24 + bytes.size());
+  AppendU64(frame.payload, epoch);
+  AppendU64(frame.payload, index);
+  AppendU32(frame.payload, crc);
+  AppendBytes(&frame.payload, bytes);
+  return frame;
+}
+
+SnapshotOfferMsg SnapshotOfferMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kSnapshotOffer);
+  WireReader in(frame.payload);
+  SnapshotOfferMsg msg;
+  msg.epoch = in.U64();
+  msg.index = in.U64();
+  msg.crc = in.U32();
+  msg.bytes = in.Bytes();
+  in.ExpectExhausted("snapshot_offer");
+  return msg;
+}
+
+// --- Vote --------------------------------------------------------------------
+
+Frame VoteMsg::ToFrame() const {
+  Frame frame{FrameType::kVote, {}};
+  AppendU32(frame.payload, replica);
+  AppendU64(frame.payload, epoch);
+  AppendU64(frame.payload, index);
+  return frame;
+}
+
+VoteMsg VoteMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kVote);
+  WireReader in(frame.payload);
+  VoteMsg msg;
+  msg.replica = in.U32();
+  msg.epoch = in.U64();
+  msg.index = in.U64();
+  in.ExpectExhausted("vote");
+  return msg;
+}
+
+// --- LeaderClaim -------------------------------------------------------------
+
+Frame LeaderClaimMsg::ToFrame() const {
+  Frame frame{FrameType::kLeaderClaim, {}};
+  AppendU32(frame.payload, replica);
+  AppendU64(frame.payload, epoch);
+  AppendBytes(&frame.payload, endpoint);
+  return frame;
+}
+
+LeaderClaimMsg LeaderClaimMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kLeaderClaim);
+  WireReader in(frame.payload);
+  LeaderClaimMsg msg;
+  msg.replica = in.U32();
+  msg.epoch = in.U64();
+  msg.endpoint = in.Bytes();
+  in.ExpectExhausted("leader_claim");
   return msg;
 }
 

@@ -1,0 +1,246 @@
+#include "replica/changelog.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/slice.h"
+
+namespace opmr::replica {
+
+namespace {
+
+constexpr std::size_t kEntryHeaderBytes = 4 + 1 + 8 + 4 + 4;
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void AppendBytes(std::string* out, const std::string& bytes) {
+  AppendU32(*out, static_cast<std::uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+// Minimal bounds-checked cursor (the wire layer's WireReader is frame-
+// typed; records travel both inside frames and inside the log file).
+class Cursor {
+ public:
+  explicit Cursor(const std::string& body) : body_(body) {}
+
+  std::uint8_t U8() { return static_cast<std::uint8_t>(*Take(1)); }
+  std::uint32_t U32() { return DecodeU32(Take(4)); }
+  std::uint64_t U64() { return DecodeU64(Take(8)); }
+  std::string Bytes() {
+    const std::uint32_t n = U32();
+    return std::string(Take(n), n);
+  }
+  void ExpectExhausted(const char* what) const {
+    if (pos_ != body_.size()) {
+      throw std::runtime_error(std::string("changelog: trailing bytes in ") +
+                               what);
+    }
+  }
+
+ private:
+  const char* Take(std::size_t n) {
+    if (body_.size() - pos_ < n) {
+      throw std::runtime_error("changelog: truncated record payload");
+    }
+    const char* p = body_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const std::string& body_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* LogRecordTypeName(LogRecordType type) noexcept {
+  switch (type) {
+    case LogRecordType::kRegister: return "register";
+    case LogRecordType::kHeartbeat: return "heartbeat";
+    case LogRecordType::kExpire: return "expire";
+    case LogRecordType::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+std::string LogRecord::EncodePayload() const {
+  std::string out;
+  switch (type) {
+    case LogRecordType::kRegister:
+      AppendBytes(&out, worker);
+      AppendBytes(&out, endpoint);
+      out.push_back(static_cast<char>(role));
+      AppendU64(out, DoubleBits(now_s));
+      break;
+    case LogRecordType::kHeartbeat:
+      AppendBytes(&out, worker);
+      AppendU64(out, generation);
+      AppendU64(out, DoubleBits(now_s));
+      break;
+    case LogRecordType::kExpire:
+      AppendU64(out, DoubleBits(now_s));
+      AppendU64(out, DoubleBits(lease_s));
+      break;
+    case LogRecordType::kLost:
+      AppendBytes(&out, worker);
+      break;
+  }
+  return out;
+}
+
+LogRecord LogRecord::DecodePayload(LogRecordType type,
+                                   const std::string& body) {
+  LogRecord rec;
+  rec.type = type;
+  Cursor in(body);
+  switch (type) {
+    case LogRecordType::kRegister:
+      rec.worker = in.Bytes();
+      rec.endpoint = in.Bytes();
+      rec.role = in.U8();
+      rec.now_s = BitsDouble(in.U64());
+      break;
+    case LogRecordType::kHeartbeat:
+      rec.worker = in.Bytes();
+      rec.generation = in.U64();
+      rec.now_s = BitsDouble(in.U64());
+      break;
+    case LogRecordType::kExpire:
+      rec.now_s = BitsDouble(in.U64());
+      rec.lease_s = BitsDouble(in.U64());
+      break;
+    case LogRecordType::kLost:
+      rec.worker = in.Bytes();
+      break;
+    default:
+      throw std::runtime_error("changelog: unknown record type " +
+                               std::to_string(static_cast<int>(type)));
+  }
+  in.ExpectExhausted(LogRecordTypeName(type));
+  return rec;
+}
+
+Changelog::Changelog(const std::filesystem::path& dir,
+                     std::uint32_t replica_id) {
+  std::filesystem::create_directories(dir);
+  path_ = dir / ("replica_" + std::to_string(replica_id) + ".oplog");
+  // a+b: create if missing, never truncate what a previous run left.
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) {
+    throw std::runtime_error("changelog: cannot open " + path_.string());
+  }
+  // A pure scan pass establishes last_index_ and trims any torn tail;
+  // recovery proper re-Replays with the caller's apply function.
+  Replay([](std::uint64_t, const LogRecord&) {});
+}
+
+Changelog::~Changelog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Changelog::Append(std::uint64_t index, const LogRecord& record) {
+  const std::string payload = record.EncodePayload();
+  std::string entry;
+  entry.reserve(kEntryHeaderBytes + payload.size());
+  AppendU32(entry, kLogMagic);
+  entry.push_back(static_cast<char>(record.type));
+  AppendU64(entry, index);
+  AppendU32(entry, static_cast<std::uint32_t>(payload.size()));
+  // CRC over type + index + payload: everything after the magic except the
+  // length and the checksum itself, mirroring the frame layer.
+  std::uint32_t crc = Crc32Update(kCrc32Init, entry.data() + 4, 9);
+  crc = Crc32Final(Crc32Update(crc, payload.data(), payload.size()));
+  AppendU32(entry, crc);
+  entry.append(payload);
+  if (::fseeko(file_, 0, SEEK_END) != 0 ||
+      std::fwrite(entry.data(), 1, entry.size(), file_) != entry.size() ||
+      std::fflush(file_) != 0) {
+    throw std::runtime_error("changelog: append failed on " + path_.string());
+  }
+  last_index_ = index;
+}
+
+std::size_t Changelog::Replay(
+    const std::function<void(std::uint64_t, const LogRecord&)>& fn) {
+  if (::fseeko(file_, 0, SEEK_END) != 0) {
+    throw std::runtime_error("changelog: seek failed on " + path_.string());
+  }
+  const auto file_size = static_cast<std::uint64_t>(::ftello(file_));
+  std::string bytes(file_size, '\0');
+  if (::fseeko(file_, 0, SEEK_SET) != 0 ||
+      std::fread(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    throw std::runtime_error("changelog: read failed on " + path_.string());
+  }
+
+  std::size_t visited = 0;
+  std::size_t clean = 0;  // byte offset past the last valid entry
+  std::size_t pos = 0;
+  last_index_ = 0;
+  while (bytes.size() - pos >= kEntryHeaderBytes) {
+    const char* base = bytes.data() + pos;
+    if (DecodeU32(base) != kLogMagic) break;
+    const auto type = static_cast<std::uint8_t>(base[4]);
+    const std::uint64_t index = DecodeU64(base + 5);
+    const std::uint32_t payload_len = DecodeU32(base + 13);
+    const std::uint32_t stored_crc = DecodeU32(base + 17);
+    if (bytes.size() - pos - kEntryHeaderBytes < payload_len) break;
+    std::uint32_t crc = Crc32Update(kCrc32Init, base + 4, 9);
+    crc = Crc32Final(Crc32Update(crc, base + kEntryHeaderBytes, payload_len));
+    if (crc != stored_crc) break;
+    LogRecord rec;
+    try {
+      rec = LogRecord::DecodePayload(
+          static_cast<LogRecordType>(type),
+          std::string(base + kEntryHeaderBytes, payload_len));
+    } catch (const std::runtime_error&) {
+      break;  // CRC collision or unknown type: treat as torn tail
+    }
+    pos += kEntryHeaderBytes + payload_len;
+    clean = pos;
+    last_index_ = index;
+    ++visited;
+    fn(index, rec);
+  }
+
+  if (clean < bytes.size()) {
+    // Torn tail from a crash mid-append: truncate back to the clean prefix
+    // so the next Append never interleaves with garbage.
+    std::fclose(file_);
+    file_ = nullptr;
+    std::filesystem::resize_file(path_, clean);
+    file_ = std::fopen(path_.c_str(), "a+b");
+    if (file_ == nullptr) {
+      throw std::runtime_error("changelog: reopen failed on " +
+                               path_.string());
+    }
+  }
+  return visited;
+}
+
+void Changelog::Reset() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");  // truncate
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "a+b");
+  }
+  if (file_ == nullptr) {
+    throw std::runtime_error("changelog: reset failed on " + path_.string());
+  }
+}
+
+}  // namespace opmr::replica

@@ -1,0 +1,228 @@
+// CoordinatorReplica: one member of a replicated coordinator group — the
+// HA control plane.
+//
+// The replicated state machine is the WorkerRegistry.  Every mutation the
+// leader performs (register, heartbeat renewal, lease expiry) is first
+// appended to the local Changelog as a typed record, applied, and streamed
+// to the standbys as kLogAppend frames; a standby applies records in index
+// order into an identical registry.  Because the registry is caller-clocked
+// and deterministic, leader and standbys agree byte-for-byte on the
+// membership view at every applied index.
+//
+// Periodically (every `snapshot_interval_records` applied records) the
+// registry is serialized through the checkpoint plane's image codec and
+// committed with its atomic tmp+rename protocol; the changelog is then
+// rotated.  A standby whose applied index falls behind (fresh start,
+// reconnect, missed records) is caught up with a kSnapshotOffer carrying
+// the full image, after which appends resume streaming.
+//
+// Election is deterministic: the lowest live replica id leads.  Replicas
+// ping each other with kVote frames every `vote_interval_ms`; a peer
+// silent for `election_timeout_ms` is presumed dead.  A replica that finds
+// itself the lowest live id — after an initial startup grace of one
+// election timeout, so simultaneous starts converge on exactly one claim —
+// bumps the epoch (max seen + 1) and broadcasts kLeaderClaim.  Every
+// leader-originated frame (appends, snapshot offers, membership
+// broadcasts) carries the epoch, and receivers drop anything older: a
+// deposed leader that keeps talking is fenced, not obeyed.
+//
+// Workers talk to whichever replica they can reach.  Only the leader
+// serves Register/Heartbeat; a standby answers a worker's Register with a
+// kLeaderClaim redirect naming the leader it last heard.  Suspect/lost
+// bookkeeping (the two-stage failure detector) is leader-local and derived
+// state: a new leader restarts the grace timers from its own clock, which
+// only ever delays a `lost` signal, never fabricates one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "coord/registry.h"
+#include "metrics/counters.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "replica/changelog.h"
+
+namespace opmr::replica {
+
+// Applies one replicated record to `registry`.  Returns the expired worker
+// ids for kExpire records (empty otherwise).  Exposed so tests can prove
+// determinism by replaying a log into a fresh registry.
+std::vector<std::string> ApplyRecord(coord::WorkerRegistry* registry,
+                                     const LogRecord& record);
+
+// Registry state <-> checkpoint-plane image (watermark = applied log
+// index; feed 0 carries the registry epoch, feed 1 the leadership epoch).
+[[nodiscard]] CheckpointImage ImageFromRegistry(
+    const coord::WorkerRegistry& registry, std::uint64_t applied_index,
+    std::uint64_t leader_epoch);
+// Throws std::runtime_error on malformed entry state bytes.
+void RestoreRegistryFromImage(const CheckpointImage& image,
+                              coord::WorkerRegistry* registry,
+                              std::uint64_t* leader_epoch);
+
+class CoordinatorReplica {
+ public:
+  struct Peer {
+    std::uint32_t id = 0;
+    std::string endpoint;  // host:port the peer replica listens on
+  };
+
+  struct Options {
+    std::uint32_t replica_id = 1;  // unique, >= 1; lowest live id leads
+    std::vector<Peer> peers;       // the OTHER replicas of the group
+    std::string endpoint;          // this replica's advertised endpoint
+    std::filesystem::path changelog_dir;  // changelog + snapshot images
+    std::string secret;            // worker Register auth (empty = off)
+    double lease_s = 2.0;
+    double rejoin_grace_s = 2.0;
+    double sweep_interval_ms = 50;
+    double vote_interval_ms = 50;       // peer liveness ping cadence
+    double election_timeout_ms = 500;   // peer silence -> presumed dead;
+                                        // also the startup claim grace
+    std::uint64_t snapshot_interval_records = 256;  // log rotation period
+    // Fired outside every lock.  on_leadership reports (leading, epoch) on
+    // every transition of THIS replica.
+    std::function<void(const std::string&)> on_worker_lost;
+    std::function<void(const std::string&)> on_worker_returned;
+    std::function<void(bool, std::uint64_t)> on_leadership;
+  };
+
+  // `transport` must already be bound (server mode); both worker traffic
+  // and peer replication arrive on it.  Does not take ownership.
+  CoordinatorReplica(net::Transport* transport, MetricRegistry* metrics,
+                     Options options);
+  ~CoordinatorReplica();
+
+  CoordinatorReplica(const CoordinatorReplica&) = delete;
+  CoordinatorReplica& operator=(const CoordinatorReplica&) = delete;
+
+  // Stops the ticker and peer links.  The server transport is the
+  // caller's to shut down (kill the process = kill -9 the coordinator).
+  void Stop();
+
+  [[nodiscard]] coord::WorkerRegistry& registry() { return registry_; }
+  [[nodiscard]] bool is_leader() const;
+  [[nodiscard]] std::uint64_t leader_epoch() const;
+  [[nodiscard]] std::uint32_t known_leader() const;  // 0 = unknown
+  [[nodiscard]] std::uint64_t applied_index() const;
+  [[nodiscard]] std::uint64_t elections() const;
+
+  // Blocks until this replica claims (or observes) leadership.
+  bool WaitForLeadership(double timeout_s);
+  // Blocks until SOME replica is known to lead at epoch >= `min_epoch`.
+  bool WaitForLeader(double timeout_s, std::uint64_t min_epoch = 1);
+  // Leader-side: blocks until >= n live workers of `role` are registered.
+  bool WaitForWorkers(net::WireRole role, std::size_t n, double timeout_s);
+
+  // One failure-detector pass at `now_s` (leader only; standbys return 0).
+  std::size_t SweepNow();
+  std::size_t SweepNow(double now_s);
+
+  void SetOnWorkerLost(std::function<void(const std::string&)> cb);
+
+ private:
+  struct PeerLink {
+    Peer peer;
+    std::unique_ptr<net::TcpTransport> transport;
+    std::shared_ptr<net::Connection> conn;
+    double last_heard_s = 0.0;  // steady clock; 0 = never
+    bool synced = false;        // appends may stream (snapshot landed)
+    std::uint64_t acked = 0;    // cumulative applied index the peer acked
+    int lag_ticks = 0;          // consecutive ticks acked < applied
+  };
+
+  void HandleFrame(net::Connection* from, net::Frame frame);
+  void HandlePeerFrame(std::uint32_t from_id_hint, net::Connection* from,
+                       const net::Frame& frame);
+  void HandleRegister(net::Connection* from, const net::Frame& frame);
+  void HandleHeartbeat(net::Connection* from, const net::Frame& frame);
+
+  // Leader mutation path: append to the changelog, apply, and stream to
+  // synced peers.  Requires mu_; sends happen after unlock via the
+  // returned closure idiom (see .cc).
+  std::vector<std::string> MutateLocked(const LogRecord& record,
+                                        std::uint64_t* index_out);
+  void ReplicateRecord(std::uint64_t index, const LogRecord& record);
+  void OfferSnapshot(PeerLink* link);
+  void MaybeSnapshotLocked();
+
+  void TickerLoop();
+  void EvaluateElection(double now_steady_s);
+  void BecomeLeaderLocked();   // requires mu_
+  void StepDownLocked();       // requires mu_
+  void BroadcastMembership();
+  [[nodiscard]] net::Frame MembershipFrameLocked();  // requires mu_
+
+  void AdoptEpochLocked(std::uint64_t epoch);  // requires mu_
+  void Recover();
+
+  [[nodiscard]] double NowSteady() const;
+
+  net::Transport* transport_;
+  MetricRegistry* metrics_;
+  Options options_;
+  coord::WorkerRegistry registry_;
+
+  Counter* elections_ = nullptr;
+  Counter* stepdowns_ = nullptr;
+  Counter* log_appends_ = nullptr;
+  Counter* records_applied_ = nullptr;
+  Counter* snapshots_written_ = nullptr;
+  Counter* snapshots_installed_ = nullptr;
+  Counter* stale_frames_ = nullptr;
+  Counter* redirects_ = nullptr;
+  Counter* registers_ = nullptr;
+  Counter* heartbeats_ = nullptr;
+  Counter* stale_heartbeats_ = nullptr;
+  Counter* auth_failures_ = nullptr;
+  Counter* workers_lost_ = nullptr;
+  Counter* workers_returned_ = nullptr;
+
+  std::mutex cb_mu_;
+  std::function<void(const std::string&)> on_worker_lost_;
+  std::function<void(const std::string&)> on_worker_returned_;
+  std::function<void(bool, std::uint64_t)> on_leadership_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+
+  // Replication state.
+  std::unique_ptr<Changelog> changelog_;
+  std::unique_ptr<CheckpointManager> snapshots_;
+  std::uint64_t applied_index_ = 0;
+  std::uint64_t last_snapshot_index_ = 0;
+
+  // Election state.
+  std::uint64_t epoch_ = 0;          // highest leadership epoch seen
+  std::uint64_t claim_epoch_ = 0;    // epoch of OUR claim while leading
+  std::uint32_t leader_id_ = 0;      // 0 = unknown
+  std::string leader_endpoint_;
+  bool is_leader_ = false;
+  double start_steady_s_ = 0.0;
+  std::uint64_t election_count_ = 0;
+  std::map<std::uint32_t, PeerLink> links_;
+
+  // Leader-local worker bookkeeping (mirrors Coordinator).
+  std::map<std::string, net::Connection*> member_conns_;
+  struct Suspect {
+    std::uint64_t generation = 0;
+    double deadline_s = 0.0;
+  };
+  std::map<std::string, Suspect> suspects_;
+  double last_sweep_steady_s_ = 0.0;
+
+  std::thread ticker_;
+};
+
+}  // namespace opmr::replica

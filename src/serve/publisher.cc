@@ -112,7 +112,8 @@ void SnapshotPublisher::HandleFrame(net::Connection* from, net::Frame frame) {
 void SnapshotPublisher::HandleHello(net::Connection* from,
                                     const net::Frame& frame) {
   const net::HelloMsg hello = net::HelloMsg::Parse(frame);
-  if (!options_.secret.empty() && hello.auth != options_.secret) {
+  if (!options_.secret.empty() &&
+      !net::ConstantTimeEquals(options_.secret, hello.auth)) {
     metrics_->Get("serve.auth_rejects")->Increment();
     net::AbortMsg abort;
     abort.reason = "serve: authentication failed";

@@ -153,6 +153,8 @@ TEST(NetFrame, CoordinationMessagesRoundTrip) {
 
   MembershipMsg view;
   view.epoch = 12;
+  view.leader_epoch = 5;
+  view.leader = 2;
   view.entries.push_back({"map-0", "-", WireRole::kMap, 1, true});
   view.entries.push_back({"map-1", "-", WireRole::kMap, 4, false});
   view.entries.push_back({"reduce-0", "127.0.0.1:40001", WireRole::kReduce,
@@ -160,12 +162,20 @@ TEST(NetFrame, CoordinationMessagesRoundTrip) {
   const auto view2 =
       MembershipMsg::Parse(DecodeOne(EncodeFrame(view.ToFrame())));
   EXPECT_EQ(view2.epoch, 12u);
+  EXPECT_EQ(view2.leader_epoch, 5u);
+  EXPECT_EQ(view2.leader, 2u);
   ASSERT_EQ(view2.entries.size(), 3u);
   EXPECT_EQ(view2.entries[1].worker, "map-1");
   EXPECT_EQ(view2.entries[1].generation, 4u);
   EXPECT_FALSE(view2.entries[1].alive);
   EXPECT_EQ(view2.entries[2].endpoint, "127.0.0.1:40001");
   EXPECT_EQ(view2.entries[2].role, WireRole::kReduce);
+
+  // Unreplicated default: the trailing leadership fields decode as zero.
+  const auto bare = MembershipMsg::Parse(
+      DecodeOne(EncodeFrame(MembershipMsg{}.ToFrame())));
+  EXPECT_EQ(bare.leader_epoch, 0u);
+  EXPECT_EQ(bare.leader, 0u);
 }
 
 TEST(NetFrame, CoordinationFrameEveryTruncationIsNeedMore) {
@@ -250,6 +260,172 @@ TEST(NetFrame, CoordinationPayloadSemanticCorruptionIsWireError) {
   lying.payload[11] = '\x40';
   EXPECT_THROW((void)MembershipMsg::Parse(DecodeOne(EncodeFrame(lying))),
                WireError);
+}
+
+// --- Replication frames (v4: kLogAppend/kLogAck/kSnapshotOffer/kVote/
+// kLeaderClaim) get the same four-way fuzz treatment as every other
+// protocol family: round-trip, every truncation, every bit flip, and
+// CRC-clean semantic lies.
+
+std::vector<std::string> ReplicationWires() {
+  std::vector<std::string> wires;
+  LogAppendMsg append;
+  append.epoch = 3;
+  append.index = 41;
+  append.record_type = 2;
+  append.record = std::string("\x01payload\x00z", 11);
+  wires.push_back(EncodeFrame(append.ToFrame()));
+  LogAckMsg ack;
+  ack.replica = 2;
+  ack.epoch = 3;
+  ack.index = 41;
+  wires.push_back(EncodeFrame(ack.ToFrame()));
+  SnapshotOfferMsg offer;
+  offer.epoch = 3;
+  offer.index = 40;
+  offer.crc = 0xDEADBEEF;
+  offer.bytes = std::string(512, '\x5a');
+  wires.push_back(EncodeFrame(offer.ToFrame()));
+  VoteMsg vote;
+  vote.replica = 1;
+  vote.epoch = 3;
+  vote.index = 41;
+  wires.push_back(EncodeFrame(vote.ToFrame()));
+  LeaderClaimMsg claim;
+  claim.replica = 2;
+  claim.epoch = 4;
+  claim.endpoint = "127.0.0.1:7102";
+  wires.push_back(EncodeFrame(claim.ToFrame()));
+  return wires;
+}
+
+TEST(NetFrame, ReplicationMessagesRoundTrip) {
+  LogAppendMsg append;
+  append.epoch = 7;
+  append.index = 123;
+  append.record_type = 1;
+  append.record = std::string("record\x00 bytes", 13);
+  const auto append2 =
+      LogAppendMsg::Parse(DecodeOne(EncodeFrame(append.ToFrame())));
+  EXPECT_EQ(append2.epoch, 7u);
+  EXPECT_EQ(append2.index, 123u);
+  EXPECT_EQ(append2.record_type, 1);
+  EXPECT_EQ(append2.record, append.record);
+
+  LogAckMsg ack;
+  ack.replica = 3;
+  ack.epoch = 7;
+  ack.index = 123;
+  const auto ack2 = LogAckMsg::Parse(DecodeOne(EncodeFrame(ack.ToFrame())));
+  EXPECT_EQ(ack2.replica, 3u);
+  EXPECT_EQ(ack2.epoch, 7u);
+  EXPECT_EQ(ack2.index, 123u);
+
+  SnapshotOfferMsg offer;
+  offer.epoch = 7;
+  offer.index = 120;
+  offer.crc = 0xCAFEF00D;
+  offer.bytes = std::string(2048, '\x33');
+  const auto offer2 =
+      SnapshotOfferMsg::Parse(DecodeOne(EncodeFrame(offer.ToFrame())));
+  EXPECT_EQ(offer2.epoch, 7u);
+  EXPECT_EQ(offer2.index, 120u);
+  EXPECT_EQ(offer2.crc, 0xCAFEF00Du);
+  EXPECT_EQ(offer2.bytes, offer.bytes);
+
+  VoteMsg vote;
+  vote.replica = 2;
+  vote.epoch = 7;
+  vote.index = 99;
+  const auto vote2 = VoteMsg::Parse(DecodeOne(EncodeFrame(vote.ToFrame())));
+  EXPECT_EQ(vote2.replica, 2u);
+  EXPECT_EQ(vote2.epoch, 7u);
+  EXPECT_EQ(vote2.index, 99u);
+
+  LeaderClaimMsg claim;
+  claim.replica = 2;
+  claim.epoch = 8;
+  claim.endpoint = "10.0.0.2:7102";
+  const auto claim2 =
+      LeaderClaimMsg::Parse(DecodeOne(EncodeFrame(claim.ToFrame())));
+  EXPECT_EQ(claim2.replica, 2u);
+  EXPECT_EQ(claim2.epoch, 8u);
+  EXPECT_EQ(claim2.endpoint, "10.0.0.2:7102");
+}
+
+TEST(NetFrame, ReplicationFrameEveryTruncationIsNeedMore) {
+  for (const std::string& wire : ReplicationWires()) {
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      FrameDecoder decoder;
+      decoder.Feed(wire.data(), cut);
+      Frame frame;
+      EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kNeedMore)
+          << "truncated to " << cut << " bytes";
+      EXPECT_FALSE(decoder.poisoned());
+    }
+  }
+}
+
+TEST(NetFrame, ReplicationFrameEverySingleBitFlipIsDetected) {
+  for (const std::string& wire : ReplicationWires()) {
+    for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupt = wire;
+        corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+        FrameDecoder decoder;
+        decoder.Feed(corrupt.data(), corrupt.size());
+        Frame frame;
+        EXPECT_NE(decoder.Next(&frame), DecodeStatus::kOk)
+            << "flip of bit " << bit << " in byte " << byte
+            << " decoded as a valid frame";
+      }
+    }
+  }
+}
+
+TEST(NetFrame, ReplicationPayloadSemanticCorruptionIsWireError) {
+  // Truncated body after a CRC-clean re-encode.
+  LogAppendMsg append;
+  append.epoch = 1;
+  append.index = 2;
+  append.record = "0123456789";
+  Frame frame = append.ToFrame();
+  frame.payload.resize(frame.payload.size() / 2);
+  EXPECT_THROW((void)LogAppendMsg::Parse(DecodeOne(EncodeFrame(frame))),
+               WireError);
+
+  // Trailing junk past a well-formed message.
+  VoteMsg vote;
+  vote.replica = 1;
+  Frame padded = vote.ToFrame();
+  padded.payload += "junk";
+  EXPECT_THROW((void)VoteMsg::Parse(DecodeOne(EncodeFrame(padded))),
+               WireError);
+
+  // The length-field lie: a record length pointing far past the payload.
+  // LogAppend layout: epoch(u64) index(u64) type(u8) then len(u32) at 17.
+  Frame lying = append.ToFrame();
+  ASSERT_GE(lying.payload.size(), 21u);
+  lying.payload[17] = '\x00';
+  lying.payload[18] = '\x00';
+  lying.payload[19] = '\x00';
+  lying.payload[20] = '\x40';
+  EXPECT_THROW((void)LogAppendMsg::Parse(DecodeOne(EncodeFrame(lying))),
+               WireError);
+
+  // Same lie on a snapshot offer's image bytes:
+  // epoch(u64) index(u64) crc(u32) then len(u32) at 20.
+  SnapshotOfferMsg offer;
+  offer.bytes = "image";
+  Frame lying_offer = offer.ToFrame();
+  ASSERT_GE(lying_offer.payload.size(), 24u);
+  lying_offer.payload[20] = '\x00';
+  lying_offer.payload[21] = '\x00';
+  lying_offer.payload[22] = '\x00';
+  lying_offer.payload[23] = '\x40';
+  EXPECT_THROW(
+      (void)SnapshotOfferMsg::Parse(DecodeOne(EncodeFrame(lying_offer))),
+      WireError);
 }
 
 TEST(NetFrame, ServingMessagesRoundTrip) {
@@ -578,6 +754,22 @@ TEST(NetFrame, SemanticallyTruncatedPayloadIsWireError) {
   padded.payload += "trailing junk";
   const Frame reframed2 = DecodeOne(EncodeFrame(padded));
   EXPECT_THROW((void)ChunkMsg::Parse(reframed2), WireError);
+}
+
+TEST(NetFrame, ConstantTimeEqualsMatchesOnlyExactSecrets) {
+  EXPECT_TRUE(ConstantTimeEquals("", ""));
+  EXPECT_TRUE(ConstantTimeEquals("s3cret", "s3cret"));
+  EXPECT_FALSE(ConstantTimeEquals("s3cret", "S3cret"));   // case differs
+  EXPECT_FALSE(ConstantTimeEquals("s3cret", "s3cre"));    // proper prefix
+  EXPECT_FALSE(ConstantTimeEquals("s3cret", "s3cretX"));  // proper suffix
+  EXPECT_FALSE(ConstantTimeEquals("s3cret", ""));
+  EXPECT_FALSE(ConstantTimeEquals("", "guess"));
+  // Embedded NULs are ordinary bytes, not terminators.
+  const std::string with_nul("a\0b", 3);
+  const std::string with_nul_c("a\0c", 3);
+  EXPECT_TRUE(ConstantTimeEquals(with_nul, with_nul));
+  EXPECT_FALSE(ConstantTimeEquals(with_nul, with_nul_c));
+  EXPECT_FALSE(ConstantTimeEquals(with_nul, std::string("a", 1)));
 }
 
 TEST(NetFrame, UnknownTypeByteIsBadType) {
