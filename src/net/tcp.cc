@@ -92,9 +92,14 @@ class TcpServerConnection final : public Connection {
 
   void Start(FrameHandler handler) {
     reader_ = std::thread([this, handler = std::move(handler)] {
+      {
+        std::scoped_lock lock(write_mu_);
+        reader_tid_ = std::this_thread::get_id();
+      }
       FrameDecoder decoder;
       char buf[1 << 16];
       for (;;) {
+        if (SocketClosed()) break;  // a handler closed us from this thread
         const ssize_t n = ::read(fd_, buf, sizeof(buf));
         if (n <= 0) {
           if (n < 0 && errno == EINTR) continue;
@@ -107,7 +112,9 @@ class TcpServerConnection final : public Connection {
         while ((status = decoder.Next(&frame)) == DecodeStatus::kOk) {
           owner_->frames_received_->Increment();
           handler(this, std::move(frame));
+          if (SocketClosed()) break;  // don't drain past our own close
         }
+        if (SocketClosed()) break;
         if (status != DecodeStatus::kNeedMore) {
           // Corrupt stream: the framing invariant is gone, drop the
           // connection (the client will reconnect and retransmit).
@@ -133,9 +140,22 @@ class TcpServerConnection final : public Connection {
   // of its blocked read(), and the reader — the sole thread allowed to
   // close() the fd while it is alive — releases it on the way out.  A
   // close() here would race the reader's read() on the same descriptor.
+  //
+  // When the caller IS the reader (a frame handler killing its own
+  // connection, e.g. an injected peer crash), no concurrent read() can
+  // exist, so the fd dies right here.  That close turns the peer's very
+  // next write into an RST instead of leaving a half-open socket whose
+  // kernel keeps ACKing writes until the reader unwinds — a window in
+  // which a busy sender can finish its whole stream "successfully",
+  // never see a failure, and therefore never replay what was dropped.
   void Close() override {
     std::scoped_lock lock(write_mu_);
-    if (!shutdown_done_ && !socket_closed_) {
+    if (std::this_thread::get_id() == reader_tid_) {
+      if (!socket_closed_) {
+        ::close(fd_);
+        socket_closed_ = true;
+      }
+    } else if (!shutdown_done_ && !socket_closed_) {
       ::shutdown(fd_, SHUT_RDWR);
       shutdown_done_ = true;
     }
@@ -162,12 +182,18 @@ class TcpServerConnection final : public Connection {
     closed_ = true;
   }
 
+  [[nodiscard]] bool SocketClosed() {
+    std::scoped_lock lock(write_mu_);
+    return socket_closed_;
+  }
+
   TcpTransport* owner_;
   int fd_;
   std::mutex write_mu_;
   bool closed_ = false;
   bool shutdown_done_ = false;
   bool socket_closed_ = false;
+  std::thread::id reader_tid_;
   std::thread reader_;
 };
 

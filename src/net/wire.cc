@@ -401,11 +401,12 @@ MembershipMsg MembershipMsg::Parse(const Frame& frame) {
 
 Frame LogAppendMsg::ToFrame() const {
   Frame frame{FrameType::kLogAppend, {}};
-  frame.payload.reserve(21 + record.size());
+  frame.payload.reserve(25 + record.size() + auth.size());
   AppendU64(frame.payload, epoch);
   AppendU64(frame.payload, index);
   frame.payload.push_back(static_cast<char>(record_type));
   AppendBytes(&frame.payload, record);
+  AppendBytes(&frame.payload, auth);
   return frame;
 }
 
@@ -417,6 +418,7 @@ LogAppendMsg LogAppendMsg::Parse(const Frame& frame) {
   msg.index = in.U64();
   msg.record_type = in.U8();
   msg.record = in.Bytes();
+  msg.auth = in.Bytes();
   in.ExpectExhausted("log_append");
   return msg;
 }
@@ -428,6 +430,7 @@ Frame LogAckMsg::ToFrame() const {
   AppendU32(frame.payload, replica);
   AppendU64(frame.payload, epoch);
   AppendU64(frame.payload, index);
+  AppendBytes(&frame.payload, auth);
   return frame;
 }
 
@@ -438,6 +441,7 @@ LogAckMsg LogAckMsg::Parse(const Frame& frame) {
   msg.replica = in.U32();
   msg.epoch = in.U64();
   msg.index = in.U64();
+  msg.auth = in.Bytes();
   in.ExpectExhausted("log_ack");
   return msg;
 }
@@ -446,11 +450,12 @@ LogAckMsg LogAckMsg::Parse(const Frame& frame) {
 
 Frame SnapshotOfferMsg::ToFrame() const {
   Frame frame{FrameType::kSnapshotOffer, {}};
-  frame.payload.reserve(24 + bytes.size());
+  frame.payload.reserve(28 + bytes.size() + auth.size());
   AppendU64(frame.payload, epoch);
   AppendU64(frame.payload, index);
   AppendU32(frame.payload, crc);
   AppendBytes(&frame.payload, bytes);
+  AppendBytes(&frame.payload, auth);
   return frame;
 }
 
@@ -462,6 +467,7 @@ SnapshotOfferMsg SnapshotOfferMsg::Parse(const Frame& frame) {
   msg.index = in.U64();
   msg.crc = in.U32();
   msg.bytes = in.Bytes();
+  msg.auth = in.Bytes();
   in.ExpectExhausted("snapshot_offer");
   return msg;
 }
@@ -473,6 +479,7 @@ Frame VoteMsg::ToFrame() const {
   AppendU32(frame.payload, replica);
   AppendU64(frame.payload, epoch);
   AppendU64(frame.payload, index);
+  AppendBytes(&frame.payload, auth);
   return frame;
 }
 
@@ -483,6 +490,7 @@ VoteMsg VoteMsg::Parse(const Frame& frame) {
   msg.replica = in.U32();
   msg.epoch = in.U64();
   msg.index = in.U64();
+  msg.auth = in.Bytes();
   in.ExpectExhausted("vote");
   return msg;
 }
@@ -494,6 +502,7 @@ Frame LeaderClaimMsg::ToFrame() const {
   AppendU32(frame.payload, replica);
   AppendU64(frame.payload, epoch);
   AppendBytes(&frame.payload, endpoint);
+  AppendBytes(&frame.payload, auth);
   return frame;
 }
 
@@ -504,6 +513,7 @@ LeaderClaimMsg LeaderClaimMsg::Parse(const Frame& frame) {
   msg.replica = in.U32();
   msg.epoch = in.U64();
   msg.endpoint = in.Bytes();
+  msg.auth = in.Bytes();
   in.ExpectExhausted("leader_claim");
   return msg;
 }

@@ -269,6 +269,12 @@ struct MembershipMsg {
 //   SnapshotOffer{epoch, index, image} ->                  (catch-up)
 //   LogAppend{epoch, index, record}  ->
 //                                    <- LogAck{id, epoch, applied}
+//
+// Every replication frame also carries `auth`, the group's shared secret
+// (empty when auth is off).  Epoch fencing alone would let any process
+// that can reach a replica's port depose the leader with a high-epoch
+// LeaderClaim or inject registry mutations; replicas verify `auth` in
+// constant time and drop unauthenticated peer frames.
 
 // Leader → standby: one serialized changelog record.  `index` is 1-based
 // and contiguous; a standby applies it iff index == applied + 1 and acks
@@ -278,6 +284,7 @@ struct LogAppendMsg {
   std::uint64_t index = 0;       // changelog position of this record
   std::uint8_t record_type = 0;  // replica::LogRecordType
   std::string record;            // LogRecord payload bytes
+  std::string auth;              // group shared secret (empty = auth off)
 
   [[nodiscard]] Frame ToFrame() const;
   static LogAppendMsg Parse(const Frame& frame);
@@ -288,6 +295,7 @@ struct LogAckMsg {
   std::uint32_t replica = 0;  // acking replica id
   std::uint64_t epoch = 0;    // highest leader epoch the sender has seen
   std::uint64_t index = 0;    // every record <= index is applied
+  std::string auth;           // group shared secret (empty = auth off)
 
   [[nodiscard]] Frame ToFrame() const;
   static LogAckMsg Parse(const Frame& frame);
@@ -300,6 +308,7 @@ struct SnapshotOfferMsg {
   std::uint64_t index = 0;  // applied log index the image covers
   std::uint32_t crc = 0;    // CRC32 of `bytes`
   std::string bytes;        // SerializeCheckpointImage of the registry
+  std::string auth;         // group shared secret (empty = auth off)
 
   [[nodiscard]] Frame ToFrame() const;
   static SnapshotOfferMsg Parse(const Frame& frame);
@@ -312,6 +321,7 @@ struct VoteMsg {
   std::uint32_t replica = 0;
   std::uint64_t epoch = 0;
   std::uint64_t index = 0;
+  std::string auth;  // group shared secret (empty = auth off)
 
   [[nodiscard]] Frame ToFrame() const;
   static VoteMsg Parse(const Frame& frame);
@@ -323,6 +333,9 @@ struct LeaderClaimMsg {
   std::uint32_t replica = 0;  // claiming replica id
   std::uint64_t epoch = 0;    // the new leadership term
   std::string endpoint;       // leader's serving endpoint (for redirects)
+  // Group shared secret (empty = auth off).  Redirects to workers carry
+  // it too — only already-authenticated registrants receive them.
+  std::string auth;
 
   [[nodiscard]] Frame ToFrame() const;
   static LeaderClaimMsg Parse(const Frame& frame);

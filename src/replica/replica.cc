@@ -14,9 +14,14 @@ namespace opmr::replica {
 
 namespace {
 
+// True wall time, NOT the steady clock: these timestamps are written into
+// replicated records and compared against a *different host's* clock after
+// failover (SweepNow on the new leader).  steady_clock's epoch is per-host
+// boot time, so cross-host comparison of steady stamps would either mass-
+// expire every worker or never expire dead ones.
 double NowWallSeconds() {
   return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
 
@@ -304,9 +309,13 @@ void CoordinatorReplica::HandleFrame(net::Connection* from, net::Frame frame) {
       default:
         return;  // not a coordination frame; ignore
     }
-  } catch (const net::WireError&) {
-    // Semantically corrupt payload on a CRC-clean frame: drop it; the
-    // sender retries or the next broadcast supersedes.
+  } catch (const std::exception&) {
+    // Drop the frame, never the process: this runs on the transport's
+    // reader thread, where an escaped exception is std::terminate.  That
+    // covers WireError (semantically corrupt payload on a CRC-clean
+    // frame) and runtime_errors from the changelog/snapshot disk paths —
+    // the sender retries, the next broadcast supersedes, or the leader's
+    // lag detector re-seeds us.
   }
 }
 
@@ -327,6 +336,10 @@ void CoordinatorReplica::HandlePeerFrame(std::uint32_t from_id_hint,
   switch (frame.type) {
     case net::FrameType::kVote: {
       const auto msg = net::VoteMsg::Parse(frame);
+      if (!PeerAuthOk(msg.auth)) {
+        auth_failures_->Increment();
+        return;
+      }
       std::function<void(bool, std::uint64_t)> cb;
       std::uint64_t cb_epoch = 0;
       {
@@ -347,6 +360,10 @@ void CoordinatorReplica::HandlePeerFrame(std::uint32_t from_id_hint,
     }
     case net::FrameType::kLeaderClaim: {
       const auto msg = net::LeaderClaimMsg::Parse(frame);
+      if (!PeerAuthOk(msg.auth)) {
+        auth_failures_->Increment();
+        return;
+      }
       std::function<void(bool, std::uint64_t)> cb;
       std::uint64_t cb_epoch = 0;
       {
@@ -378,8 +395,13 @@ void CoordinatorReplica::HandlePeerFrame(std::uint32_t from_id_hint,
     }
     case net::FrameType::kLogAppend: {
       const auto msg = net::LogAppendMsg::Parse(frame);
+      if (!PeerAuthOk(msg.auth)) {
+        auth_failures_->Increment();
+        return;
+      }
       net::LogAckMsg ack;
       ack.replica = options_.replica_id;
+      ack.auth = options_.secret;
       {
         std::scoped_lock lock(mu_);
         if (msg.epoch < epoch_) {
@@ -387,13 +409,22 @@ void CoordinatorReplica::HandlePeerFrame(std::uint32_t from_id_hint,
         } else {
           AdoptEpochLocked(msg.epoch);
           if (!is_leader_ && msg.index == applied_index_ + 1) {
-            LogRecord rec = LogRecord::DecodePayload(
-                static_cast<LogRecordType>(msg.record_type), msg.record);
-            changelog_->Append(msg.index, rec);
-            ApplyRecord(&registry_, rec);
-            applied_index_ = msg.index;
-            records_applied_->Increment();
-            MaybeSnapshotLocked();
+            // A record that cannot be decoded (truncated payload, unknown
+            // type — a CRC-clean lie) or persisted is dropped like a gap,
+            // not allowed to escape the reader thread: the ack below
+            // reports the unchanged applied index and the leader's lag
+            // detector re-seeds us with a snapshot.
+            try {
+              LogRecord rec = LogRecord::DecodePayload(
+                  static_cast<LogRecordType>(msg.record_type), msg.record);
+              changelog_->Append(msg.index, rec);
+              ApplyRecord(&registry_, rec);
+              applied_index_ = msg.index;
+              records_applied_->Increment();
+              MaybeSnapshotLocked();
+            } catch (const std::exception&) {
+              stale_frames_->Increment();
+            }
           }
           // A gap (or a duplicate) falls through: the cumulative ack below
           // tells the leader where we really are.
@@ -410,8 +441,13 @@ void CoordinatorReplica::HandlePeerFrame(std::uint32_t from_id_hint,
     }
     case net::FrameType::kSnapshotOffer: {
       const auto msg = net::SnapshotOfferMsg::Parse(frame);
+      if (!PeerAuthOk(msg.auth)) {
+        auth_failures_->Increment();
+        return;
+      }
       net::LogAckMsg ack;
       ack.replica = options_.replica_id;
+      ack.auth = options_.secret;
       {
         std::scoped_lock lock(mu_);
         if (msg.epoch < epoch_) {
@@ -426,21 +462,30 @@ void CoordinatorReplica::HandlePeerFrame(std::uint32_t from_id_hint,
             image.watermark = ~0ull;  // poison: skip install below
           }
           if (image.watermark == msg.index) {
-            AdoptEpochLocked(msg.epoch);
-            RestoreRegistryFromImage(image, &registry_, &epoch_);
-            applied_index_ = msg.index;
-            // The local log prefix is now obsolete: rotate it and commit
-            // the installed image so a restart recovers from here.
-            changelog_->Reset();
-            last_snapshot_index_ = msg.index;
+            // Persist the image BEFORE touching any state, mirroring
+            // MaybeSnapshotLocked's order.  Committing the rotation first
+            // and then failing the write would leave the disk holding an
+            // OLD snapshot plus a log whose first index jumps past it —
+            // a restart would silently replay that gapped suffix onto the
+            // stale base and could later elect a divergent leader.  If
+            // the disk can't take the image, decline the whole install:
+            // the ack reports the old applied index and the leader keeps
+            // re-offering.
+            bool durable = true;
             try {
               CheckpointImage to_write = image;
               snapshots_->Write(&to_write);
             } catch (const std::runtime_error&) {
-              // Local disk trouble only affects restart speed, not the
-              // replicated state; keep serving.
+              durable = false;
             }
-            snapshots_installed_->Increment();
+            if (durable) {
+              changelog_->Reset();  // the image covers everything so far
+              AdoptEpochLocked(msg.epoch);
+              RestoreRegistryFromImage(image, &registry_, &epoch_);
+              applied_index_ = msg.index;
+              last_snapshot_index_ = msg.index;
+              snapshots_installed_->Increment();
+            }
           }
         }
         ack.epoch = epoch_;
@@ -455,6 +500,10 @@ void CoordinatorReplica::HandlePeerFrame(std::uint32_t from_id_hint,
     }
     case net::FrameType::kLogAck: {
       const auto msg = net::LogAckMsg::Parse(frame);
+      if (!PeerAuthOk(msg.auth)) {
+        auth_failures_->Increment();
+        return;
+      }
       std::function<void(bool, std::uint64_t)> cb;
       std::uint64_t cb_epoch = 0;
       {
@@ -504,37 +553,44 @@ void CoordinatorReplica::HandleRegister(net::Connection* from,
   bool redirect = false;
   net::LeaderClaimMsg claim;
   {
-    std::scoped_lock lock(mu_);
-    if (!is_leader_) {
-      // Redirect to the leader we last heard from — but only if we can
-      // still hear it ourselves.  Bouncing a worker to a dead leader
-      // costs it a full dial backoff on a closed port; silence is
-      // better, because the worker retries here and lands the moment
-      // the next claim settles.
-      if (leader_id_ != 0 && leader_id_ != options_.replica_id &&
-          !leader_endpoint_.empty()) {
-        const auto it = links_.find(leader_id_);
-        const bool leader_live =
-            it != links_.end() && it->second.last_heard_s > 0.0 &&
-            (NowSteady() - it->second.last_heard_s) * 1000.0 <
-                options_.election_timeout_ms;
-        if (leader_live) {
-          redirect = true;
-          claim.replica = leader_id_;
-          claim.epoch = epoch_;
-          claim.endpoint = leader_endpoint_;
+    // replicate_mu_ spans index assignment through the peer sends so two
+    // concurrent handlers can't deliver their appends out of index order.
+    std::scoped_lock order(replicate_mu_);
+    {
+      std::scoped_lock lock(mu_);
+      if (!is_leader_) {
+        // Redirect to the leader we last heard from — but only if we can
+        // still hear it ourselves.  Bouncing a worker to a dead leader
+        // costs it a full dial backoff on a closed port; silence is
+        // better, because the worker retries here and lands the moment
+        // the next claim settles.
+        if (leader_id_ != 0 && leader_id_ != options_.replica_id &&
+            !leader_endpoint_.empty()) {
+          const auto it = links_.find(leader_id_);
+          const bool leader_live =
+              it != links_.end() && it->second.last_heard_s > 0.0 &&
+              (NowSteady() - it->second.last_heard_s) * 1000.0 <
+                  options_.election_timeout_ms;
+          if (leader_live) {
+            redirect = true;
+            claim.replica = leader_id_;
+            claim.epoch = epoch_;
+            claim.endpoint = leader_endpoint_;
+            claim.auth = options_.secret;  // the registrant already authed
+          }
         }
+      } else {
+        rec.type = LogRecordType::kRegister;
+        rec.worker = msg.worker;
+        rec.endpoint = msg.endpoint;
+        rec.role = static_cast<std::uint8_t>(msg.role);
+        rec.now_s = NowWallSeconds();
+        MutateLocked(rec, &index);
+        member_conns_[msg.worker] = from;
+        returned = suspects_.erase(msg.worker) > 0;
       }
-    } else {
-      rec.type = LogRecordType::kRegister;
-      rec.worker = msg.worker;
-      rec.endpoint = msg.endpoint;
-      rec.role = static_cast<std::uint8_t>(msg.role);
-      rec.now_s = NowWallSeconds();
-      MutateLocked(rec, &index);
-      member_conns_[msg.worker] = from;
-      returned = suspects_.erase(msg.worker) > 0;
     }
+    if (index != 0) ReplicateRecord(index, rec);
   }
   cv_.notify_all();
 
@@ -548,7 +604,6 @@ void CoordinatorReplica::HandleRegister(net::Connection* from,
   }
   if (index == 0) return;  // not leader, no known leader: stay silent
 
-  ReplicateRecord(index, rec);
   registers_->Increment();
   if (returned) {
     workers_returned_->Increment();
@@ -570,26 +625,29 @@ void CoordinatorReplica::HandleHeartbeat(net::Connection* from,
   bool stale = false;
   net::Frame stale_reply;
   {
-    std::scoped_lock lock(mu_);
-    if (!is_leader_) return;  // the worker's failover logic finds the leader
-    coord::WorkerInfo info;
-    const bool renewable = registry_.Lookup(msg.worker, &info) && info.alive &&
-                           info.generation == msg.generation;
-    if (renewable) {
-      rec.type = LogRecordType::kHeartbeat;
-      rec.worker = msg.worker;
-      rec.generation = msg.generation;
-      rec.now_s = NowWallSeconds();
-      MutateLocked(rec, &index);
-    } else {
-      stale = true;
-      stale_reply = MembershipFrameLocked();
+    // Same ordering fence as HandleRegister: index assignment and the
+    // peer sends must not interleave across handler threads.
+    std::scoped_lock order(replicate_mu_);
+    {
+      std::scoped_lock lock(mu_);
+      if (!is_leader_) return;  // the worker's failover logic finds the leader
+      coord::WorkerInfo info;
+      const bool renewable = registry_.Lookup(msg.worker, &info) &&
+                             info.alive && info.generation == msg.generation;
+      if (renewable) {
+        rec.type = LogRecordType::kHeartbeat;
+        rec.worker = msg.worker;
+        rec.generation = msg.generation;
+        rec.now_s = NowWallSeconds();
+        MutateLocked(rec, &index);
+      } else {
+        stale = true;
+        stale_reply = MembershipFrameLocked();
+      }
     }
+    if (index != 0) ReplicateRecord(index, rec);
   }
-  if (index != 0) {
-    heartbeats_->Increment();
-    ReplicateRecord(index, rec);
-  }
+  if (index != 0) heartbeats_->Increment();
   if (stale) {
     // Answer with the current view so the sender learns its fate without
     // waiting for the next broadcast.
@@ -616,12 +674,18 @@ std::vector<std::string> CoordinatorReplica::MutateLocked(
   return expired;
 }
 
+bool CoordinatorReplica::PeerAuthOk(const std::string& auth) const {
+  return options_.secret.empty() ||
+         net::ConstantTimeEquals(options_.secret, auth);
+}
+
 void CoordinatorReplica::ReplicateRecord(std::uint64_t index,
                                          const LogRecord& record) {
   net::LogAppendMsg msg;
   msg.index = index;
   msg.record_type = static_cast<std::uint8_t>(record.type);
   msg.record = record.EncodePayload();
+  msg.auth = options_.secret;
   std::vector<std::pair<std::uint32_t, std::shared_ptr<net::Connection>>> out;
   {
     std::scoped_lock lock(mu_);
@@ -648,6 +712,7 @@ void CoordinatorReplica::ReplicateRecord(std::uint64_t index,
 
 void CoordinatorReplica::OfferSnapshot(PeerLink* link) {
   net::SnapshotOfferMsg msg;
+  msg.auth = options_.secret;
   std::shared_ptr<net::Connection> conn;
   {
     std::scoped_lock lock(mu_);
@@ -703,6 +768,22 @@ void CoordinatorReplica::BecomeLeaderLocked() {
   for (auto& [id, link] : links_) {
     link.synced = false;
     link.lag_ticks = 0;
+  }
+  // The inherited lease stamps were written by the PREVIOUS leader's wall
+  // clock.  Re-stamp every live worker with ours — as replicated heartbeat
+  // records, so standbys and a post-crash recovery replay the same view —
+  // before the first sweep can compare them against a skewed local clock.
+  // A worker that died with the old leader gets one fresh lease and then
+  // expires on schedule; a membership gap stays bounded either way.
+  const double now_s = NowWallSeconds();
+  for (const coord::WorkerInfo& w : registry_.Dump()) {
+    if (!w.alive) continue;
+    LogRecord rec;
+    rec.type = LogRecordType::kHeartbeat;
+    rec.worker = w.id;
+    rec.generation = w.generation;
+    rec.now_s = now_s;
+    MutateLocked(rec, nullptr);
   }
 }
 
@@ -761,6 +842,7 @@ void CoordinatorReplica::EvaluateElection(double now_steady_s) {
       claim.replica = options_.replica_id;
       claim.epoch = claim_epoch_;
       claim.endpoint = options_.endpoint;
+      claim.auth = options_.secret;
       for (auto& [id, link] : links_) {
         if (link.conn) peers.push_back(link.conn);
       }
@@ -794,6 +876,7 @@ void CoordinatorReplica::TickerLoop() {
       vote.replica = options_.replica_id;
       vote.epoch = epoch_;
       vote.index = applied_index_;
+      vote.auth = options_.secret;
       for (auto& [id, link] : links_) {
         if (link.conn) {
           to_ping.emplace_back(id, link.conn);
@@ -809,7 +892,10 @@ void CoordinatorReplica::TickerLoop() {
             [this](net::Connection* from, net::Frame frame) {
               try {
                 HandlePeerFrame(0, from, frame);
-              } catch (const net::WireError&) {
+              } catch (const std::exception&) {
+                // Reader-thread boundary, same as HandleFrame: a corrupt
+                // payload or a changelog/snapshot disk error is a dropped
+                // frame, never std::terminate.
               }
             });
       } catch (const net::TransportError&) {
@@ -833,9 +919,16 @@ void CoordinatorReplica::TickerLoop() {
       }
     }
 
-    // 2. Election evaluation (may claim or step down).
+    // 2. Election evaluation (may claim or step down).  Claiming appends
+    // re-stamp records, and the sweep below appends expiries — both hit
+    // the changelog, whose I/O errors must not escape this thread.  A
+    // failed tick is retried at the next interval; the disk trouble shows
+    // up in the snapshot/append counters, not as a dead coordinator.
     const double now_steady = NowSteady();
-    EvaluateElection(now_steady);
+    try {
+      EvaluateElection(now_steady);
+    } catch (const std::exception&) {
+    }
 
     // 3. Leader housekeeping: catch lagging peers up, sweep leases.
     std::vector<PeerLink*> to_offer;
@@ -864,7 +957,12 @@ void CoordinatorReplica::TickerLoop() {
       }
     }
     for (PeerLink* link : to_offer) OfferSnapshot(link);
-    if (sweep_due) SweepNow();
+    if (sweep_due) {
+      try {
+        SweepNow();
+      } catch (const std::exception&) {
+      }
+    }
 
     lock.lock();
   }
@@ -880,6 +978,10 @@ std::size_t CoordinatorReplica::SweepNow(double now_s) {
   std::uint64_t expire_index = 0;
   LogRecord expire_rec;
   std::vector<std::pair<std::uint64_t, LogRecord>> lost_records;
+  // Same ordering fence as the worker handlers: the expire/lost appends
+  // must reach peers in index order relative to concurrent registers and
+  // heartbeat renewals.  Released before the callbacks fire.
+  std::unique_lock order(replicate_mu_);
   {
     std::scoped_lock lock(mu_);
     if (!is_leader_) return 0;
@@ -924,6 +1026,7 @@ std::size_t CoordinatorReplica::SweepNow(double now_s) {
   }
   if (expire_index != 0) ReplicateRecord(expire_index, expire_rec);
   for (const auto& [idx, rec] : lost_records) ReplicateRecord(idx, rec);
+  order.unlock();
   if (!expired.empty()) BroadcastMembership();
   if (!lost.empty()) {
     std::function<void(const std::string&)> cb;

@@ -32,6 +32,20 @@
 // bookkeeping (the two-stage failure detector) is leader-local and derived
 // state: a new leader restarts the grace timers from its own clock, which
 // only ever delays a `lost` signal, never fabricates one.
+//
+// Clocks: record timestamps (and the lease sweep that compares against
+// them) use wall time, because they cross host boundaries on failover.
+// Even so, a new leader re-stamps every live worker's lease with its own
+// clock — as replicated heartbeat records — the moment it claims, so the
+// first sweep never judges the previous leader's stamps against a skewed
+// local clock.  Peer-silence detection and sweep cadence stay on the
+// steady clock: they never leave this host.
+//
+// When `secret` is set, peer replication frames (Vote / LeaderClaim /
+// LogAppend / SnapshotOffer / LogAck) must carry it; unauthenticated
+// frames are dropped (constant-time compare, `coord.auth_failures`).
+// Epoch fencing alone cannot stop a hostile process from deposing the
+// leader with a high-epoch claim.
 #pragma once
 
 #include <condition_variable>
@@ -153,6 +167,8 @@ class CoordinatorReplica {
   std::vector<std::string> MutateLocked(const LogRecord& record,
                                         std::uint64_t* index_out);
   void ReplicateRecord(std::uint64_t index, const LogRecord& record);
+  // True iff `auth` matches the configured secret (or auth is off).
+  [[nodiscard]] bool PeerAuthOk(const std::string& auth) const;
   void OfferSnapshot(PeerLink* link);
   void MaybeSnapshotLocked();
 
@@ -196,6 +212,14 @@ class CoordinatorReplica {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Serializes the leader's mutate-then-replicate sequences so appends
+  // reach each peer link in index order: index assignment happens under
+  // mu_ but the sends happen after unlocking it, and two concurrent
+  // worker handlers could otherwise deliver n+1 before n — the standby
+  // drops the gap and the leader pays a full snapshot resync.  Ordered
+  // BEFORE mu_: acquire it only while mu_ is NOT held.
+  std::mutex replicate_mu_;
 
   // Replication state.
   std::unique_ptr<Changelog> changelog_;

@@ -274,27 +274,32 @@ std::vector<std::string> ReplicationWires() {
   append.index = 41;
   append.record_type = 2;
   append.record = std::string("\x01payload\x00z", 11);
+  append.auth = "s3cret";
   wires.push_back(EncodeFrame(append.ToFrame()));
   LogAckMsg ack;
   ack.replica = 2;
   ack.epoch = 3;
   ack.index = 41;
+  ack.auth = "s3cret";
   wires.push_back(EncodeFrame(ack.ToFrame()));
   SnapshotOfferMsg offer;
   offer.epoch = 3;
   offer.index = 40;
   offer.crc = 0xDEADBEEF;
   offer.bytes = std::string(512, '\x5a');
+  offer.auth = "s3cret";
   wires.push_back(EncodeFrame(offer.ToFrame()));
   VoteMsg vote;
   vote.replica = 1;
   vote.epoch = 3;
   vote.index = 41;
+  vote.auth = "s3cret";
   wires.push_back(EncodeFrame(vote.ToFrame()));
   LeaderClaimMsg claim;
   claim.replica = 2;
   claim.epoch = 4;
   claim.endpoint = "127.0.0.1:7102";
+  claim.auth = "s3cret";
   wires.push_back(EncodeFrame(claim.ToFrame()));
   return wires;
 }
@@ -305,52 +310,67 @@ TEST(NetFrame, ReplicationMessagesRoundTrip) {
   append.index = 123;
   append.record_type = 1;
   append.record = std::string("record\x00 bytes", 13);
+  append.auth = std::string("peer secret\0nul", 15);  // binary-safe
   const auto append2 =
       LogAppendMsg::Parse(DecodeOne(EncodeFrame(append.ToFrame())));
   EXPECT_EQ(append2.epoch, 7u);
   EXPECT_EQ(append2.index, 123u);
   EXPECT_EQ(append2.record_type, 1);
   EXPECT_EQ(append2.record, append.record);
+  EXPECT_EQ(append2.auth, append.auth);
 
   LogAckMsg ack;
   ack.replica = 3;
   ack.epoch = 7;
   ack.index = 123;
+  ack.auth = "peer secret";
   const auto ack2 = LogAckMsg::Parse(DecodeOne(EncodeFrame(ack.ToFrame())));
   EXPECT_EQ(ack2.replica, 3u);
   EXPECT_EQ(ack2.epoch, 7u);
   EXPECT_EQ(ack2.index, 123u);
+  EXPECT_EQ(ack2.auth, "peer secret");
 
   SnapshotOfferMsg offer;
   offer.epoch = 7;
   offer.index = 120;
   offer.crc = 0xCAFEF00D;
   offer.bytes = std::string(2048, '\x33');
+  offer.auth = "peer secret";
   const auto offer2 =
       SnapshotOfferMsg::Parse(DecodeOne(EncodeFrame(offer.ToFrame())));
   EXPECT_EQ(offer2.epoch, 7u);
   EXPECT_EQ(offer2.index, 120u);
   EXPECT_EQ(offer2.crc, 0xCAFEF00Du);
   EXPECT_EQ(offer2.bytes, offer.bytes);
+  EXPECT_EQ(offer2.auth, "peer secret");
 
   VoteMsg vote;
   vote.replica = 2;
   vote.epoch = 7;
   vote.index = 99;
+  vote.auth = "peer secret";
   const auto vote2 = VoteMsg::Parse(DecodeOne(EncodeFrame(vote.ToFrame())));
   EXPECT_EQ(vote2.replica, 2u);
   EXPECT_EQ(vote2.epoch, 7u);
   EXPECT_EQ(vote2.index, 99u);
+  EXPECT_EQ(vote2.auth, "peer secret");
 
   LeaderClaimMsg claim;
   claim.replica = 2;
   claim.epoch = 8;
   claim.endpoint = "10.0.0.2:7102";
+  claim.auth = "peer secret";
   const auto claim2 =
       LeaderClaimMsg::Parse(DecodeOne(EncodeFrame(claim.ToFrame())));
   EXPECT_EQ(claim2.replica, 2u);
   EXPECT_EQ(claim2.epoch, 8u);
   EXPECT_EQ(claim2.endpoint, "10.0.0.2:7102");
+  EXPECT_EQ(claim2.auth, "peer secret");
+
+  // Auth-less (auth off) frames round-trip with an empty field — the
+  // encoding always carries it.
+  const auto bare = VoteMsg::Parse(DecodeOne(EncodeFrame(VoteMsg{}.ToFrame())));
+  EXPECT_TRUE(bare.auth.empty());
 }
 
 TEST(NetFrame, ReplicationFrameEveryTruncationIsNeedMore) {

@@ -357,6 +357,15 @@ TEST(ReplicaElection, LeaderKillFailsOverWithSingleEpochBumpAndStateIntact) {
   EXPECT_TRUE(info.alive);
   EXPECT_EQ(info.generation, 1u);
   EXPECT_EQ(info.endpoint, "w:1");
+  // The new leader re-stamped the inherited lease with its own WALL clock
+  // on claiming.  A steady-clock stamp (time since THIS host's boot) would
+  // sit hours or days away from wall time and the first sweep would evict
+  // every worker the failover was supposed to preserve.
+  const double wall_now_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  EXPECT_NEAR(info.last_heartbeat_s, wall_now_s, 120.0);
   // The remaining standby observes the same term and leader.
   ASSERT_TRUE(nodes[2]->rep->WaitForLeader(10.0, /*min_epoch=*/2));
   EXPECT_EQ(nodes[2]->rep->known_leader(), 2u);
@@ -452,6 +461,126 @@ TEST(ReplicaFencing, StaleEpochAppendsAreDroppedByStandbys) {
   StopGroup(nodes);
 }
 
+TEST(ReplicaAuth, UnauthenticatedPeerFramesAreDropped) {
+  // Epoch fencing orders honest replicas; only the shared secret stops a
+  // hostile process from injecting registry state or deposing the leader
+  // with an arbitrarily high epoch.
+  auto nodes = MakeGroup("auth", 2, [](CoordinatorReplica::Options& opts) {
+    opts.secret = "s3cret";
+  });
+  // Votes and the claim carry the secret, so the group still forms.
+  ASSERT_TRUE(nodes[0]->rep->WaitForLeadership(10.0));
+  ASSERT_TRUE(nodes[1]->rep->WaitForLeader(10.0));
+  const std::uint64_t applied = nodes[1]->rep->applied_index();
+  const std::uint64_t epoch = nodes[1]->rep->leader_epoch();
+
+  MetricRegistry fake_metrics;
+  net::TcpTransport to_standby(&fake_metrics, nodes[1]->wire->endpoint());
+  auto standby_conn = to_standby.Connect([](net::Connection*, net::Frame) {});
+  net::TcpTransport to_leader(&fake_metrics, nodes[0]->wire->endpoint());
+  auto leader_conn = to_leader.Connect([](net::Connection*, net::Frame) {});
+
+  // Registry injection without the secret: a perfectly-formed append at
+  // the current epoch and the very next index, dropped anyway.
+  const LogRecord ghost = RegisterRecord("ghost", "g:1", 1.0);
+  net::LogAppendMsg append;
+  append.epoch = epoch;
+  append.index = applied + 1;
+  append.record_type = static_cast<std::uint8_t>(ghost.type);
+  append.record = ghost.EncodePayload();
+  standby_conn->Send(append.ToFrame());
+
+  // Depose attempt against the leader: a high-epoch claim with no secret.
+  net::LeaderClaimMsg depose;
+  depose.replica = 99;
+  depose.epoch = epoch + 1000;
+  depose.endpoint = "evil:1";
+  leader_conn->Send(depose.ToFrame());
+
+  ASSERT_TRUE(PollUntil(10.0, [&] {
+    return nodes[1]->metrics.Value("coord.auth_failures") >= 1 &&
+           nodes[0]->metrics.Value("coord.auth_failures") >= 1;
+  }));
+  EXPECT_EQ(nodes[1]->rep->applied_index(), applied);
+  coord::WorkerInfo info;
+  EXPECT_FALSE(nodes[1]->rep->registry().Lookup("ghost", &info));
+  EXPECT_TRUE(nodes[0]->rep->is_leader());
+  EXPECT_EQ(nodes[0]->rep->leader_epoch(), epoch);
+
+  // The same append WITH the secret lands: the gate is the auth field.
+  append.auth = "s3cret";
+  standby_conn->Send(append.ToFrame());
+  ASSERT_TRUE(PollUntil(10.0, [&] {
+    return nodes[1]->rep->applied_index() == applied + 1;
+  }));
+  EXPECT_TRUE(nodes[1]->rep->registry().Lookup("ghost", &info));
+
+  standby_conn->Close();
+  leader_conn->Close();
+  to_standby.Shutdown();
+  to_leader.Shutdown();
+  StopGroup(nodes);
+}
+
+TEST(ReplicaResilience, MalformedAppendRecordsAreDroppedNotFatal) {
+  // The outer frame parses clean but the record inside lies: truncated
+  // payload bytes, then an unknown record type.  Both must be dropped on
+  // the reader thread — DecodePayload throws, and an escaped exception
+  // there is std::terminate — with the cumulative ack still reporting the
+  // unchanged applied index so the leader knows to re-seed.
+  auto nodes = MakeGroup("malformed", 2);
+  ASSERT_TRUE(nodes[0]->rep->WaitForLeadership(10.0));
+  ASSERT_TRUE(nodes[1]->rep->WaitForLeader(10.0));
+  const std::uint64_t applied = nodes[1]->rep->applied_index();
+  const std::uint64_t epoch = nodes[1]->rep->leader_epoch();
+
+  MetricRegistry fake_metrics;
+  net::TcpTransport fake(&fake_metrics, nodes[1]->wire->endpoint());
+  std::atomic<std::uint64_t> acks{0};
+  std::atomic<std::uint64_t> last_acked{~0ull};
+  auto conn = fake.Connect([&](net::Connection*, net::Frame frame) {
+    if (frame.type != net::FrameType::kLogAck) return;
+    last_acked = net::LogAckMsg::Parse(frame).index;
+    acks.fetch_add(1);
+  });
+
+  net::LogAppendMsg truncated;
+  truncated.epoch = epoch;
+  truncated.index = applied + 1;
+  truncated.record_type = static_cast<std::uint8_t>(LogRecordType::kRegister);
+  truncated.record = "\x02";  // worker-length field cut short
+  conn->Send(truncated.ToFrame());
+  ASSERT_TRUE(PollUntil(10.0, [&] { return acks.load() >= 1; }));
+  EXPECT_EQ(last_acked.load(), applied);
+
+  net::LogAppendMsg unknown = truncated;
+  unknown.record_type = 0x7F;  // not a LogRecordType
+  unknown.record.clear();
+  conn->Send(unknown.ToFrame());
+  ASSERT_TRUE(PollUntil(10.0, [&] { return acks.load() >= 2; }));
+  EXPECT_EQ(last_acked.load(), applied);
+  EXPECT_EQ(nodes[1]->rep->applied_index(), applied);
+  ASSERT_GE(nodes[1]->metrics.Value("replica.stale_frames"), 2);
+
+  // The replica survived both: a well-formed append still applies.
+  const LogRecord good = RegisterRecord("w-good", "g:1", 1.0);
+  net::LogAppendMsg ok;
+  ok.epoch = epoch;
+  ok.index = applied + 1;
+  ok.record_type = static_cast<std::uint8_t>(good.type);
+  ok.record = good.EncodePayload();
+  conn->Send(ok.ToFrame());
+  ASSERT_TRUE(PollUntil(10.0, [&] {
+    return nodes[1]->rep->applied_index() == applied + 1;
+  }));
+  coord::WorkerInfo info;
+  EXPECT_TRUE(nodes[1]->rep->registry().Lookup("w-good", &info));
+
+  conn->Close();
+  fake.Shutdown();
+  StopGroup(nodes);
+}
+
 TEST(ReplicaRecovery, RestartRecoversFromSnapshotPlusLogSuffix) {
   const auto dir = TestDir("recover");
   MetricRegistry metrics;
@@ -482,11 +611,11 @@ TEST(ReplicaRecovery, RestartRecoversFromSnapshotPlusLogSuffix) {
   ASSERT_GE(metrics.Value("replica.snapshots_written"), 1);
 
   std::this_thread::sleep_for(std::chrono::milliseconds(50));  // drain
+  rep->Stop();
+  wire->Shutdown();  // joins reader threads BEFORE the replica dies
   const std::uint64_t applied = rep->applied_index();
   const std::uint64_t epoch = rep->leader_epoch();
-  rep->Stop();
   rep.reset();
-  wire->Shutdown();
 
   // A fresh process on the same changelog dir recovers the exact applied
   // index (snapshot watermark + replayed log suffix), the worker record,

@@ -95,11 +95,12 @@ class ServeTest : public ::testing::Test {
   MetricRegistry metrics_;
 };
 
-// Polls `pred` until it holds or ~5s elapse (fetches are asynchronous: the
-// frontend's fetcher thread issues them outside the frame handlers).
+// Polls `pred` until it holds or ~20s elapse (fetches are asynchronous: the
+// frontend's fetcher thread issues them outside the frame handlers; the
+// bound leaves headroom for TSan's slowdown on a loaded host).
 template <typename Pred>
 bool WaitUntil(Pred pred) {
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < 2000; ++i) {
     if (pred()) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
