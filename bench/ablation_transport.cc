@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/config.h"
@@ -37,6 +38,17 @@ int main(int argc, char** argv) {
   bench::CsvSink csv("ablation_transport.csv");
   csv.Row("transport", "chunk_bytes", "wall_s", "pushed", "diverted",
           WireCsvHeader());
+
+  struct Point {
+    std::string transport;
+    std::size_t chunk_bytes = 0;
+    double wall_s = 0.0;
+    std::int64_t pushed = 0;
+    std::int64_t diverted = 0;
+    std::int64_t net_frames = 0;
+    std::int64_t net_bytes = 0;
+  };
+  std::vector<Point> points;
 
   int i = 0;
   for (const std::string& transport : {"loopback", "tcp"}) {
@@ -68,6 +80,10 @@ int main(int argc, char** argv) {
                            r.net_frames_sent, r.net_frames_received,
                            r.net_retransmits, r.net_reconnects,
                            r.net_stall_seconds, r.shuffle_ack_replays));
+      points.push_back({transport, chunk, r.wall_seconds,
+                        r.Bytes(device::kPushedChunks),
+                        r.Bytes(device::kDivertedChunks), r.net_frames_sent,
+                        r.net_bytes_sent});
     }
   }
   std::printf("%s", table.ToString().c_str());
@@ -75,5 +91,32 @@ int main(int argc, char** argv) {
               "payload (framing +\nper-send overhead); tcp pays it through "
               "the kernel socket path, loopback\nonly through the protocol "
               "layer.\n");
+
+  const auto json_path = bench::OutDir() / "BENCH_transport.json";
+  if (std::FILE* out = std::fopen(json_path.string().c_str(), "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"ablation_transport\",\n"
+                 "  \"records\": %llu,\n"
+                 "  \"points\": [\n",
+                 static_cast<unsigned long long>(gen.num_records));
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const auto& pt = points[p];
+      std::fprintf(out,
+                   "    { \"transport\": \"%s\", \"chunk_bytes\": %zu, "
+                   "\"wall_s\": %.4f, \"pushed_chunks\": %lld, "
+                   "\"diverted_chunks\": %lld, \"net_frames_sent\": %lld, "
+                   "\"net_bytes_sent\": %lld }%s\n",
+                   pt.transport.c_str(), pt.chunk_bytes, pt.wall_s,
+                   static_cast<long long>(pt.pushed),
+                   static_cast<long long>(pt.diverted),
+                   static_cast<long long>(pt.net_frames),
+                   static_cast<long long>(pt.net_bytes),
+                   p + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.string().c_str());
+  }
   return 0;
 }

@@ -1,0 +1,439 @@
+#include "coded/coded.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/slice.h"
+
+namespace opmr::coded {
+
+namespace {
+
+// Sender slot `i`'s rank among the r senders serving receiver slot `j`
+// (the group members minus the receiver, in node order).
+std::size_t SenderRank(std::size_t i, std::size_t j) {
+  return i < j ? i : i - 1;
+}
+
+}  // namespace
+
+void AppendUnit(std::string* out, int task, const CodedUnit& unit) {
+  AppendU32(*out, static_cast<std::uint32_t>(task));
+  out->push_back(unit.sorted ? '\x01' : '\x00');
+  AppendU64(*out, unit.records);
+  AppendU32(*out, static_cast<std::uint32_t>(unit.bytes.size()));
+  out->append(unit.bytes);
+}
+
+bool ParseUnits(const std::string& stream,
+                std::vector<std::pair<int, CodedUnit>>* out) {
+  std::size_t pos = 0;
+  constexpr std::size_t kHeader = 4 + 1 + 8 + 4;
+  while (pos < stream.size()) {
+    if (stream.size() - pos < kHeader) return false;
+    const auto task = static_cast<int>(DecodeU32(stream.data() + pos));
+    const char sorted = stream[pos + 4];
+    if (sorted != '\x00' && sorted != '\x01') return false;
+    const std::uint64_t records = DecodeU64(stream.data() + pos + 5);
+    const std::uint32_t len = DecodeU32(stream.data() + pos + 13);
+    pos += kHeader;
+    if (stream.size() - pos < len) return false;
+    CodedUnit unit;
+    unit.sorted = sorted == '\x01';
+    unit.records = records;
+    unit.bytes = stream.substr(pos, len);
+    out->emplace_back(task, std::move(unit));
+    pos += len;
+  }
+  return true;
+}
+
+// --- CodedShuffleClient ------------------------------------------------------
+
+CodedShuffleClient::CodedShuffleClient(const CodedPlan* plan, SendFn send,
+                                       MapDoneFn map_done,
+                                       MetricRegistry* metrics)
+    : plan_(plan),
+      send_(std::move(send)),
+      map_done_(std::move(map_done)),
+      frames_(metrics->Get(kCodedFrames)),
+      payload_bytes_(metrics->Get(kCodedPayloadBytes)) {
+  const auto num_tasks = static_cast<std::size_t>(plan_->num_tasks());
+  units_.resize(num_tasks);
+  for (auto& by_partition : units_) {
+    by_partition.resize(static_cast<std::size_t>(plan_->num_reducers()));
+  }
+  task_done_.assign(num_tasks, false);
+  map_done_sent_.assign(num_tasks, false);
+  task_stats_.assign(num_tasks, {0, 0});
+  task_pending_groups_.resize(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    task_pending_groups_[t] =
+        static_cast<int>(plan_->groups_of_task(static_cast<int>(t)).size());
+  }
+  const auto num_groups = plan_->groups().size();
+  group_remaining_.resize(num_groups);
+  group_tasks_.resize(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    group_tasks_[g] = plan_->GroupTasks(static_cast<int>(g));
+    group_remaining_[g] = static_cast<int>(group_tasks_[g].size());
+  }
+  pending_map_dones_ = num_tasks;
+}
+
+void CodedShuffleClient::RegisterFile(const MapOutputFile& file) {
+  (void)file;
+  throw std::logic_error(
+      "coded shuffle client: RegisterFile is a pull-shuffle path; cluster "
+      "validation should have rejected this configuration");
+}
+
+void CodedShuffleClient::RegisterSegment(int map_task,
+                                         const std::filesystem::path& path,
+                                         int reducer, const Segment& segment,
+                                         bool sorted) {
+  (void)map_task;
+  (void)path;
+  (void)reducer;
+  (void)segment;
+  (void)sorted;
+  throw std::logic_error(
+      "coded shuffle client: segment diversion cannot happen — TryPush "
+      "never refuses a chunk");
+}
+
+PushResult CodedShuffleClient::TryPush(int reducer, ShuffleItem chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (chunk.map_task < 0 || chunk.map_task >= plan_->num_tasks()) {
+    throw std::logic_error("coded shuffle client: chunk for unknown task " +
+                           std::to_string(chunk.map_task));
+  }
+  CodedUnit unit;
+  unit.sorted = chunk.sorted;
+  unit.records = chunk.records;
+  unit.bytes = std::move(chunk.bytes);
+  units_[static_cast<std::size_t>(chunk.map_task)]
+        [static_cast<std::size_t>(reducer)]
+            .push_back(std::move(unit));
+  return PushResult::kAccepted;
+}
+
+void CodedShuffleClient::MapTaskDone(int map_task,
+                                     std::uint64_t input_records,
+                                     std::uint64_t output_records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto t = static_cast<std::size_t>(map_task);
+  task_done_.at(t) = true;
+  task_stats_[t] = {input_records, output_records};
+  for (const int g : plan_->groups_of_task(map_task)) {
+    if (--group_remaining_[static_cast<std::size_t>(g)] == 0) {
+      FlushGroupLocked(g);
+    }
+  }
+  // A task with no groups (cannot happen while K >= r+1, but cheap to
+  // keep correct) forwards its MapDone immediately.
+  if (task_pending_groups_[t] == 0 && !map_done_sent_[t]) {
+    ForwardMapDoneLocked(map_task);
+  }
+}
+
+void CodedShuffleClient::FlushGroupLocked(int group) {
+  const CodedGroup& grp = plan_->groups()[static_cast<std::size_t>(group)];
+  const std::size_t members = grp.nodes.size();
+
+  // Each receiver slot's unit stream and its r-way part split.
+  std::vector<std::string> streams(members);
+  std::vector<std::vector<std::uint64_t>> splits(members);
+  for (std::size_t j = 0; j < members; ++j) {
+    const auto partition = static_cast<std::size_t>(grp.nodes[j]);
+    for (const int task : grp.tasks_for[j]) {
+      for (const CodedUnit& unit :
+           units_[static_cast<std::size_t>(task)][partition]) {
+        AppendUnit(&streams[j], task, unit);
+      }
+    }
+    splits[j] = plan_->PartLengths(streams[j].size());
+  }
+
+  // One frame per member: the XOR of the zero-padded parts it owes the
+  // other r members.  Empty payloads still ship — the decoder needs all
+  // r+1 frames to know the group is complete.
+  for (std::size_t i = 0; i < members; ++i) {
+    net::CodedChunkMsg msg;
+    msg.group = static_cast<std::uint32_t>(group);
+    msg.sender = static_cast<std::uint32_t>(grp.nodes[i]);
+    std::string payload;
+    for (std::size_t j = 0; j < members; ++j) {
+      if (j == i) continue;
+      const std::size_t rank = SenderRank(i, j);
+      std::uint64_t offset = 0;
+      for (std::size_t p = 0; p < rank; ++p) offset += splits[j][p];
+      const std::uint64_t len = splits[j][rank];
+      net::CodedPart part;
+      part.node = static_cast<std::uint32_t>(grp.nodes[j]);
+      part.part_len = static_cast<std::uint32_t>(len);
+      msg.parts.push_back(part);
+      if (payload.size() < len) payload.resize(len, '\0');
+      const char* src = streams[j].data() + offset;
+      for (std::uint64_t b = 0; b < len; ++b) {
+        payload[b] = static_cast<char>(payload[b] ^ src[b]);
+      }
+    }
+    msg.bytes = std::move(payload);
+    frames_->Increment();
+    payload_bytes_->Add(static_cast<std::int64_t>(msg.bytes.size()));
+    send_([msg](std::uint64_t seq) mutable {
+      msg.seq = seq;
+      return msg.ToFrame();
+    });
+  }
+
+  // Flushing may complete member tasks' last group: forward their
+  // deferred MapDones and release their buffered units.
+  for (const int task : group_tasks_[static_cast<std::size_t>(group)]) {
+    const auto t = static_cast<std::size_t>(task);
+    if (--task_pending_groups_[t] == 0 && task_done_[t] &&
+        !map_done_sent_[t]) {
+      ForwardMapDoneLocked(task);
+      UnitsByPartition().swap(units_[t]);
+    }
+  }
+}
+
+void CodedShuffleClient::ForwardMapDoneLocked(int task) {
+  const auto t = static_cast<std::size_t>(task);
+  map_done_sent_[t] = true;
+  --pending_map_dones_;
+  map_done_(task, task_stats_[t].first, task_stats_[t].second);
+}
+
+std::size_t CodedShuffleClient::PendingMapDones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_map_dones_;
+}
+
+// --- CodedDecoder ------------------------------------------------------------
+
+CodedDecoder::CodedDecoder(const CodedPlan* plan, RemapFn remap, PushFn push,
+                           MetricRegistry* metrics)
+    : plan_(plan),
+      remap_(std::move(remap)),
+      push_(std::move(push)),
+      decoded_units_(metrics->Get(kCodedDecodedUnits)),
+      local_units_(metrics->Get(kCodedLocalUnits)),
+      remap_tasks_(metrics->Get(kCodedRemapTasks)),
+      reconstructed_(metrics->Get(kCodedReconstructedSegments)) {
+  store_.resize(static_cast<std::size_t>(plan_->num_reducers()));
+}
+
+void CodedDecoder::Prepare(const std::vector<BlockInfo>& blocks) {
+  if (static_cast<int>(blocks.size()) != plan_->num_tasks()) {
+    throw std::invalid_argument(
+        "coded decoder: block list does not match the plan");
+  }
+  // The r-fold map CPU the scheme trades for shuffle bytes: every holder
+  // re-maps its tasks locally.
+  for (int task = 0; task < plan_->num_tasks(); ++task) {
+    for (const int holder : plan_->holders(task)) {
+      UnitsByPartition units(
+          static_cast<std::size_t>(plan_->num_reducers()));
+      remap_(task, blocks[static_cast<std::size_t>(task)], &units);
+      std::lock_guard<std::mutex> lock(mu_);
+      store_[static_cast<std::size_t>(holder)][task] = std::move(units);
+      remap_tasks_->Increment();
+    }
+  }
+}
+
+void CodedDecoder::SetKill(int node, std::uint64_t after_frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_node_ = node;
+  kill_after_frames_ = after_frames;
+}
+
+void CodedDecoder::MaybeKillLocked() {
+  if (killed_ || kill_node_ < 0 || frames_applied_ < kill_after_frames_) {
+    return;
+  }
+  store_[static_cast<std::size_t>(kill_node_)].clear();
+  killed_ = true;
+}
+
+const UnitsByPartition& CodedDecoder::LookupLocked(int node, int task) {
+  auto& own = store_[static_cast<std::size_t>(node)];
+  const auto it = own.find(task);
+  if (it != own.end()) return it->second;
+  // The node's co-located mapper is gone: any surviving holder carries a
+  // byte-identical copy, so recovery never re-runs the map task.
+  for (const int holder : plan_->holders(task)) {
+    if (holder == node) continue;
+    auto& peer = store_[static_cast<std::size_t>(holder)];
+    const auto peer_it = peer.find(task);
+    if (peer_it != peer.end()) {
+      reconstructed_->Increment();
+      return peer_it->second;
+    }
+  }
+  throw net::WireError("coded decoder: task " + std::to_string(task) +
+                       " intermediates lost on every replica");
+}
+
+std::string CodedDecoder::StreamForLocked(int node, int group,
+                                          std::size_t slot) {
+  const CodedGroup& grp = plan_->groups()[static_cast<std::size_t>(group)];
+  const auto partition = static_cast<std::size_t>(grp.nodes[slot]);
+  std::string stream;
+  for (const int task : grp.tasks_for[slot]) {
+    const UnitsByPartition& units = LookupLocked(node, task);
+    for (const CodedUnit& unit : units[partition]) {
+      AppendUnit(&stream, task, unit);
+    }
+  }
+  return stream;
+}
+
+std::uint64_t CodedDecoder::OnCodedFrame(const net::CodedChunkMsg& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto group = static_cast<int>(msg.group);
+  if (group < 0 || msg.group >= plan_->groups().size()) {
+    throw net::WireError("coded frame: group " + std::to_string(msg.group) +
+                         " outside the plan");
+  }
+  const CodedGroup& grp = plan_->groups()[msg.group];
+  const auto sender_slot =
+      std::lower_bound(grp.nodes.begin(), grp.nodes.end(),
+                       static_cast<int>(msg.sender)) -
+      grp.nodes.begin();
+  if (sender_slot == static_cast<std::ptrdiff_t>(grp.nodes.size()) ||
+      grp.nodes[static_cast<std::size_t>(sender_slot)] !=
+          static_cast<int>(msg.sender)) {
+    throw net::WireError("coded frame: sender " + std::to_string(msg.sender) +
+                         " is not a member of group " +
+                         std::to_string(msg.group));
+  }
+  if (msg.parts.size() != grp.nodes.size() - 1) {
+    throw net::WireError("coded frame: part list does not cover the group");
+  }
+  std::size_t expect = 0;
+  for (const net::CodedPart& part : msg.parts) {
+    if (expect == static_cast<std::size_t>(sender_slot)) ++expect;
+    if (static_cast<int>(part.node) != grp.nodes[expect]) {
+      throw net::WireError("coded frame: receiver list does not match group " +
+                           std::to_string(msg.group));
+    }
+    ++expect;
+  }
+  pending_[group][static_cast<int>(msg.sender)] = msg;
+  ++frames_applied_;
+  MaybeKillLocked();
+  if (pending_[group].size() == grp.nodes.size()) {
+    DecodeGroupLocked(group);
+    pending_.erase(group);
+  }
+  return decoded_total_;
+}
+
+void CodedDecoder::DecodeGroupLocked(int group) {
+  const CodedGroup& grp = plan_->groups()[static_cast<std::size_t>(group)];
+  const std::size_t members = grp.nodes.size();
+  const auto& frames = pending_[group];
+
+  for (std::size_t j = 0; j < members; ++j) {
+    const int receiver = grp.nodes[j];
+
+    // The streams receiver j can rebuild from its own co-located mapper
+    // (every slot but its own), with their encoder part splits.
+    std::vector<std::string> local(members);
+    std::vector<std::vector<std::uint64_t>> splits(members);
+    std::vector<std::vector<std::uint64_t>> offsets(members);
+    for (std::size_t j2 = 0; j2 < members; ++j2) {
+      if (j2 == j) continue;
+      local[j2] = StreamForLocked(receiver, group, j2);
+      splits[j2] = plan_->PartLengths(local[j2].size());
+      offsets[j2].resize(splits[j2].size(), 0);
+      for (std::size_t p = 1; p < splits[j2].size(); ++p) {
+        offsets[j2][p] = offsets[j2][p - 1] + splits[j2][p - 1];
+      }
+    }
+
+    // Cross-check the local re-map against the senders' advertised part
+    // lengths: receiver j2's locally rebuilt stream must be exactly as
+    // long as the parts the frames claim to carry for it, or the XOR
+    // algebra is operating on diverged bytes.
+    for (std::size_t j2 = 0; j2 < members; ++j2) {
+      if (j2 == j) continue;
+      std::uint64_t advertised = 0;
+      for (std::size_t i = 0; i < members; ++i) {
+        if (i == j2) continue;
+        const net::CodedChunkMsg& frame = frames.at(grp.nodes[i]);
+        // Receiver j2's entry in sender i's part list.
+        advertised += frame.parts[SenderRank(j2, i)].part_len;
+      }
+      if (advertised != local[j2].size()) {
+        throw net::WireError(
+            "coded decoder: group " + std::to_string(group) + " receiver " +
+            std::to_string(grp.nodes[j2]) + " stream is " +
+            std::to_string(local[j2].size()) + " bytes locally but " +
+            std::to_string(advertised) +
+            " on the wire (map-side/reduce-side divergence)");
+      }
+    }
+
+    std::string stream;
+    for (std::size_t i = 0; i < members; ++i) {
+      if (i == j) continue;
+      const net::CodedChunkMsg& frame = frames.at(grp.nodes[i]);
+      // This receiver's entry in sender i's part list.
+      const std::size_t part_index = SenderRank(j, i);
+      const std::uint64_t len = frame.parts[part_index].part_len;
+      std::string part(frame.bytes.data(),
+                       std::min<std::size_t>(len, frame.bytes.size()));
+      part.resize(len, '\0');
+      // Peel: XOR out every other receiver's locally rebuilt part.
+      for (std::size_t j2 = 0; j2 < members; ++j2) {
+        if (j2 == i || j2 == j) continue;
+        const std::size_t rank2 = SenderRank(i, j2);
+        const std::uint64_t off2 = offsets[j2][rank2];
+        const std::uint64_t len2 = splits[j2][rank2];
+        const std::uint64_t n = std::min(len, len2);
+        const char* src = local[j2].data() + off2;
+        for (std::uint64_t b = 0; b < n; ++b) {
+          part[b] = static_cast<char>(part[b] ^ src[b]);
+        }
+      }
+      stream.append(part);
+    }
+
+    // Sanity: the senders' advertised lengths for this receiver must
+    // describe a parseable unit stream; anything else means the local
+    // re-map and the encoder disagreed.
+    std::vector<std::pair<int, CodedUnit>> units;
+    if (!ParseUnits(stream, &units)) {
+      throw net::WireError(
+          "coded decoder: group " + std::to_string(group) + " receiver " +
+          std::to_string(receiver) +
+          " peeled an unparseable stream (map-side/reduce-side divergence)");
+    }
+    for (auto& [task, unit] : units) {
+      push_(receiver, task, unit);
+      ++decoded_total_;
+      decoded_units_->Increment();
+    }
+  }
+}
+
+void CodedDecoder::OnMapDone(int task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (task < 0 || task >= plan_->num_tasks()) return;
+  for (const int holder : plan_->holders(task)) {
+    const UnitsByPartition& units = LookupLocked(holder, task);
+    for (const CodedUnit& unit :
+         units[static_cast<std::size_t>(holder)]) {
+      push_(holder, task, unit);
+      local_units_->Increment();
+    }
+  }
+}
+
+}  // namespace opmr::coded

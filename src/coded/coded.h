@@ -1,0 +1,198 @@
+// Coded shuffle plane: XOR-multicast intermediate delivery.
+//
+// CodedShuffleClient is the map-side encoder.  It stands in for the plain
+// ShuffleClient as the ShuffleMapEndpoint behind PushSink: pushed chunks
+// are buffered per (task, reducer) as framed units instead of being sent,
+// and when the last task of a multicast group completes the group is
+// flushed as r+1 kCodedChunk frames — one per member node, each the XOR
+// of the zero-padded parts it owes its r fellow members.  A task's
+// MapDone is forwarded only after every group shipping it has flushed, so
+// within the shared per-sender sequence space the reduce side always
+// decodes a task's coded frames before it learns the task finished.
+//
+// CodedDecoder is the reduce side.  Prepare() re-runs every map task once
+// per holder (the r-fold map CPU the scheme spends), storing the framed
+// units each logical node's co-located mapper would hold.  Each arriving
+// coded frame is buffered until its group is complete, then peeled for
+// all r+1 receivers: the receiver XORs out the parts it can rebuild from
+// its own store, recovers its part of each sender's frame, reassembles
+// its unit stream, and feeds every unit into the ordinary exactly-once
+// ShuffleService pipeline via the push hook.  A killed node's store is
+// simply absent — lookups fall back to any surviving holder's identical
+// store, which is the fault plane's reconstruction-without-re-execution.
+//
+// All engine interaction goes through std::function hooks (sequenced
+// send, MapDone forward, re-map, force-push), so this library depends
+// only on the wire/frame layer, the DFS block descriptors, and metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "coded/plan.h"
+#include "engine/shuffle.h"
+#include "metrics/counters.h"
+#include "net/wire.h"
+
+namespace opmr::coded {
+
+// Job-report counter names (reduce side unless noted).
+inline constexpr char kCodedFrames[] = "coded.frames";  // map side: sent
+inline constexpr char kCodedPayloadBytes[] = "coded.payload_bytes";  // sent
+inline constexpr char kCodedDecodedUnits[] = "coded.decoded_units";
+inline constexpr char kCodedLocalUnits[] = "coded.local_units";
+inline constexpr char kCodedRemapTasks[] = "coded.remap_tasks";
+inline constexpr char kCodedReconstructedSegments[] =
+    "coded.reconstructed_segments";
+
+// One buffered map-output chunk destined for a single reducer, minus the
+// (task, reducer) coordinates its container encodes.
+struct CodedUnit {
+  bool sorted = false;
+  std::uint64_t records = 0;
+  std::string bytes;
+};
+
+// partition (reducer) -> that reducer's units of one task, in push order.
+using UnitsByPartition = std::vector<std::vector<CodedUnit>>;
+
+// Unit-stream framing inside a receiver's per-group byte stream:
+// [u32 task][u8 sorted][u64 records][u32 len][len bytes], repeated.
+void AppendUnit(std::string* out, int task, const CodedUnit& unit);
+
+// Parses a whole unit stream.  Returns false on any malformed framing
+// (truncated header, bad flag byte, length past the end).
+[[nodiscard]] bool ParseUnits(const std::string& stream,
+                              std::vector<std::pair<int, CodedUnit>>* out);
+
+// --- Map side ----------------------------------------------------------------
+
+class CodedShuffleClient final : public ShuffleMapEndpoint {
+ public:
+  // Sends one frame through the owning ShuffleClient's exactly-once
+  // sequence space (the callback receives the assigned seq).
+  using SendFn =
+      std::function<void(const std::function<net::Frame(std::uint64_t)>&)>;
+  // Forwards a deferred MapDone (task, input_records, output_records).
+  using MapDoneFn =
+      std::function<void(int, std::uint64_t, std::uint64_t)>;
+
+  CodedShuffleClient(const CodedPlan* plan, SendFn send, MapDoneFn map_done,
+                     MetricRegistry* metrics);
+
+  // The coded plane is push-only; cluster validation rejects pull shuffle
+  // and segment diversion cannot happen because TryPush never refuses.
+  void RegisterFile(const MapOutputFile& file) override;
+  void RegisterSegment(int map_task, const std::filesystem::path& path,
+                       int reducer, const Segment& segment,
+                       bool sorted) override;
+
+  // Always accepts: buffering is unbounded, which also makes PushSink's
+  // chunk boundaries a pure function of the record stream — the property
+  // the decoder's local re-map relies on for byte identity.
+  PushResult TryPush(int reducer, ShuffleItem chunk) override;
+
+  void MapTaskDone(int map_task, std::uint64_t input_records,
+                   std::uint64_t output_records) override;
+
+  // MapDones not yet forwarded.  0 after all tasks completed; anything
+  // else at join time is a flush-bookkeeping bug the cluster turns into a
+  // job failure instead of a hang.
+  [[nodiscard]] std::size_t PendingMapDones() const;
+
+ private:
+  void FlushGroupLocked(int group);
+  void ForwardMapDoneLocked(int task);
+
+  const CodedPlan* plan_;
+  SendFn send_;
+  MapDoneFn map_done_;
+  Counter* frames_;
+  Counter* payload_bytes_;
+
+  mutable std::mutex mu_;
+  std::vector<UnitsByPartition> units_;  // per task
+  std::vector<bool> task_done_;
+  std::vector<bool> map_done_sent_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> task_stats_;
+  std::vector<int> task_pending_groups_;   // groups of the task not yet flushed
+  std::vector<int> group_remaining_;       // member tasks not yet done
+  std::vector<std::vector<int>> group_tasks_;  // cached CodedPlan::GroupTasks
+  std::size_t pending_map_dones_;
+};
+
+// --- Reduce side -------------------------------------------------------------
+
+class CodedDecoder {
+ public:
+  // Re-runs map task `task` over `block` and deposits the framed units it
+  // would push, per partition.  Must be deterministic and byte-identical
+  // to the map side's run (both go through PushSink against an
+  // always-accepting endpoint).
+  using RemapFn =
+      std::function<void(int task, const BlockInfo& block,
+                         UnitsByPartition* out)>;
+  // Feeds one decoded unit of `task` into reducer `reducer`'s ordinary
+  // shuffle queue (ShuffleService::ForcePush).
+  using PushFn = std::function<void(int reducer, int task,
+                                    const CodedUnit& unit)>;
+
+  CodedDecoder(const CodedPlan* plan, RemapFn remap, PushFn push,
+               MetricRegistry* metrics);
+
+  // Populates every logical node's store: one re-map per (task, holder).
+  // `blocks` must be the same unfiltered listing the plan was built from.
+  void Prepare(const std::vector<BlockInfo>& blocks);
+
+  // Fault-plane test hook: after `after_frames` coded frames have been
+  // applied, drop node `node`'s entire store, as if the worker hosting
+  // that co-located mapper died mid-job.
+  void SetKill(int node, std::uint64_t after_frames);
+
+  // Applies one deduplicated coded frame; decodes its group once all
+  // r+1 member frames have arrived.  Returns the cumulative decoded-unit
+  // count (carried back in CodedAck).  Throws net::WireError on frames
+  // inconsistent with the plan or with the local re-map.
+  std::uint64_t OnCodedFrame(const net::CodedChunkMsg& msg);
+
+  // A map task completed: deliver its locally-held units to each of its
+  // holder reducers (the units no coded frame ever ships).
+  void OnMapDone(int task);
+
+ private:
+  // Store lookup preferring `node`'s own copy, falling back to any
+  // surviving holder's identical store (counted as a reconstruction).
+  const UnitsByPartition& LookupLocked(int node, int task);
+  // Rebuilds receiver slot `slot`'s unit stream of group `group` from
+  // `node`'s store.
+  std::string StreamForLocked(int node, int group, std::size_t slot);
+  void DecodeGroupLocked(int group);
+  void MaybeKillLocked();
+
+  const CodedPlan* plan_;
+  RemapFn remap_;
+  PushFn push_;
+  Counter* decoded_units_;
+  Counter* local_units_;
+  Counter* remap_tasks_;
+  Counter* reconstructed_;
+
+  std::mutex mu_;
+  // store_[node]: task -> the units node's co-located mapper holds.
+  std::vector<std::unordered_map<int, UnitsByPartition>> store_;
+  // group -> (sender node -> its frame), until the group completes.
+  std::unordered_map<int, std::map<int, net::CodedChunkMsg>> pending_;
+  std::uint64_t frames_applied_ = 0;
+  std::uint64_t decoded_total_ = 0;
+  int kill_node_ = -1;
+  std::uint64_t kill_after_frames_ = 0;
+  bool killed_ = false;
+};
+
+}  // namespace opmr::coded

@@ -1,0 +1,102 @@
+#include "coded/plan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace opmr::coded {
+
+CodedPlan CodedPlan::Build(const std::vector<BlockInfo>& blocks,
+                           int num_reducers, int r, std::uint64_t seed) {
+  if (r < 1) {
+    throw std::invalid_argument("coded plan: r must be >= 1, got " +
+                                std::to_string(r));
+  }
+  if (num_reducers < r + 1) {
+    throw std::invalid_argument(
+        "coded plan: needs num_reducers >= r + 1 to form multicast groups "
+        "(num_reducers=" +
+        std::to_string(num_reducers) + ", r=" + std::to_string(r) + ")");
+  }
+  CodedPlan plan;
+  plan.r_ = r;
+  plan.num_reducers_ = num_reducers;
+  plan.seed_ = seed;
+  plan.holders_.reserve(blocks.size());
+
+  // Holder sets: start from the block's DFS replica placement (mod K so
+  // physical node ids map onto logical coded nodes), then complete to
+  // exactly r distinct nodes with a per-block seeded draw.  Everything
+  // here depends only on (blocks, K, r, seed), so both wire ends agree.
+  for (std::size_t task = 0; task < blocks.size(); ++task) {
+    const BlockInfo& block = blocks[task];
+    std::set<int> chosen;
+    for (const int node : block.replica_nodes) {
+      if (static_cast<int>(chosen.size()) >= r) break;
+      chosen.insert(((node % num_reducers) + num_reducers) % num_reducers);
+    }
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull *
+                    (static_cast<std::uint64_t>(task) + 1)));
+    while (static_cast<int>(chosen.size()) < r) {
+      chosen.insert(static_cast<int>(rng.Uniform(
+          static_cast<std::uint64_t>(num_reducers))));
+    }
+    plan.holders_.emplace_back(chosen.begin(), chosen.end());
+  }
+
+  // Groups: S = H ∪ {k} for every holder set H and non-holder k.  Task
+  // iteration order is ascending, so each tasks_for list comes out sorted.
+  std::map<std::vector<int>, int> group_index;
+  plan.groups_of_task_.resize(blocks.size());
+  for (int task = 0; task < static_cast<int>(blocks.size()); ++task) {
+    const std::vector<int>& holders = plan.holders_[task];
+    for (int k = 0; k < num_reducers; ++k) {
+      if (std::binary_search(holders.begin(), holders.end(), k)) continue;
+      std::vector<int> members = holders;
+      members.insert(
+          std::lower_bound(members.begin(), members.end(), k), k);
+      auto [it, inserted] =
+          group_index.try_emplace(members, static_cast<int>(plan.groups_.size()));
+      if (inserted) {
+        CodedGroup group;
+        group.nodes = members;
+        group.tasks_for.resize(members.size());
+        plan.groups_.push_back(std::move(group));
+      }
+      const int g = it->second;
+      const auto slot = std::lower_bound(plan.groups_[g].nodes.begin(),
+                                         plan.groups_[g].nodes.end(), k) -
+                        plan.groups_[g].nodes.begin();
+      plan.groups_[g].tasks_for[static_cast<std::size_t>(slot)].push_back(
+          task);
+      plan.groups_of_task_[static_cast<std::size_t>(task)].push_back(g);
+    }
+  }
+  return plan;
+}
+
+std::vector<int> CodedPlan::GroupTasks(int group) const {
+  std::set<int> tasks;
+  for (const std::vector<int>& list :
+       groups_.at(static_cast<std::size_t>(group)).tasks_for) {
+    tasks.insert(list.begin(), list.end());
+  }
+  return {tasks.begin(), tasks.end()};
+}
+
+std::vector<std::uint64_t> CodedPlan::PartLengths(std::uint64_t total) const {
+  const auto parts = static_cast<std::uint64_t>(r_);
+  const std::uint64_t base = total / parts;
+  const std::uint64_t rem = total % parts;
+  std::vector<std::uint64_t> lengths(static_cast<std::size_t>(parts), base);
+  for (std::uint64_t j = 0; j < rem; ++j) {
+    ++lengths[static_cast<std::size_t>(j)];
+  }
+  return lengths;
+}
+
+}  // namespace opmr::coded

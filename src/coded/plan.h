@@ -1,0 +1,85 @@
+// CodedPlan: the deterministic, seed-stable assignment underlying the
+// coded shuffle plane (Coded MapReduce, Li/Maddah-Ali/Avestimehr).
+//
+// The K reducers of a job double as K logical coded nodes, each hosting a
+// "co-located mapper".  Every map task (one DFS block) is held by an
+// r-subset of those nodes — derived from the block's DFS replica
+// placement, completed deterministically from the plan seed — meaning the
+// holder computes that task's intermediates locally.  For every holder
+// set H and every non-holder k, the multicast group S = H ∪ {k} (size
+// r+1) ships the units of the tasks held by S \ {k} to receiver k: each
+// of the r senders in S \ {k} emits one XOR-coded frame serving all r of
+// its fellow group members at once, which is where the r-fold byte
+// reduction comes from.
+//
+// Both sides of the wire build the plan independently from the same
+// (blocks, num_reducers, r, seed) inputs, so group indices can travel in
+// frames as plain integers.  The block list must be the *unfiltered* DFS
+// listing — fault-plane replica filtering happens after planning, or the
+// two sides would disagree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfs/dfs.h"
+
+namespace opmr::coded {
+
+struct CodedGroup {
+  // The r+1 member nodes, sorted ascending.
+  std::vector<int> nodes;
+  // tasks_for[j]: the map tasks whose holder set is nodes \ {nodes[j]} —
+  // i.e. the tasks whose units receiver nodes[j] is owed by this group —
+  // in ascending task order.
+  std::vector<std::vector<int>> tasks_for;
+};
+
+class CodedPlan {
+ public:
+  // `blocks[i]` is map task i (listing order); `num_reducers` = K logical
+  // nodes; `r` = replication degree (holders per task).  Requires
+  // 1 <= r < num_reducers.
+  static CodedPlan Build(const std::vector<BlockInfo>& blocks,
+                         int num_reducers, int r, std::uint64_t seed);
+
+  [[nodiscard]] int r() const { return r_; }
+  [[nodiscard]] int num_reducers() const { return num_reducers_; }
+  [[nodiscard]] int num_tasks() const {
+    return static_cast<int>(holders_.size());
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // The r nodes holding task `task`, sorted ascending.
+  [[nodiscard]] const std::vector<int>& holders(int task) const {
+    return holders_.at(static_cast<std::size_t>(task));
+  }
+
+  [[nodiscard]] const std::vector<CodedGroup>& groups() const {
+    return groups_;
+  }
+
+  // Indices of the groups that ship task `task` (one per non-holder node).
+  [[nodiscard]] const std::vector<int>& groups_of_task(int task) const {
+    return groups_of_task_.at(static_cast<std::size_t>(task));
+  }
+
+  // All tasks a group touches (union over tasks_for), ascending, deduped.
+  [[nodiscard]] std::vector<int> GroupTasks(int group) const;
+
+  // Splits a `total`-byte receiver stream into the r contiguous parts the
+  // group's senders divide it into: part j gets total/r bytes plus one of
+  // the remainder when j < total % r.
+  [[nodiscard]] std::vector<std::uint64_t> PartLengths(
+      std::uint64_t total) const;
+
+ private:
+  int r_ = 1;
+  int num_reducers_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<std::vector<int>> holders_;
+  std::vector<CodedGroup> groups_;
+  std::vector<std::vector<int>> groups_of_task_;
+};
+
+}  // namespace opmr::coded

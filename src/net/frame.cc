@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "common/crc32.h"
+#include "common/crc32c.h"
 #include "common/slice.h"
 
 namespace opmr::net {
@@ -31,13 +31,15 @@ const char* FrameTypeName(FrameType type) noexcept {
     case FrameType::kSnapshotOffer: return "snapshot_offer";
     case FrameType::kVote: return "vote";
     case FrameType::kLeaderClaim: return "leader_claim";
+    case FrameType::kCodedChunk: return "coded_chunk";
+    case FrameType::kCodedAck: return "coded_ack";
   }
   return "unknown";
 }
 
 bool IsKnownFrameType(std::uint8_t type) noexcept {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kLeaderClaim);
+         type <= static_cast<std::uint8_t>(FrameType::kCodedAck);
 }
 
 void AppendFrame(std::string* out, const Frame& frame) {
@@ -47,9 +49,9 @@ void AppendFrame(std::string* out, const Frame& frame) {
   }
   const char covered[4] = {static_cast<char>(frame.type), /*flags=*/0,
                            /*reserved=*/0, 0};
-  std::uint32_t crc = Crc32Update(kCrc32Init, covered, sizeof(covered));
-  crc = Crc32Final(
-      Crc32Update(crc, frame.payload.data(), frame.payload.size()));
+  std::uint32_t crc = Crc32cUpdate(kCrc32cInit, covered, sizeof(covered));
+  crc = Crc32cFinal(
+      Crc32cUpdate(crc, frame.payload.data(), frame.payload.size()));
   AppendU32(*out, kFrameMagic);
   out->append(covered, sizeof(covered));
   AppendU32(*out, static_cast<std::uint32_t>(frame.payload.size()));
@@ -91,8 +93,8 @@ DecodeStatus FrameDecoder::Next(Frame* out) {
   }
   if (avail < kFrameHeaderBytes + payload_len) return DecodeStatus::kNeedMore;
   const std::uint32_t expected_crc = DecodeU32(base + 12);
-  std::uint32_t crc = Crc32Update(kCrc32Init, base + 4, 4);
-  crc = Crc32Final(Crc32Update(crc, base + kFrameHeaderBytes, payload_len));
+  std::uint32_t crc = Crc32cUpdate(kCrc32cInit, base + 4, 4);
+  crc = Crc32cFinal(Crc32cUpdate(crc, base + kFrameHeaderBytes, payload_len));
   if (crc != expected_crc) {
     return error_ = DecodeStatus::kBadCrc;
   }

@@ -6,7 +6,8 @@
 //   [u32 magic 'OPFR'] [u8 type] [u8 flags] [u16 reserved]
 //   [u32 payload_len]  [u32 crc] [payload_len payload bytes]
 //
-// `crc` is CRC-32 over type, flags, reserved, and the payload — every byte
+// `crc` is CRC-32C (Castagnoli — hardware-accelerated where the CPU can,
+// see common/crc32c.h) over type, flags, reserved, and the payload — every byte
 // after the magic except the length and the checksum itself.  A corrupted
 // length either shifts the CRC window (caught as kBadCrc), exceeds the
 // payload cap (kOversized), or asks for bytes that never arrive (the
@@ -48,6 +49,8 @@ enum class FrameType : std::uint8_t {
   kSnapshotOffer = 20, // leader -> standby: full registry image (catch-up)
   kVote = 21,          // replica <-> replica: liveness ping for election
   kLeaderClaim = 22,   // new leader announcement / standby redirect
+  kCodedChunk = 23,    // XOR-coded multicast shuffle payload (src/coded)
+  kCodedAck = 24,      // cumulative ack + decode progress for coded frames
 };
 
 [[nodiscard]] const char* FrameTypeName(FrameType type) noexcept;

@@ -304,6 +304,83 @@ AckMsg AckMsg::Parse(const Frame& frame) {
   return msg;
 }
 
+// --- CodedChunk / CodedAck ---------------------------------------------------
+
+Frame CodedChunkMsg::ToFrame() const {
+  Frame frame{FrameType::kCodedChunk, {}};
+  AppendU32(frame.payload, group);
+  AppendU32(frame.payload, sender);
+  AppendU64(frame.payload, seq);
+  AppendU32(frame.payload, static_cast<std::uint32_t>(parts.size()));
+  for (const CodedPart& part : parts) {
+    AppendU32(frame.payload, part.node);
+    AppendU32(frame.payload, part.part_len);
+  }
+  AppendBytes(&frame.payload, bytes);
+  return frame;
+}
+
+CodedChunkMsg CodedChunkMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kCodedChunk);
+  WireReader in(frame.payload);
+  CodedChunkMsg msg;
+  msg.group = in.U32();
+  msg.sender = in.U32();
+  msg.seq = in.U64();
+  const std::uint32_t part_count = in.U32();
+  if (part_count == 0) {
+    throw WireError("coded chunk: empty part list");
+  }
+  if (part_count > kMaxCodedParts) {
+    throw WireError("coded chunk: part count " + std::to_string(part_count) +
+                    " exceeds cap " + std::to_string(kMaxCodedParts));
+  }
+  msg.parts.reserve(part_count);
+  for (std::uint32_t i = 0; i < part_count; ++i) {
+    CodedPart part;
+    part.node = in.U32();
+    part.part_len = in.U32();
+    if (i > 0 && part.node <= msg.parts.back().node) {
+      throw WireError("coded chunk: receiver list not strictly increasing");
+    }
+    msg.parts.push_back(part);
+  }
+  msg.bytes = in.Bytes();
+  in.ExpectExhausted("coded_chunk");
+  std::uint32_t longest = 0;
+  for (const CodedPart& part : msg.parts) {
+    if (part.part_len > msg.bytes.size()) {
+      throw WireError("coded chunk: part length " +
+                      std::to_string(part.part_len) + " exceeds payload " +
+                      std::to_string(msg.bytes.size()));
+    }
+    if (part.part_len > longest) longest = part.part_len;
+  }
+  if (longest != msg.bytes.size()) {
+    throw WireError("coded chunk: payload length " +
+                    std::to_string(msg.bytes.size()) +
+                    " does not match longest part " + std::to_string(longest));
+  }
+  return msg;
+}
+
+Frame CodedAckMsg::ToFrame() const {
+  Frame frame{FrameType::kCodedAck, {}};
+  AppendU64(frame.payload, upto);
+  AppendU64(frame.payload, decoded);
+  return frame;
+}
+
+CodedAckMsg CodedAckMsg::Parse(const Frame& frame) {
+  ExpectType(frame, FrameType::kCodedAck);
+  WireReader in(frame.payload);
+  CodedAckMsg msg;
+  msg.upto = in.U64();
+  msg.decoded = in.U64();
+  in.ExpectExhausted("coded_ack");
+  return msg;
+}
+
 // --- Register ----------------------------------------------------------------
 
 Frame RegisterMsg::ToFrame() const {

@@ -617,6 +617,162 @@ TEST(NetFrame, ServingPayloadSemanticCorruptionIsWireError) {
                WireError);
 }
 
+// --- Coded-shuffle frames (v5: kCodedChunk/kCodedAck) get the same
+// four-way fuzz treatment: round-trip, every truncation, every bit flip,
+// and CRC-clean semantic lies (lying part counts, part lengths past the
+// payload, receiver lists out of order).
+
+std::vector<std::string> CodedWires() {
+  std::vector<std::string> wires;
+  CodedChunkMsg chunk;
+  chunk.group = 3;
+  chunk.sender = 1;
+  chunk.seq = 42;
+  chunk.parts.push_back({0, 5});
+  chunk.parts.push_back({2, 3});
+  chunk.bytes = std::string("\x01\x00\x03\xFF\x05", 5);
+  wires.push_back(EncodeFrame(chunk.ToFrame()));
+  CodedAckMsg ack;
+  ack.upto = 41;
+  ack.decoded = 17;
+  wires.push_back(EncodeFrame(ack.ToFrame()));
+  return wires;
+}
+
+TEST(NetFrame, CodedMessagesRoundTrip) {
+  CodedChunkMsg chunk;
+  chunk.group = 9;
+  chunk.sender = 4;
+  chunk.seq = 0xFEEDFACEull;
+  chunk.parts.push_back({1, 7});
+  chunk.parts.push_back({3, 6});
+  chunk.parts.push_back({8, 7});
+  chunk.bytes = std::string("xor-pad\0"
+                            "extra",
+                            7);  // length == longest part
+  const auto chunk2 =
+      CodedChunkMsg::Parse(DecodeOne(EncodeFrame(chunk.ToFrame())));
+  EXPECT_EQ(chunk2.group, 9u);
+  EXPECT_EQ(chunk2.sender, 4u);
+  EXPECT_EQ(chunk2.seq, 0xFEEDFACEull);
+  ASSERT_EQ(chunk2.parts.size(), 3u);
+  EXPECT_EQ(chunk2.parts[1].node, 3u);
+  EXPECT_EQ(chunk2.parts[1].part_len, 6u);
+  EXPECT_EQ(chunk2.bytes, chunk.bytes);
+
+  // A group whose receivers are all owed nothing still ships its frames —
+  // the decoder needs every member frame to know the group completed.
+  CodedChunkMsg empty;
+  empty.group = 0;
+  empty.sender = 2;
+  empty.seq = 1;
+  empty.parts.push_back({0, 0});
+  empty.parts.push_back({1, 0});
+  const auto empty2 =
+      CodedChunkMsg::Parse(DecodeOne(EncodeFrame(empty.ToFrame())));
+  EXPECT_EQ(empty2.parts.size(), 2u);
+  EXPECT_TRUE(empty2.bytes.empty());
+
+  CodedAckMsg ack;
+  ack.upto = 123;
+  ack.decoded = 456;
+  const auto ack2 = CodedAckMsg::Parse(DecodeOne(EncodeFrame(ack.ToFrame())));
+  EXPECT_EQ(ack2.upto, 123u);
+  EXPECT_EQ(ack2.decoded, 456u);
+}
+
+TEST(NetFrame, CodedFrameEveryTruncationIsNeedMore) {
+  for (const std::string& wire : CodedWires()) {
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      FrameDecoder decoder;
+      decoder.Feed(wire.data(), cut);
+      Frame frame;
+      EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kNeedMore)
+          << "truncated to " << cut << " bytes";
+      EXPECT_FALSE(decoder.poisoned());
+    }
+  }
+}
+
+TEST(NetFrame, CodedFrameEverySingleBitFlipIsDetected) {
+  for (const std::string& wire : CodedWires()) {
+    for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupt = wire;
+        corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+        FrameDecoder decoder;
+        decoder.Feed(corrupt.data(), corrupt.size());
+        Frame frame;
+        EXPECT_NE(decoder.Next(&frame), DecodeStatus::kOk)
+            << "flip of bit " << bit << " in byte " << byte
+            << " decoded as a valid frame";
+      }
+    }
+  }
+}
+
+TEST(NetFrame, CodedPayloadSemanticCorruptionIsWireError) {
+  // An empty part list is structurally meaningless.
+  CodedChunkMsg no_parts;
+  no_parts.group = 1;
+  EXPECT_THROW(
+      (void)CodedChunkMsg::Parse(DecodeOne(EncodeFrame(no_parts.ToFrame()))),
+      WireError);
+
+  // A part length pointing past the payload.
+  CodedChunkMsg oversold;
+  oversold.parts.push_back({0, 9});
+  oversold.bytes = "short";
+  EXPECT_THROW(
+      (void)CodedChunkMsg::Parse(DecodeOne(EncodeFrame(oversold.ToFrame()))),
+      WireError);
+
+  // Payload longer than the longest advertised part: padding nobody owns.
+  CodedChunkMsg padded_parts;
+  padded_parts.parts.push_back({0, 2});
+  padded_parts.parts.push_back({1, 3});
+  padded_parts.bytes = "12345";
+  EXPECT_THROW((void)CodedChunkMsg::Parse(
+                   DecodeOne(EncodeFrame(padded_parts.ToFrame()))),
+               WireError);
+
+  // Receiver list must be strictly increasing (it mirrors the group's
+  // sorted node order with the sender skipped).
+  CodedChunkMsg unsorted;
+  unsorted.parts.push_back({2, 1});
+  unsorted.parts.push_back({2, 1});
+  unsorted.bytes = "x";
+  EXPECT_THROW(
+      (void)CodedChunkMsg::Parse(DecodeOne(EncodeFrame(unsorted.ToFrame()))),
+      WireError);
+
+  // The length-field lie: group(u32) sender(u32) seq(u64) then
+  // part count(u32) at offset 16 — claim 2^30 parts with a tiny body.
+  CodedChunkMsg chunk;
+  chunk.parts.push_back({0, 1});
+  chunk.bytes = "z";
+  Frame lying = chunk.ToFrame();
+  ASSERT_GE(lying.payload.size(), 20u);
+  lying.payload[16] = '\x00';
+  lying.payload[17] = '\x00';
+  lying.payload[18] = '\x00';
+  lying.payload[19] = '\x40';
+  EXPECT_THROW((void)CodedChunkMsg::Parse(DecodeOne(EncodeFrame(lying))),
+               WireError);
+
+  // Truncated body and trailing junk after a CRC-clean re-encode.
+  Frame truncated = chunk.ToFrame();
+  truncated.payload.resize(truncated.payload.size() / 2);
+  EXPECT_THROW((void)CodedChunkMsg::Parse(DecodeOne(EncodeFrame(truncated))),
+               WireError);
+  CodedAckMsg ack;
+  ack.upto = 1;
+  Frame junk = ack.ToFrame();
+  junk.payload += "junk";
+  EXPECT_THROW((void)CodedAckMsg::Parse(DecodeOne(EncodeFrame(junk))),
+               WireError);
+}
+
 TEST(NetFrame, ByteAtATimeFeedReassembles) {
   ChunkMsg msg;
   msg.map_task = 0;
