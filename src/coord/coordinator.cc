@@ -89,7 +89,8 @@ void Coordinator::HandleFrame(net::Connection* from, net::Frame frame) {
       }
       case net::FrameType::kHeartbeat: {
         const net::HeartbeatMsg msg = net::HeartbeatMsg::Parse(frame);
-        if (registry_.Heartbeat(msg.worker, msg.generation, NowSeconds())) {
+        if (registry_.Heartbeat(msg.worker, msg.generation, NowSeconds(),
+                                msg.load)) {
           heartbeats_->Increment();
         } else {
           // Stale generation or evicted worker: answer with the current

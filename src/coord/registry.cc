@@ -16,6 +16,10 @@ std::uint64_t WorkerRegistry::Register(const std::string& id,
     ++w.generation;
     w.last_heartbeat_s = now_s;
     w.alive = true;
+    // Pre-eviction load is stale; the next v6 heartbeat re-reports it.
+    // suspect_count survives re-registration — it is the flappiness
+    // history the placement ranker scores health by.
+    w.load.clear();
     return w.generation;
   }
   WorkerInfo w;
@@ -41,6 +45,20 @@ bool WorkerRegistry::Heartbeat(const std::string& id, std::uint64_t generation,
   return false;
 }
 
+bool WorkerRegistry::Heartbeat(const std::string& id, std::uint64_t generation,
+                               double now_s,
+                               const std::vector<std::uint32_t>& load) {
+  std::scoped_lock lock(mu_);
+  for (WorkerInfo& w : workers_) {
+    if (w.id != id) continue;
+    if (!w.alive || w.generation != generation) return false;
+    w.last_heartbeat_s = std::max(w.last_heartbeat_s, now_s);
+    w.load = load;
+    return true;
+  }
+  return false;
+}
+
 std::vector<std::string> WorkerRegistry::ExpireLeases(double now_s,
                                                       double lease_s) {
   std::scoped_lock lock(mu_);
@@ -48,6 +66,7 @@ std::vector<std::string> WorkerRegistry::ExpireLeases(double now_s,
   for (WorkerInfo& w : workers_) {
     if (w.alive && now_s - w.last_heartbeat_s > lease_s) {
       w.alive = false;
+      ++w.suspect_count;
       expired.push_back(w.id);
     }
   }

@@ -185,10 +185,12 @@ class ReduceSlotLease {
 
 // --- BlockScheduler ----------------------------------------------------------
 
-BlockScheduler::BlockScheduler(std::vector<BlockInfo> blocks, int num_nodes)
+BlockScheduler::BlockScheduler(std::vector<BlockInfo> blocks, int num_nodes,
+                               const SchedHooks* hooks)
     : blocks_(std::move(blocks)),
       taken_(blocks_.size(), false),
-      by_node_(num_nodes) {
+      by_node_(num_nodes),
+      hooks_(hooks) {
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     for (int n : blocks_[i].replica_nodes) {
       if (n >= 0 && n < num_nodes) by_node_[n].push_back(i);
@@ -198,6 +200,29 @@ BlockScheduler::BlockScheduler(std::vector<BlockInfo> blocks, int num_nodes)
 
 std::optional<BlockInfo> BlockScheduler::Next(int node, bool* was_local) {
   std::scoped_lock lock(mu_);
+  if (hooks_ != nullptr && hooks_->place_map_block) {
+    // Placement-plane seam: offer the untaken blocks (listing order) and
+    // honour an override; -1 falls through to the built-in order.
+    std::vector<const BlockInfo*> pending;
+    std::vector<std::size_t> indices;
+    pending.reserve(blocks_.size());
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      if (taken_[i]) continue;
+      pending.push_back(&blocks_[i]);
+      indices.push_back(i);
+    }
+    if (pending.empty()) return std::nullopt;
+    const int pick = hooks_->place_map_block(node, pending);
+    if (pick >= 0 && pick < static_cast<int>(pending.size())) {
+      const std::size_t idx = indices[static_cast<std::size_t>(pick)];
+      taken_[idx] = true;
+      const auto& holders = blocks_[idx].replica_nodes;
+      *was_local =
+          std::find(holders.begin(), holders.end(), node) != holders.end();
+      if (*was_local) ++local_count_;
+      return blocks_[idx];
+    }
+  }
   if (node >= 0 && node < static_cast<int>(by_node_.size())) {
     for (std::size_t idx : by_node_[node]) {
       if (!taken_[idx]) {
@@ -604,7 +629,8 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
     coord_guard.coordinator = cluster_.coordinator;
   }
 
-  BlockScheduler scheduler(blocks, dfs_->options().num_nodes);
+  BlockScheduler scheduler(blocks, dfs_->options().num_nodes,
+                           cluster_.sched_hooks);
 
   std::mutex failure_mu;
   std::exception_ptr first_failure;
@@ -856,7 +882,9 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
             task_id, files_, metrics_, endpoint, num_reducers,
             options.map_buffer_bytes, cluster_.sync_map_output);
       }
-      MapTask task(task_id, spec, options, env, entry->block, sink.get());
+      RuntimeEnv task_env = env;
+      task_env.map_node = node;
+      MapTask task(task_id, spec, options, task_env, entry->block, sink.get());
       MapTask::Stats stats;
       try {
         stats = task.Run();

@@ -104,7 +104,11 @@ MapTask::MapTask(int task_id, const JobSpec& spec, const JobOptions& options,
       sink_(sink) {}
 
 MapTask::Stats MapTask::Run() {
-  DfsBlockReader reader(block_, env_.dfs->ReadChannel());
+  // Node-aware open: counts the read as local/remote for the node this
+  // attempt runs on and pays the configured remote penalty.
+  const std::unique_ptr<DfsBlockReader> owned =
+      env_.dfs->OpenBlock(block_, env_.map_node);
+  DfsBlockReader& reader = *owned;
   if (options_.group_by == GroupBy::kSortMerge) {
     RunSortPath(reader);
   } else if (spec_.has_aggregator() && options_.map_side_combine) {

@@ -411,10 +411,17 @@ RegisterMsg RegisterMsg::Parse(const Frame& frame) {
 // --- Heartbeat ---------------------------------------------------------------
 
 Frame HeartbeatMsg::ToFrame() const {
+  if (load.size() > kMaxLoadEntries) {
+    throw WireError("wire: heartbeat load vector has " +
+                    std::to_string(load.size()) + " entries (cap " +
+                    std::to_string(kMaxLoadEntries) + ")");
+  }
   Frame frame{FrameType::kHeartbeat, {}};
   AppendBytes(&frame.payload, worker);
   AppendU64(frame.payload, generation);
   AppendU64(frame.payload, seq);
+  AppendU32(frame.payload, static_cast<std::uint32_t>(load.size()));
+  for (std::uint32_t v : load) AppendU32(frame.payload, v);
   return frame;
 }
 
@@ -425,6 +432,13 @@ HeartbeatMsg HeartbeatMsg::Parse(const Frame& frame) {
   msg.worker = in.Bytes();
   msg.generation = in.U64();
   msg.seq = in.U64();
+  const std::uint32_t n = in.U32();
+  if (n > kMaxLoadEntries) {
+    throw WireError("wire: heartbeat load vector claims " + std::to_string(n) +
+                    " entries (cap " + std::to_string(kMaxLoadEntries) + ")");
+  }
+  msg.load.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) msg.load.push_back(in.U32());
   in.ExpectExhausted("heartbeat");
   return msg;
 }

@@ -54,6 +54,9 @@ class WireReader {
   std::size_t pos_ = 0;
 };
 
+// v6 appends a trailing load vector to Heartbeat (slots held, queue depth
+// — the placement plane's load signal, src/placement).  A v5 parser
+// rejects the longer payload, so the version bump is load-bearing.
 // v5 adds the coded-shuffle frames (CodedChunk / CodedAck, src/coded)
 // and switches the frame checksum from CRC-32 (IEEE) to hardware-friendly
 // CRC-32C — a v4 peer's frames fail the CRC check, so the version bump is
@@ -63,7 +66,7 @@ class WireReader {
 // (leader replica id + leader epoch) used for stale-leader fencing.
 // v3 added the serving-plane frames (SnapshotAnnounce / SnapshotFetch /
 // Query / QueryResult) and the kFrontend worker role.
-inline constexpr std::uint32_t kProtocolVersion = 5;
+inline constexpr std::uint32_t kProtocolVersion = 6;
 
 // Constant-time string equality for shared-secret checks (Register /
 // Hello auth).  An early-exit comparison leaks, through response timing,
@@ -271,14 +274,30 @@ struct RegisterMsg {
   static RegisterMsg Parse(const Frame& frame);
 };
 
+// Upper bound on the Heartbeat load vector: the well-known indices stop
+// at kLoadQueueDepth and a few spares cover future signals, so anything
+// past this is a lying length field, not a bigger worker.
+inline constexpr std::uint32_t kMaxLoadEntries = 16;
+
+// Well-known Heartbeat load-vector indices (see src/placement).  The
+// vector may be shorter (missing entries read as 0) but never longer than
+// kMaxLoadEntries.
+inline constexpr std::size_t kLoadMapSlotsHeld = 0;
+inline constexpr std::size_t kLoadReduceSlotsHeld = 1;
+inline constexpr std::size_t kLoadQueueDepth = 2;
+
 // Worker → coordinator: lease renewal.  `generation` must match the
 // registry's current generation for the worker (a stale generation means
 // the worker was evicted and re-registered elsewhere); `seq` is the
-// 1-based heartbeat ordinal within the generation.
+// 1-based heartbeat ordinal within the generation.  `load` (v6) is the
+// worker's self-reported load vector — see the kLoad* indices above —
+// appended after `seq` so the byte offsets the frame fuzz suite probes for
+// the v2 fields stay where v2 put them.
 struct HeartbeatMsg {
   std::string worker;
   std::uint64_t generation = 0;
   std::uint64_t seq = 0;
+  std::vector<std::uint32_t> load;
 
   [[nodiscard]] Frame ToFrame() const;
   static HeartbeatMsg Parse(const Frame& frame);

@@ -1,0 +1,320 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opmr::placement {
+namespace {
+
+// SplitMix64 finalizer over (seed, block, node): the deterministic
+// tie-break that keeps equal-ranked candidates from always resolving to
+// the lowest node id (which would pile ties onto node 0) while staying a
+// pure function of the seed.
+std::uint64_t Mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1) +
+                    0xbf58476d1ce4e5b9ULL * (c + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* PlacementModeName(PlacementMode mode) noexcept {
+  switch (mode) {
+    case PlacementMode::kEngine:
+      return "engine";
+    case PlacementMode::kRegistrationOrder:
+      return "registration";
+    case PlacementMode::kLocalityRanked:
+      return "locality";
+  }
+  return "unknown";
+}
+
+PlacementMode ParsePlacementMode(const std::string& name) {
+  if (name == "engine") return PlacementMode::kEngine;
+  if (name == "registration") return PlacementMode::kRegistrationOrder;
+  if (name == "locality") return PlacementMode::kLocalityRanked;
+  throw std::invalid_argument("unknown placement mode '" + name +
+                              "' (expected engine | registration | locality)");
+}
+
+PlacementPlane::PlacementPlane(Options options)
+    : options_(options),
+      planned_backlog_(static_cast<std::size_t>(options.num_nodes), 0),
+      slots_held_(static_cast<std::size_t>(options.num_nodes), 0) {
+  if (options_.num_nodes <= 0) {
+    throw std::invalid_argument("PlacementPlane: num_nodes must be positive");
+  }
+  if (options_.mode == PlacementMode::kEngine) {
+    throw std::invalid_argument(
+        "PlacementPlane: mode kEngine means no plane — do not construct one");
+  }
+}
+
+std::vector<PlacementPlane::NodeView> PlacementPlane::ViewsLocked() const {
+  std::vector<NodeView> views(static_cast<std::size_t>(options_.num_nodes));
+  if (options_.registry == nullptr) return views;
+  std::vector<coord::WorkerInfo> workers = options_.registry->Dump();
+  workers.erase(std::remove_if(workers.begin(), workers.end(),
+                               [](const coord::WorkerInfo& w) {
+                                 return w.role != net::WireRole::kMap;
+                               }),
+                workers.end());
+  if (workers.empty()) return views;  // no coordinator-backed map group
+  std::sort(workers.begin(), workers.end(),
+            [](const coord::WorkerInfo& a, const coord::WorkerInfo& b) {
+              return a.id < b.id;
+            });
+  const std::size_t n =
+      std::min(workers.size(), static_cast<std::size_t>(options_.num_nodes));
+  for (std::size_t i = 0; i < n; ++i) {
+    const coord::WorkerInfo& w = workers[i];
+    views[i].alive = w.alive;
+    views[i].reported_load = w.LoadAt(net::kLoadMapSlotsHeld) +
+                             w.LoadAt(net::kLoadReduceSlotsHeld) +
+                             w.LoadAt(net::kLoadQueueDepth);
+    views[i].suspect = w.suspect_count;
+  }
+  return views;
+}
+
+PlacementPlane::PlanEntry PlacementPlane::RankLocked(
+    const std::vector<NodeView>& views, std::uint64_t block_id,
+    const std::vector<int>& holders, std::size_t ordinal) {
+  (void)ordinal;
+  PlanEntry entry;
+  entry.holders = holders;
+  const auto in_range = [&](int n) {
+    return n >= 0 && n < options_.num_nodes;
+  };
+  const auto is_holder = [&](int n) {
+    return std::find(holders.begin(), holders.end(), n) != holders.end();
+  };
+
+  if (options_.mode == PlacementMode::kRegistrationOrder) {
+    // The baseline: hand operations to nodes in registration order,
+    // wrapping — blind to where the block lives, who is drowning, and who
+    // is flapping.  Dead nodes are still skipped (even naive dispatch does
+    // not target a worker the detector evicted).
+    for (int step = 0; step < options_.num_nodes; ++step) {
+      const int n =
+          static_cast<int>((round_robin_ + static_cast<std::size_t>(step)) %
+                           static_cast<std::size_t>(options_.num_nodes));
+      if (!views[static_cast<std::size_t>(n)].alive) continue;
+      round_robin_ =
+          (static_cast<std::size_t>(n) + 1) %
+          static_cast<std::size_t>(options_.num_nodes);
+      entry.node = n;
+      entry.local = is_holder(n);
+      return entry;
+    }
+    entry.node = 0;  // nobody alive: plan lands anywhere, execution decides
+    entry.local = is_holder(0);
+    return entry;
+  }
+
+  // kLocalityRanked.  Score every candidate by (load, suspect, seeded
+  // hash, node id) and take the minimum — holders first, every live node
+  // when no holder survives.
+  const auto rank_of = [&](int n) {
+    const NodeView& v = views[static_cast<std::size_t>(n)];
+    const std::uint64_t load =
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(planned_backlog_[static_cast<std::size_t>(n)],
+                                   0)) +
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(slots_held_[static_cast<std::size_t>(n)],
+                                   0)) +
+        v.reported_load;
+    return std::make_tuple(load, v.suspect,
+                           Mix64(options_.seed, block_id,
+                                 static_cast<std::uint64_t>(n)),
+                           n);
+  };
+  int best = -1;
+  for (int n : holders) {
+    if (!in_range(n) || !views[static_cast<std::size_t>(n)].alive) continue;
+    if (best < 0 || rank_of(n) < rank_of(best)) best = n;
+  }
+  if (best >= 0) {
+    entry.node = best;
+    entry.local = true;
+    return entry;
+  }
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if (!views[static_cast<std::size_t>(n)].alive) continue;
+    if (best < 0 || rank_of(n) < rank_of(best)) best = n;
+  }
+  entry.node = best >= 0 ? best : 0;
+  entry.local = is_holder(entry.node);
+  return entry;
+}
+
+void PlacementPlane::PlanJob(int job, const std::vector<BlockInfo>& blocks) {
+  std::scoped_lock lock(mu_);
+  if (plans_.count(job) != 0) {
+    throw std::logic_error("PlacementPlane: job " + std::to_string(job) +
+                           " already planned");
+  }
+  const std::vector<NodeView> views = ViewsLocked();
+  JobPlan plan;
+  plan.planned_epoch =
+      options_.registry != nullptr ? options_.registry->epoch() : 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const BlockInfo& block = blocks[i];
+    PlanEntry entry = RankLocked(views, block.block_id, block.replica_nodes, i);
+    ++planned_backlog_[static_cast<std::size_t>(entry.node)];
+    Assignment a;
+    a.seq = next_seq_++;
+    a.job = job;
+    a.block_id = block.block_id;
+    a.node = entry.node;
+    a.local = entry.local;
+    log_.push_back(a);
+    ++stats_.planned;
+    if (entry.local) ++stats_.planned_local;
+    plan.pending.emplace(block.block_id, std::move(entry));
+  }
+  plans_.emplace(job, std::move(plan));
+}
+
+void PlacementPlane::JobDone(int job) {
+  std::scoped_lock lock(mu_);
+  auto it = plans_.find(job);
+  if (it == plans_.end()) return;
+  for (const auto& [block_id, entry] : it->second.pending) {
+    --planned_backlog_[static_cast<std::size_t>(entry.node)];
+  }
+  plans_.erase(it);
+}
+
+void PlacementPlane::RefreshLocked(int job, JobPlan& plan) {
+  if (options_.registry == nullptr) return;
+  const std::uint64_t epoch = options_.registry->epoch();
+  if (epoch == plan.planned_epoch) return;
+  plan.planned_epoch = epoch;
+  const std::vector<NodeView> views = ViewsLocked();
+  std::size_t ordinal = 0;
+  for (auto& [block_id, entry] : plan.pending) {
+    ++ordinal;
+    if (entry.node >= 0 && entry.node < options_.num_nodes &&
+        views[static_cast<std::size_t>(entry.node)].alive) {
+      continue;
+    }
+    // The assigned node died: hand the operation to the next-ranked live
+    // holder (or least-loaded live node) and log the re-placement.
+    --planned_backlog_[static_cast<std::size_t>(entry.node)];
+    PlanEntry fresh = RankLocked(views, block_id, entry.holders, ordinal);
+    ++planned_backlog_[static_cast<std::size_t>(fresh.node)];
+    Assignment a;
+    a.seq = next_seq_++;
+    a.job = job;
+    a.block_id = block_id;
+    a.node = fresh.node;
+    a.local = fresh.local;
+    a.replacement = true;
+    log_.push_back(a);
+    ++stats_.replacements;
+    entry.node = fresh.node;
+    entry.local = fresh.local;
+  }
+}
+
+void PlacementPlane::ConsumeLocked(JobPlan& plan, std::uint64_t block_id) {
+  auto it = plan.pending.find(block_id);
+  if (it == plan.pending.end()) return;
+  --planned_backlog_[static_cast<std::size_t>(it->second.node)];
+  plan.pending.erase(it);
+}
+
+int PlacementPlane::PickPending(int job, int node,
+                                const std::vector<const BlockInfo*>& pending) {
+  std::scoped_lock lock(mu_);
+  auto it = plans_.find(job);
+  if (it == plans_.end() || pending.empty()) return -1;
+  JobPlan& plan = it->second;
+  RefreshLocked(job, plan);
+
+  // First: the earliest pending block planned onto this node.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    auto entry = plan.pending.find(pending[i]->block_id);
+    if (entry != plan.pending.end() && entry->second.node == node) {
+      ConsumeLocked(plan, pending[i]->block_id);
+      return static_cast<int>(i);
+    }
+  }
+
+  // This node's plan ran dry: stay work-conserving.
+  if (options_.mode == PlacementMode::kRegistrationOrder) {
+    ++stats_.steals;
+    ConsumeLocked(plan, pending[0]->block_id);
+    return 0;
+  }
+  // Steal the block whose assigned node is most backlogged — it is the
+  // block least likely to be picked up locally any time soon.  Seeded
+  // hash then block id break ties deterministically.
+  int best = -1;
+  std::int64_t best_backlog = -1;
+  std::uint64_t best_hash = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    auto entry = plan.pending.find(pending[i]->block_id);
+    if (entry == plan.pending.end()) continue;
+    const std::int64_t backlog =
+        planned_backlog_[static_cast<std::size_t>(entry->second.node)];
+    const std::uint64_t hash =
+        Mix64(options_.seed, pending[i]->block_id,
+              static_cast<std::uint64_t>(entry->second.node));
+    if (best < 0 || backlog > best_backlog ||
+        (backlog == best_backlog && hash < best_hash)) {
+      best = static_cast<int>(i);
+      best_backlog = backlog;
+      best_hash = hash;
+    }
+  }
+  if (best < 0) return -1;
+  ++stats_.steals;
+  ConsumeLocked(plan, pending[static_cast<std::size_t>(best)]->block_id);
+  return best;
+}
+
+void PlacementPlane::OnSlotAcquired(int node) {
+  std::scoped_lock lock(mu_);
+  if (node >= 0 && node < options_.num_nodes) {
+    ++slots_held_[static_cast<std::size_t>(node)];
+  }
+}
+
+void PlacementPlane::OnSlotReleased(int node) {
+  std::scoped_lock lock(mu_);
+  if (node >= 0 && node < options_.num_nodes) {
+    --slots_held_[static_cast<std::size_t>(node)];
+  }
+}
+
+std::vector<std::uint32_t> PlacementPlane::LoadVector(int node) const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::uint32_t> load(net::kLoadQueueDepth + 1, 0);
+  if (node < 0 || node >= options_.num_nodes) return load;
+  const auto clamp = [](std::int64_t v) {
+    return static_cast<std::uint32_t>(std::max<std::int64_t>(v, 0));
+  };
+  load[net::kLoadMapSlotsHeld] =
+      clamp(slots_held_[static_cast<std::size_t>(node)]);
+  load[net::kLoadQueueDepth] =
+      clamp(planned_backlog_[static_cast<std::size_t>(node)]);
+  return load;
+}
+
+std::vector<Assignment> PlacementPlane::Log() const {
+  std::scoped_lock lock(mu_);
+  return log_;
+}
+
+PlacementPlane::Stats PlacementPlane::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace opmr::placement

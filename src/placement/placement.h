@@ -1,0 +1,159 @@
+// PlacementPlane: operation-level global scheduling with locality ranking.
+//
+// One plane serves every job a JobScheduler admits.  At admission the
+// plane *plans* the job: each map operation (one DFS block) is assigned to
+// the best logical node, ranking candidates by
+//
+//   locality  — the node holds a DFS replica of the block,
+//   load      — planned backlog on the node plus the slots-held / queue-
+//               depth vector its worker last reported in a v6 heartbeat,
+//   health    — the worker's suspect_count from the two-stage failure
+//               detector (flappier workers rank later; dead ones are
+//               skipped entirely),
+//
+// with a seeded-hash tie-break so the whole plan is a deterministic
+// function of (seed, registry view, block list): same seed, same inputs,
+// same assignment log.  Because one plane spans all admitted jobs, the
+// planned-backlog term is what balances load *globally* — the OS4M
+// operation-level scheduling the ROADMAP names, as opposed to the old
+// job-at-a-time gate.
+//
+// Execution stays work-conserving: the executor's freed slot on node n
+// asks PickPending() for its next block.  Planned-for-n blocks come first;
+// when n's plan runs dry it steals the pending block whose assigned node
+// is most backlogged.  Steals are execution-time events and are NOT
+// logged — the log records planning decisions and failure-driven
+// re-placements only, which is what keeps it seed-reproducible under
+// nondeterministic thread timing.
+//
+// Worker <-> node bridge: map-role registry entries sorted ascending by
+// worker id (dead ones included, so the bridge is stable across
+// evictions); entry i backs logical node i.  Nodes with no backing worker
+// are treated as healthy and unloaded, so the plane degrades gracefully
+// when no coordinator is wired in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "coord/registry.h"
+#include "dfs/dfs.h"
+
+namespace opmr::placement {
+
+enum class PlacementMode {
+  kEngine,             // no plane: the executor's built-in local-first order
+  kRegistrationOrder,  // naive baseline: ops round-robin over nodes, blind
+                       // to locality, load, and health
+  kLocalityRanked,     // locality -> load -> health ranking
+};
+
+[[nodiscard]] const char* PlacementModeName(PlacementMode mode) noexcept;
+// Accepts "engine", "registration", "locality"; throws
+// std::invalid_argument otherwise.
+[[nodiscard]] PlacementMode ParsePlacementMode(const std::string& name);
+
+// One planned (or re-planned) operation placement, in log order.
+struct Assignment {
+  std::uint64_t seq = 0;      // global placement ordinal
+  int job = -1;               // scheduler job handle
+  std::uint64_t block_id = 0; // the operation's DFS block
+  int node = -1;              // assigned logical node
+  bool local = false;         // node holds a replica of the block
+  bool replacement = false;   // re-placed after the assigned node died
+};
+
+class PlacementPlane {
+ public:
+  struct Options {
+    PlacementMode mode = PlacementMode::kLocalityRanked;
+    std::uint64_t seed = 42;
+    int num_nodes = 4;
+    // Optional health + heartbeat-load feed (not owned, must outlive the
+    // plane).  nullptr reads every node as alive and unloaded.
+    coord::WorkerRegistry* registry = nullptr;
+  };
+
+  struct Stats {
+    std::int64_t planned = 0;        // operations planned
+    std::int64_t planned_local = 0;  // planned onto a replica holder
+    std::int64_t replacements = 0;   // re-placed after a node death
+    std::int64_t steals = 0;         // execution-time work stealing picks
+  };
+
+  explicit PlacementPlane(Options options);
+
+  // Plans every block of an admitted job (call once, before the job's
+  // executor starts pulling).  Re-planning an already-planned job throws.
+  void PlanJob(int job, const std::vector<BlockInfo>& blocks);
+
+  // Drops the job's plan and refunds its remaining planned backlog.
+  void JobDone(int job);
+
+  // The engine seam (SchedHooks::place_map_block): node `node`, running
+  // `job`, asks which of `pending` (the executor's untaken blocks, listing
+  // order) to take.  Returns an index into `pending`, or -1 when the job
+  // has no plan (the executor falls back to its built-in order).  Checks
+  // the registry epoch first and re-places pending operations whose
+  // assigned node has died onto the next-ranked live holder.
+  [[nodiscard]] int PickPending(int job, int node,
+                                const std::vector<const BlockInfo*>& pending);
+
+  // Slot-lease feed (SchedHooks): live slots held per node, the plane's
+  // own load signal when no registry heartbeats are available.
+  void OnSlotAcquired(int node);
+  void OnSlotReleased(int node);
+
+  // Worker-side heartbeat probe: the load vector a CoordClient should
+  // report for `node` (net::kLoad* layout).
+  [[nodiscard]] std::vector<std::uint32_t> LoadVector(int node) const;
+
+  [[nodiscard]] std::vector<Assignment> Log() const;
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  struct NodeView {
+    bool alive = true;
+    std::uint64_t reported_load = 0;  // heartbeat slots held + queue depth
+    std::uint64_t suspect = 0;        // lease expiries survived
+  };
+  struct PlanEntry {
+    int node = -1;
+    bool local = false;
+    std::vector<int> holders;
+  };
+  struct JobPlan {
+    // block_id -> live entry; erased as the executor consumes blocks.
+    std::map<std::uint64_t, PlanEntry> pending;
+    std::uint64_t planned_epoch = 0;  // registry epoch the plan last saw
+  };
+
+  // mu_ held.  Registry-derived per-node health/load (see the bridge note
+  // above); all-default without a registry.
+  [[nodiscard]] std::vector<NodeView> ViewsLocked() const;
+  // mu_ held.  Best node for a block per `mode`: ranked holder, or the
+  // least-loaded live node when every holder is down.
+  [[nodiscard]] PlanEntry RankLocked(const std::vector<NodeView>& views,
+                                     std::uint64_t block_id,
+                                     const std::vector<int>& holders,
+                                     std::size_t ordinal);
+  // mu_ held.  Re-places `plan`'s pending ops off dead nodes.
+  void RefreshLocked(int job, JobPlan& plan);
+  void ConsumeLocked(JobPlan& plan, std::uint64_t block_id);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::map<int, JobPlan> plans_;
+  std::vector<std::int64_t> planned_backlog_;  // per node, ops not yet taken
+  std::vector<std::int64_t> slots_held_;       // per node, live slot leases
+  std::vector<Assignment> log_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t round_robin_ = 0;  // kRegistrationOrder cursor
+  Stats stats_;
+};
+
+}  // namespace opmr::placement

@@ -13,10 +13,23 @@ JobScheduler::JobScheduler(Dfs* dfs, FileManager* files,
                            SchedulerOptions options)
     : dfs_(dfs),
       files_(files),
-      options_(options),
-      pool_(options.map_slots, options.reduce_slots,
-            options.memory_budget_bytes, options.policy),
-      dispatcher_([this](std::stop_token stop) { DispatchLoop(stop); }) {}
+      options_(std::move(options)),
+      pool_tree_(options_.pools.empty()
+                     ? nullptr
+                     : std::make_unique<placement::PoolTree>(options_.pools)),
+      plane_(options_.placement_mode == placement::PlacementMode::kEngine
+                 ? nullptr
+                 : std::make_unique<placement::PlacementPlane>(
+                       placement::PlacementPlane::Options{
+                           options_.placement_mode, options_.placement_seed,
+                           options_.num_nodes, options_.registry})),
+      pool_(options_.map_slots, options_.reduce_slots,
+            options_.memory_budget_bytes, options_.policy),
+      dispatcher_([this](std::stop_token stop) { DispatchLoop(stop); }) {
+  // No job can be submitted before construction returns, so installing the
+  // tree after the dispatcher thread starts is race-free.
+  if (pool_tree_ != nullptr) pool_.SetPoolTree(pool_tree_.get());
+}
 
 JobScheduler::~JobScheduler() {
   dispatcher_.request_stop();
@@ -53,6 +66,12 @@ int JobScheduler::Submit(JobRequest request) {
         std::to_string(options_.memory_budget_bytes) +
         " — it could never be admitted (shrink reduce_buffer_bytes or the "
         "reducer count, or raise the budget)");
+  }
+  if (!request.pool.empty() &&
+      (pool_tree_ == nullptr || !pool_tree_->HasPool(request.pool))) {
+    throw AdmissionError("job '" + request.id +
+                         "' names unknown fair-share pool '" + request.pool +
+                         "' (declare it in SchedulerOptions::pools)");
   }
   const std::int64_t ops = EstimateOps(request);
   std::unique_lock lock(mu_);
@@ -98,9 +117,28 @@ void JobScheduler::DispatchLoop(const std::stop_token& stop) {
         if (!head_deferred_) {
           head_deferred_ = true;
           ++placement_deferrals_;
+          // Missing-map takes precedence when both groups are empty, so the
+          // reason counters always sum to placement_deferrals.
+          if (options_.registry->LiveCount(net::WireRole::kMap) == 0) {
+            ++no_map_worker_deferrals_;
+          } else {
+            ++no_reduce_worker_deferrals_;
+          }
           if (options_.registry->LiveCount(net::WireRole::kFrontend) > 0) {
             ++frontend_only_deferrals_;
           }
+        }
+        return false;
+      }
+      // Fair-share quota gate: a pool (or any ancestor) at its
+      // max_running_jobs cap holds its next job in the queue.  Job
+      // completions notify cv_, so this re-evaluates without polling.
+      if (pool_tree_ != nullptr &&
+          pool_tree_->AtJobQuota(jobs_[queued_.front()]->request.pool)) {
+        if (!head_deferred_) {
+          head_deferred_ = true;
+          ++placement_deferrals_;
+          ++quota_deferrals_;
         }
         return false;
       }
@@ -133,6 +171,26 @@ void JobScheduler::DispatchLoop(const std::stop_token& stop) {
     ++running_;
     peak_concurrent_ = std::max(peak_concurrent_, running_);
     pool_.RegisterJob(handle, job->total_ops);
+    if (pool_tree_ != nullptr) {
+      pool_tree_->JoinJob(handle, job->request.pool);
+      pool_tree_->OnJobStart(job->request.pool);
+    }
+    if (plane_ != nullptr) {
+      // Plan here, on the dispatcher thread: jobs are planned in dispatch
+      // order, which is FIFO-deterministic — the property the seeded
+      // assignment-log tests pin.  A missing input stays unplanned and
+      // fails inside the executor as before.
+      try {
+        std::vector<BlockInfo> blocks =
+            dfs_->ListBlocks(job->request.spec.input_file);
+        for (const auto& extra : job->request.spec.extra_inputs) {
+          const auto more = dfs_->ListBlocks(extra);
+          blocks.insert(blocks.end(), more.begin(), more.end());
+        }
+        plane_->PlanJob(handle, blocks);
+      } catch (...) {
+      }
+    }
     job->runner = std::jthread([this, job] { RunJob(job); });
   }
 }
@@ -143,12 +201,20 @@ void JobScheduler::RunJob(Job* job) {
   // jobs interleave.  Transports charge their wire metrics here too.
   job->metrics = std::make_unique<MetricRegistry>();
 
-  job->hooks.acquire_map_slot = [this, handle](int) {
+  job->hooks.acquire_map_slot = [this, handle](int node) {
     pool_.Acquire(handle, SlotPool::SlotKind::kMap);
+    if (plane_ != nullptr) plane_->OnSlotAcquired(node);
   };
-  job->hooks.release_map_slot = [this, handle](int) {
+  job->hooks.release_map_slot = [this, handle](int node) {
+    if (plane_ != nullptr) plane_->OnSlotReleased(node);
     pool_.Release(handle, SlotPool::SlotKind::kMap);
   };
+  if (plane_ != nullptr) {
+    job->hooks.place_map_block =
+        [this, handle](int node, const std::vector<const BlockInfo*>& pending) {
+          return plane_->PickPending(handle, node, pending);
+        };
+  }
   job->hooks.acquire_reduce_slot = [this, handle] {
     pool_.Acquire(handle, SlotPool::SlotKind::kReduce);
   };
@@ -212,6 +278,11 @@ void JobScheduler::RunJob(Job* job) {
   // All slot leases were released when Run() unwound its task threads.
   pool_.UnregisterJob(handle);
   pool_.ReleaseMemory(job->memory_bytes);
+  if (plane_ != nullptr) plane_->JobDone(handle);
+  if (pool_tree_ != nullptr) {
+    pool_tree_->OnJobFinish(job->request.pool);
+    pool_tree_->LeaveJob(handle);
+  }
   {
     std::scoped_lock lock(mu_);
     job->report.result = std::move(result);
@@ -259,7 +330,12 @@ SchedulerStats JobScheduler::stats() const {
   }
   s.peak_concurrent = peak_concurrent_;
   s.placement_deferrals = placement_deferrals_;
+  s.no_map_worker_deferrals = no_map_worker_deferrals_;
+  s.no_reduce_worker_deferrals = no_reduce_worker_deferrals_;
+  s.quota_deferrals = quota_deferrals_;
   s.frontend_only_deferrals = frontend_only_deferrals_;
+  if (plane_ != nullptr) s.placement = plane_->stats();
+  if (pool_tree_ != nullptr) s.pools = pool_tree_->Stats();
   s.makespan_s =
       first_submit_s_ >= 0.0 ? last_finish_s_ - first_submit_s_ : 0.0;
   s.slots = pool_.stats();

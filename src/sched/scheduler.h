@@ -40,6 +40,8 @@
 #include "engine/job.h"
 #include "metrics/stopwatch.h"
 #include "net/transport.h"
+#include "placement/placement.h"
+#include "placement/pool_tree.h"
 #include "sched/policy.h"
 #include "sched/slot_pool.h"
 #include "storage/file_manager.h"
@@ -66,10 +68,25 @@ struct SchedulerOptions {
   // the scheduler): when set, the queue head is dispatched only while the
   // registry holds at least one live map worker AND one live reduce
   // worker.  A membership gap holds jobs in the queue — counted in
-  // SchedulerStats::placement_deferrals — instead of letting them fail at
-  // shuffle-connect time.  Frontend (serve-plane) registrations are NOT
-  // slots: a registry of only frontends still defers placement.
+  // SchedulerStats::placement_deferrals, with the missing role split out
+  // in no_map_worker_deferrals / no_reduce_worker_deferrals — instead of
+  // letting them fail at shuffle-connect time.  Frontend (serve-plane)
+  // registrations are NOT slots: a registry of only frontends still
+  // defers placement.
   coord::WorkerRegistry* registry = nullptr;
+  // Operation-level placement plane (src/placement).  kEngine keeps the
+  // seed behaviour (each executor's built-in local-first order, no plane);
+  // the other modes build one shared PlacementPlane that plans every
+  // admitted job's map operations against the registry's locality / load /
+  // health view, seed-deterministically.
+  placement::PlacementMode placement_mode = placement::PlacementMode::kEngine;
+  std::uint64_t placement_seed = 42;
+  // Hierarchical fair-share pools (src/placement).  Empty = no pool tree:
+  // the SchedPolicy alone orders contended slots.  Non-empty builds a
+  // PoolTree; jobs name their pool in JobRequest::pool, contended slots go
+  // to the tree's usage/weight pick, and a pool at its max_running_jobs
+  // quota holds its next job in the queue (quota_deferrals).
+  std::vector<placement::PoolConfig> pools;
 };
 
 enum class JobTransport {
@@ -89,6 +106,10 @@ struct JobRequest {
   // Checkpoint-seeded speculative reduce attempts (see ClusterOptions).
   bool speculative_reduce = false;
   double reduce_speculation_threshold = 2.0;
+  // Fair-share pool this job charges (SchedulerOptions::pools).  Empty
+  // charges the root; a name that is not in the tree is rejected at
+  // Submit.
+  std::string pool;
 };
 
 struct JobReport {
@@ -111,14 +132,21 @@ struct SchedulerStats {
   int failed = 0;
   int peak_concurrent = 0;
   double makespan_s = 0.0;  // first submission -> last completion
-  // Dispatch episodes where a ready job was held back because the worker
-  // registry lacked a live map or reduce group (0 without a registry).
+  // Dispatch episodes where a ready job was held back, with the reason
+  // split out below: placement_deferrals is the total of the three.
   std::int64_t placement_deferrals = 0;
-  // Of those, episodes where the registry DID hold live frontend replicas:
-  // serve-plane workers are read-only and hold no job slots, so they never
-  // satisfy the placement gate — heavy read traffic cannot perturb
-  // placement (the OS4M operation-level separation).
+  std::int64_t no_map_worker_deferrals = 0;     // registry: no live map group
+  std::int64_t no_reduce_worker_deferrals = 0;  // registry: no live reducers
+  std::int64_t quota_deferrals = 0;             // pool at max_running_jobs
+  // Of the registry deferrals, episodes where the registry DID hold live
+  // frontend replicas: serve-plane workers are read-only and hold no job
+  // slots, so they never satisfy the placement gate — heavy read traffic
+  // cannot perturb placement (the OS4M operation-level separation).
   std::int64_t frontend_only_deferrals = 0;
+  // Placement-plane activity (all zero with placement_mode == kEngine).
+  placement::PlacementPlane::Stats placement;
+  // Per-pool usage, root first (empty without a pool tree).
+  std::vector<placement::PoolTree::PoolStats> pools;
   SlotPool::Stats slots;
 };
 
@@ -148,6 +176,16 @@ class JobScheduler {
   // plotted against each other.
   [[nodiscard]] std::vector<TaskInterval> Timeline() const;
 
+  // The placement plane (nullptr with placement_mode == kEngine) — the
+  // assignment log and per-node load probes live here.
+  [[nodiscard]] placement::PlacementPlane* placement_plane() noexcept {
+    return plane_.get();
+  }
+  // The fair-share tree (nullptr without pools).
+  [[nodiscard]] placement::PoolTree* pool_tree() noexcept {
+    return pool_tree_.get();
+  }
+
  private:
   struct Job {
     int handle = -1;
@@ -173,6 +211,10 @@ class JobScheduler {
   FileManager* files_;
   SchedulerOptions options_;
   WallTimer clock_;
+  // Declared before pool_ (which borrows the tree) and dispatcher_ (which
+  // consults both), so they outlive every user.
+  std::unique_ptr<placement::PoolTree> pool_tree_;
+  std::unique_ptr<placement::PlacementPlane> plane_;
   SlotPool pool_;
 
   mutable std::mutex mu_;
@@ -182,6 +224,9 @@ class JobScheduler {
   int running_ = 0;
   int peak_concurrent_ = 0;
   std::int64_t placement_deferrals_ = 0;
+  std::int64_t no_map_worker_deferrals_ = 0;
+  std::int64_t no_reduce_worker_deferrals_ = 0;
+  std::int64_t quota_deferrals_ = 0;
   std::int64_t frontend_only_deferrals_ = 0;
   bool head_deferred_ = false;  // current queue head already counted
   double first_submit_s_ = -1.0;

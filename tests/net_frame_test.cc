@@ -146,10 +146,26 @@ TEST(NetFrame, CoordinationMessagesRoundTrip) {
   hb.worker = "map-1";
   hb.generation = 3;
   hb.seq = 99;
+  hb.load = {2, 1, 7};  // v6 trailing load vector (kLoad* layout)
   const auto hb2 = HeartbeatMsg::Parse(DecodeOne(EncodeFrame(hb.ToFrame())));
   EXPECT_EQ(hb2.worker, "map-1");
   EXPECT_EQ(hb2.generation, 3u);
   EXPECT_EQ(hb2.seq, 99u);
+  EXPECT_EQ(hb2.load, (std::vector<std::uint32_t>{2, 1, 7}));
+
+  // A loadless heartbeat round-trips as an empty vector (LoadAt reads 0s).
+  HeartbeatMsg bare_hb;
+  bare_hb.worker = "map-2";
+  EXPECT_TRUE(
+      HeartbeatMsg::Parse(DecodeOne(EncodeFrame(bare_hb.ToFrame()))).load
+          .empty());
+
+  // The encode side enforces the same cap the parser does: a load vector
+  // past kMaxLoadEntries never reaches the wire.
+  HeartbeatMsg oversized;
+  oversized.worker = "map-3";
+  oversized.load.assign(kMaxLoadEntries + 1, 1);
+  EXPECT_THROW((void)oversized.ToFrame(), WireError);
 
   MembershipMsg view;
   view.epoch = 12;
@@ -179,18 +195,27 @@ TEST(NetFrame, CoordinationMessagesRoundTrip) {
 }
 
 TEST(NetFrame, CoordinationFrameEveryTruncationIsNeedMore) {
+  std::vector<std::string> wires;
   MembershipMsg view;
   view.epoch = 7;
   view.entries.push_back({"map-0", "host-a:1", WireRole::kMap, 1, true});
   view.entries.push_back({"reduce-0", "host-b:2", WireRole::kReduce, 2, true});
-  const std::string wire = EncodeFrame(view.ToFrame());
-  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
-    FrameDecoder decoder;
-    decoder.Feed(wire.data(), cut);
-    Frame frame;
-    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kNeedMore)
-        << "truncated to " << cut << " bytes";
-    EXPECT_FALSE(decoder.poisoned());
+  wires.push_back(EncodeFrame(view.ToFrame()));
+  HeartbeatMsg hb;
+  hb.worker = "map-0";
+  hb.generation = 2;
+  hb.seq = 17;
+  hb.load = {1, 0, 3};  // the v6 extension gets the same truncation sweep
+  wires.push_back(EncodeFrame(hb.ToFrame()));
+  for (const std::string& wire : wires) {
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      FrameDecoder decoder;
+      decoder.Feed(wire.data(), cut);
+      Frame frame;
+      EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kNeedMore)
+          << "truncated to " << cut << " bytes";
+      EXPECT_FALSE(decoder.poisoned());
+    }
   }
 }
 
@@ -207,6 +232,7 @@ TEST(NetFrame, CoordinationFrameEverySingleBitFlipIsDetected) {
   hb.worker = "map-0";
   hb.generation = 2;
   hb.seq = 17;
+  hb.load = {3, 0, 5};
   wires.push_back(EncodeFrame(hb.ToFrame()));
   MembershipMsg view;
   view.epoch = 3;
@@ -259,6 +285,36 @@ TEST(NetFrame, CoordinationPayloadSemanticCorruptionIsWireError) {
   lying.payload[10] = '\x00';
   lying.payload[11] = '\x40';
   EXPECT_THROW((void)MembershipMsg::Parse(DecodeOne(EncodeFrame(lying))),
+               WireError);
+
+  // v6 heartbeat load-vector lies.  Payload layout: worker len(u32) +
+  // "map-0"(5) + generation(u64) + seq(u64) puts the load count at byte 25.
+  HeartbeatMsg hb;
+  hb.worker = "map-0";
+  Frame hb_lying = hb.ToFrame();
+  ASSERT_GE(hb_lying.payload.size(), 29u);
+  // Claim kMaxLoadEntries + 1 entries with an empty body: over-cap is
+  // rejected before any allocation or read.
+  hb_lying.payload[25] = static_cast<char>(kMaxLoadEntries + 1);
+  EXPECT_THROW((void)HeartbeatMsg::Parse(DecodeOne(EncodeFrame(hb_lying))),
+               WireError);
+  // Claim 2^30 entries: same rejection, no preallocation from the lie.
+  hb_lying.payload[25] = '\x00';
+  hb_lying.payload[28] = '\x40';
+  EXPECT_THROW((void)HeartbeatMsg::Parse(DecodeOne(EncodeFrame(hb_lying))),
+               WireError);
+  // An in-cap count pointing past the payload must be a clean WireError.
+  hb_lying.payload[25] = '\x02';
+  hb_lying.payload[28] = '\x00';
+  EXPECT_THROW((void)HeartbeatMsg::Parse(DecodeOne(EncodeFrame(hb_lying))),
+               WireError);
+  // Trailing junk after a well-formed load vector is rejected too.
+  HeartbeatMsg hb_loaded;
+  hb_loaded.worker = "map-0";
+  hb_loaded.load = {1, 2};
+  Frame hb_padded = hb_loaded.ToFrame();
+  hb_padded.payload += "junk";
+  EXPECT_THROW((void)HeartbeatMsg::Parse(DecodeOne(EncodeFrame(hb_padded))),
                WireError);
 }
 

@@ -125,15 +125,23 @@
 //   opmr_cli serve spool=<dir|-> [map-slots=N] [reduce-slots=N]
 //                  [policy=fifo|fair|srw] [memory-budget=BYTES]
 //                  [max-concurrent=N] [nodes=N]
+//                  [placement=engine|registration|locality]
+//                  [placement-seed=N] [pool=name:weight[:max_jobs][,...]]
 //       Multi-job mode: drains `*.job` spool files from <dir> (renaming
 //       each to `*.job.done`), or blank-line-separated key=value blocks
 //       from stdin with spool=-, and runs them all through the shared-slot
 //       JobScheduler (src/sched).  Each job gets its own `<id>.in` dataset
 //       and `<id>.out` output; the chosen policy arbitrates contended map/
-//       reduce slots.  Prints per-job reports, scheduler stats, and a
-//       cross-job task timeline.  Spool keys: workload, runtime, transport
-//       (direct|loopback|tcp), records, reducers, memory_bytes,
-//       speculative_reduce, checkpoint_interval, checkpoint_retain.
+//       reduce slots.  placement=locality routes every map operation
+//       through the src/placement plane (locality -> load -> health
+//       ranking, seed-deterministic); pool= declares hierarchical
+//       fair-share pools ("parent/" prefix nests; declare parents first)
+//       that spool jobs join with their pool= key.  Prints per-job
+//       reports, scheduler stats (with deferral reasons, placement
+//       counters, and per-pool grants), and a cross-job task timeline.
+//       Spool keys: workload, runtime, transport (direct|loopback|tcp),
+//       records, reducers, memory_bytes, speculative_reduce,
+//       checkpoint_interval, checkpoint_retain, pool.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -665,6 +673,24 @@ int CmdServe(const Config& cfg) {
                                 " (expected fifo, fair, or srw)");
   }
   sopts.policy = *policy;
+  // Operation-level placement plane: placement=engine keeps the seed
+  // behaviour; registration/locality route every map op through the plane.
+  sopts.placement_mode =
+      placement::ParsePlacementMode(cfg.GetString("placement", "engine"));
+  sopts.placement_seed = static_cast<std::uint64_t>(
+      GetCheckedInt(cfg, "placement-seed", 42, /*min_value=*/0));
+  // Fair-share pools: pool=name:weight[:max_jobs][,more...] with an
+  // optional "parent/" prefix on each name (parents listed first).
+  if (const auto pool_list = cfg.GetString("pool", ""); !pool_list.empty()) {
+    std::size_t begin = 0;
+    while (begin <= pool_list.size()) {
+      auto end = pool_list.find(',', begin);
+      if (end == std::string::npos) end = pool_list.size();
+      const std::string spec = pool_list.substr(begin, end - begin);
+      if (!spec.empty()) sopts.pools.push_back(placement::ParsePoolConfig(spec));
+      begin = end + 1;
+    }
+  }
 
   sched::JobScheduler scheduler(&platform.dfs(), &platform.files(), sopts);
   for (const auto& s : specs) {
@@ -683,6 +709,7 @@ int CmdServe(const Config& cfg) {
     request.transport = TransportByName(s.transport);
     request.memory_bytes = s.memory_bytes;
     request.speculative_reduce = s.speculative_reduce;
+    request.pool = s.pool;
     if (request.speculative_reduce && !request.options.checkpoint.enabled) {
       throw std::invalid_argument(
           "spool job '" + s.id +
@@ -717,6 +744,27 @@ int CmdServe(const Config& cfg) {
               stats.submitted, stats.peak_concurrent,
               static_cast<long long>(stats.slots.waits),
               HumanSeconds(stats.slots.wait_seconds).c_str());
+  if (stats.placement_deferrals > 0) {
+    std::printf("deferrals %lld (no-map %lld, no-reduce %lld, quota %lld)\n",
+                static_cast<long long>(stats.placement_deferrals),
+                static_cast<long long>(stats.no_map_worker_deferrals),
+                static_cast<long long>(stats.no_reduce_worker_deferrals),
+                static_cast<long long>(stats.quota_deferrals));
+  }
+  if (sopts.placement_mode != placement::PlacementMode::kEngine) {
+    std::printf("placement %s: %lld ops planned (%lld data-local), "
+                "%lld re-placed, %lld stolen\n",
+                placement::PlacementModeName(sopts.placement_mode),
+                static_cast<long long>(stats.placement.planned),
+                static_cast<long long>(stats.placement.planned_local),
+                static_cast<long long>(stats.placement.replacements),
+                static_cast<long long>(stats.placement.steals));
+  }
+  for (const auto& pool : stats.pools) {
+    std::printf("pool %-12s weight %.1f | %lld slot grants\n",
+                pool.name.c_str(), pool.weight,
+                static_cast<long long>(pool.total_grants));
+  }
   PrintCrossJobTimeline(scheduler.Timeline());
   return failures == 0 ? 0 : 1;
 }
