@@ -1,30 +1,174 @@
-// Ablation A2b — pipelining granularity over a real socket transport.
+// Ablation A2b — pipelining granularity over real socket transports.
 //
 // A2 sweeps the push-shuffle chunk size with the in-process engine; this
 // re-runs the same grid with the shuffle frames moving through the src/net
 // transports, so the per-chunk overhead the paper attributes to HOP's
 // fine-grained eager transmission shows up as real wire activity: frame
-// counts, bytes on the wire, and (for TCP) socket round trips.  Loopback
-// isolates the framing/protocol cost; TCP adds the kernel socket path.
+// counts, bytes on the wire, payload MB/s, and syscalls per frame.
+// Loopback isolates the framing/protocol cost, TCP adds the kernel socket
+// path one write(2) per frame at a time, and epoll is the event-loop data
+// plane (src/dataplane) that coalesces frames into writev'd blocks.
+//
+// Two phases:
+//   1. Engine grid — the sessionization job over every transport × chunk
+//      size.  Output digests must agree across transports (exit nonzero
+//      otherwise): the transport changes how bytes move, never the answer.
+//   2. Wire saturation — raw chunk frames pushed back-to-back through tcp
+//      and epoll with no job attached, isolating transport throughput.
+//      This is the series behind the data-plane acceptance number: epoll
+//      vs the committed pre-dataplane tcp baseline ("before" curve).
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/config.h"
+#include "common/crc32c.h"
 #include "core/opmr.h"
+#include "dataplane/event_loop.h"
 #include "metrics/report.h"
 #include "net/loopback.h"
 #include "net/tcp.h"
 #include "workloads/tasks.h"
+
+namespace {
+
+using namespace opmr;
+
+// The tcp series committed before the data plane landed (BENCH_transport
+// .json at the seed of this PR): the "before" curve every epoll point is
+// judged against.  wall_s is the full engine-job wall clock, mb_s the
+// payload rate it implies.
+struct BeforePoint {
+  std::size_t chunk_bytes;
+  double wall_s;
+  long long net_bytes_sent;
+};
+constexpr BeforePoint kBeforeTcp[] = {
+    {16u << 10, 1.1222, 3708665},
+    {64u << 10, 1.1093, 13676674},
+    {256u << 10, 1.2059, 29261327},
+};
+
+double BeforeMbs(const BeforePoint& p) {
+  return static_cast<double>(p.net_bytes_sent) / p.wall_s / 1e6;
+}
+
+// Order-insensitive digest of a job's output rows: the multiset of
+// (key, value) pairs is what every transport must agree on (push
+// pipelines interleave mapper threads, so row order is scheduling noise).
+std::uint32_t DigestRows(std::vector<std::pair<std::string, std::string>> rows) {
+  std::sort(rows.begin(), rows.end());
+  std::uint32_t state = kCrc32cInit;
+  for (const auto& [k, v] : rows) {
+    state = Crc32cUpdate(state, k.data(), k.size());
+    state = Crc32cUpdate(state, "\x1f", 1);
+    state = Crc32cUpdate(state, v.data(), v.size());
+    state = Crc32cUpdate(state, "\n", 1);
+  }
+  return Crc32cFinal(state);
+}
+
+std::unique_ptr<net::Transport> MakeTransport(const std::string& name,
+                                              MetricRegistry* metrics) {
+  if (name == "tcp") {
+    auto tcp = std::make_unique<net::TcpTransport>(metrics);
+    tcp->Bind();
+    return tcp;
+  }
+  if (name == "epoll") {
+    auto ev = std::make_unique<dataplane::EventLoopTransport>(metrics);
+    ev->Bind();
+    return ev;
+  }
+  return std::make_unique<net::LoopbackTransport>(metrics);
+}
+
+struct WirePoint {
+  std::string transport;
+  std::size_t chunk_bytes = 0;
+  long long payload_bytes = 0;
+  double wall_s = 0.0;
+  double mb_s = 0.0;
+  double syscalls_per_frame = 0.0;
+};
+
+// Phase 2: no engine, no disk — one client hammering chunk frames at a
+// sink server until `total_bytes` of payload have landed.
+WirePoint SaturateWire(const std::string& transport_name,
+                       std::size_t chunk_bytes, std::size_t total_bytes) {
+  MetricRegistry metrics;
+  auto transport = MakeTransport(transport_name, &metrics);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t received = 0;
+  transport->Listen([&](net::Connection*, net::Frame frame) {
+    if (frame.type == net::FrameType::kChunk) {
+      const auto msg = net::ChunkMsg::Parse(frame);
+      std::scoped_lock lock(mu);
+      received += msg.bytes.size();
+      if (received >= total_bytes) cv.notify_all();
+    }
+  });
+  auto conn = transport->Connect([](net::Connection*, net::Frame) {});
+
+  // Mildly mixed payload: not a compressor showcase, not adversarial.
+  std::string payload(chunk_bytes, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i * 131) % 53);
+  }
+  net::ChunkMsg msg;
+  msg.map_task = 0;
+  msg.reducer = 0;
+  msg.records = 1;
+  msg.bytes = payload;
+  const std::size_t frames = (total_bytes + chunk_bytes - 1) / chunk_bytes;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < frames; ++i) conn->Send(msg.ToFrame());
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return received >= frames * chunk_bytes; });
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  transport->Shutdown();
+
+  WirePoint point;
+  point.transport = transport_name;
+  point.chunk_bytes = chunk_bytes;
+  point.payload_bytes = static_cast<long long>(frames * chunk_bytes);
+  point.wall_s = wall;
+  point.mb_s = static_cast<double>(point.payload_bytes) / wall / 1e6;
+  const auto sent = metrics.Value(net::kNetFramesSent);
+  point.syscalls_per_frame =
+      sent > 0 ? static_cast<double>(metrics.Value(net::kNetSendSyscalls)) /
+                     static_cast<double>(sent)
+               : 0.0;
+  return point;
+}
+
+std::string Fixed(double v, int digits = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace opmr;
   const auto cfg = Config::FromArgs(argc, argv);
 
   bench::Banner("Ablation A2b: push-shuffle chunk granularity over the "
-                "socket transport (loopback vs tcp)");
+                "socket transports (loopback vs tcp vs epoll)");
 
   Platform platform({.num_nodes = 2, .block_bytes = 4u << 20});
   ClickStreamOptions gen;
@@ -34,10 +178,10 @@ int main(int argc, char** argv) {
 
   TextTable table;
   table.AddRow({"Transport", "Chunk bytes", "Wall time", "Pushed", "Diverted",
-                "Net frames", "Net bytes"});
+                "Net frames", "Net bytes", "MB/s", "Sys/frame", "Digest"});
   bench::CsvSink csv("ablation_transport.csv");
   csv.Row("transport", "chunk_bytes", "wall_s", "pushed", "diverted",
-          WireCsvHeader());
+          "mb_s", "syscalls_per_frame", "digest", WireCsvHeader());
 
   struct Point {
     std::string transport;
@@ -47,50 +191,112 @@ int main(int argc, char** argv) {
     std::int64_t diverted = 0;
     std::int64_t net_frames = 0;
     std::int64_t net_bytes = 0;
+    double mb_s = 0.0;
+    double syscalls_per_frame = 0.0;
+    std::uint32_t digest = 0;
   };
   std::vector<Point> points;
+  bool digests_agree = true;
 
   int i = 0;
-  for (const std::string& transport : {"loopback", "tcp"}) {
-    for (std::size_t chunk : {16u << 10, 64u << 10, 256u << 10}) {
+  const std::size_t chunks[] = {16u << 10, 64u << 10, 256u << 10};
+  for (const std::size_t chunk : chunks) {
+    std::uint32_t reference_digest = 0;
+    bool have_reference = false;
+    for (const std::string& transport :
+         {"direct", "loopback", "tcp", "epoll"}) {
       JobOptions options = MapReduceOnlineOptions();
       options.push_chunk_bytes = chunk;
       options.push_queue_chunks = 16;
-      const auto spec =
-          SessionizationJob("clicks", "a2b_" + std::to_string(i++), 4);
-      std::unique_ptr<net::Transport> wire;
-      if (transport == "tcp") {
-        auto tcp = std::make_unique<net::TcpTransport>(&platform.metrics());
-        tcp->Bind();
-        wire = std::move(tcp);
+      const std::string out_name = "a2b_" + std::to_string(i++);
+      const auto spec = SessionizationJob("clicks", out_name, 4);
+      JobResult r;
+      if (transport == "direct") {
+        r = platform.Run(spec, options);
       } else {
-        wire = std::make_unique<net::LoopbackTransport>(&platform.metrics());
+        auto wire = MakeTransport(transport, &platform.metrics());
+        r = platform.RunWithTransport(spec, options, wire.get());
       }
-      const auto r = platform.RunWithTransport(spec, options, wire.get());
+      Point pt;
+      pt.transport = transport;
+      pt.chunk_bytes = chunk;
+      pt.wall_s = r.wall_seconds;
+      pt.pushed = r.Bytes(device::kPushedChunks);
+      pt.diverted = r.Bytes(device::kDivertedChunks);
+      pt.net_frames = r.net_frames_sent;
+      pt.net_bytes = r.net_bytes_sent;
+      pt.mb_s = r.wall_seconds > 0
+                    ? static_cast<double>(r.net_bytes_sent) / r.wall_seconds /
+                          1e6
+                    : 0.0;
+      pt.syscalls_per_frame =
+          r.net_frames_sent > 0
+              ? static_cast<double>(r.Bytes(net::kNetSendSyscalls)) /
+                    static_cast<double>(r.net_frames_sent)
+              : 0.0;
+      pt.digest = DigestRows(platform.ReadOutput(out_name, 4));
+      if (!have_reference) {
+        reference_digest = pt.digest;
+        have_reference = true;
+      } else if (pt.digest != reference_digest) {
+        digests_agree = false;
+        std::fprintf(stderr,
+                     "DIGEST DIVERGENCE: %s @ %zu B chunks: %08x != %08x\n",
+                     transport.c_str(), chunk, pt.digest, reference_digest);
+      }
       table.AddRow({transport, HumanBytes(double(chunk)),
-                    HumanSeconds(r.wall_seconds),
-                    std::to_string(r.Bytes(device::kPushedChunks)),
-                    std::to_string(r.Bytes(device::kDivertedChunks)),
-                    std::to_string(r.net_frames_sent),
-                    HumanBytes(double(r.net_bytes_sent))});
-      csv.Row(transport, chunk, r.wall_seconds,
-              r.Bytes(device::kPushedChunks),
-              r.Bytes(device::kDivertedChunks),
+                    HumanSeconds(pt.wall_s), std::to_string(pt.pushed),
+                    std::to_string(pt.diverted), std::to_string(pt.net_frames),
+                    HumanBytes(double(pt.net_bytes)), Fixed(pt.mb_s),
+                    Fixed(pt.syscalls_per_frame), Fixed(pt.digest, 0)});
+      csv.Row(transport, chunk, pt.wall_s, pt.pushed, pt.diverted, pt.mb_s,
+              pt.syscalls_per_frame, pt.digest,
               WireCsvCells(r.net_bytes_sent, r.net_bytes_received,
                            r.net_frames_sent, r.net_frames_received,
                            r.net_retransmits, r.net_reconnects,
                            r.net_stall_seconds, r.shuffle_ack_replays));
-      points.push_back({transport, chunk, r.wall_seconds,
-                        r.Bytes(device::kPushedChunks),
-                        r.Bytes(device::kDivertedChunks), r.net_frames_sent,
-                        r.net_bytes_sent});
+      points.push_back(pt);
     }
   }
   std::printf("%s", table.ToString().c_str());
   std::printf("\nExpected shape: finer chunks => more frames for the same "
-              "payload (framing +\nper-send overhead); tcp pays it through "
-              "the kernel socket path, loopback\nonly through the protocol "
-              "layer.\n");
+              "payload (framing +\nper-send overhead); tcp pays one write(2) "
+              "per frame, epoll coalesces frames\ninto blocks so its "
+              "syscalls-per-frame sits well below 1.\n");
+
+  bench::Banner("Wire saturation: raw chunk frames, no engine attached");
+  const std::size_t wire_bytes =
+      static_cast<std::size_t>(cfg.GetInt("wire_mb", 64)) << 20;
+  TextTable wire_table;
+  wire_table.AddRow({"Transport", "Chunk bytes", "Payload", "Wall time",
+                     "MB/s", "Sys/frame"});
+  std::vector<WirePoint> wire_points;
+  for (const std::string& transport : {"tcp", "epoll"}) {
+    for (const std::size_t chunk : chunks) {
+      const auto pt = SaturateWire(transport, chunk, wire_bytes);
+      wire_table.AddRow({pt.transport, HumanBytes(double(pt.chunk_bytes)),
+                         HumanBytes(double(pt.payload_bytes)),
+                         HumanSeconds(pt.wall_s), Fixed(pt.mb_s),
+                         Fixed(pt.syscalls_per_frame, 3)});
+      wire_points.push_back(pt);
+    }
+  }
+  std::printf("%s", wire_table.ToString().c_str());
+
+  // The acceptance ratio: epoll wire throughput at 64 KB chunks against
+  // the committed pre-dataplane tcp baseline at the same chunk size.
+  const double before_64k = BeforeMbs(kBeforeTcp[1]);
+  double epoll_64k = 0.0;
+  for (const auto& pt : wire_points) {
+    if (pt.transport == "epoll" && pt.chunk_bytes == (64u << 10)) {
+      epoll_64k = pt.mb_s;
+    }
+  }
+  std::printf("\nepoll @ 64 KB chunks: %.1f MB/s = %.1fx the committed tcp "
+              "baseline (%.1f MB/s)\n",
+              epoll_64k, epoll_64k / before_64k, before_64k);
+  std::printf("output digests across transports: %s\n",
+              digests_agree ? "IDENTICAL" : "DIVERGED");
 
   const auto json_path = bench::OutDir() / "BENCH_transport.json";
   if (std::FILE* out = std::fopen(json_path.string().c_str(), "w")) {
@@ -98,25 +304,60 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"ablation_transport\",\n"
                  "  \"records\": %llu,\n"
-                 "  \"points\": [\n",
+                 "  \"before\": {\n"
+                 "    \"transport\": \"tcp\",\n"
+                 "    \"note\": \"committed pre-dataplane engine-grid tcp "
+                 "series\",\n"
+                 "    \"points\": [\n",
                  static_cast<unsigned long long>(gen.num_records));
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto& b = kBeforeTcp[p];
+      std::fprintf(out,
+                   "      { \"chunk_bytes\": %zu, \"wall_s\": %.4f, "
+                   "\"net_bytes_sent\": %lld, \"mb_s\": %.2f }%s\n",
+                   b.chunk_bytes, b.wall_s, b.net_bytes_sent, BeforeMbs(b),
+                   p + 1 < 3 ? "," : "");
+    }
+    std::fprintf(out,
+                 "    ]\n"
+                 "  },\n"
+                 "  \"points\": [\n");
     for (std::size_t p = 0; p < points.size(); ++p) {
       const auto& pt = points[p];
       std::fprintf(out,
                    "    { \"transport\": \"%s\", \"chunk_bytes\": %zu, "
                    "\"wall_s\": %.4f, \"pushed_chunks\": %lld, "
                    "\"diverted_chunks\": %lld, \"net_frames_sent\": %lld, "
-                   "\"net_bytes_sent\": %lld }%s\n",
+                   "\"net_bytes_sent\": %lld, \"mb_s\": %.2f, "
+                   "\"syscalls_per_frame\": %.3f, \"digest\": \"%08x\" }%s\n",
                    pt.transport.c_str(), pt.chunk_bytes, pt.wall_s,
                    static_cast<long long>(pt.pushed),
                    static_cast<long long>(pt.diverted),
                    static_cast<long long>(pt.net_frames),
-                   static_cast<long long>(pt.net_bytes),
+                   static_cast<long long>(pt.net_bytes), pt.mb_s,
+                   pt.syscalls_per_frame, pt.digest,
                    p + 1 < points.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"wire\": [\n");
+    for (std::size_t p = 0; p < wire_points.size(); ++p) {
+      const auto& pt = wire_points[p];
+      std::fprintf(out,
+                   "    { \"transport\": \"%s\", \"chunk_bytes\": %zu, "
+                   "\"payload_bytes\": %lld, \"wall_s\": %.4f, "
+                   "\"mb_s\": %.2f, \"syscalls_per_frame\": %.3f }%s\n",
+                   pt.transport.c_str(), pt.chunk_bytes, pt.payload_bytes,
+                   pt.wall_s, pt.mb_s, pt.syscalls_per_frame,
+                   p + 1 < wire_points.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"epoll_vs_before_tcp_64k\": %.2f\n"
+                 "}\n",
+                 epoll_64k / before_64k);
     std::fclose(out);
     std::printf("wrote %s\n", json_path.string().c_str());
   }
-  return 0;
+  return digests_agree ? 0 : 1;
 }

@@ -1,0 +1,95 @@
+#include "dataplane/block_cache.h"
+
+#include <utility>
+
+namespace opmr::dataplane {
+
+BlockCache::BlockCache(std::size_t capacity_bytes, MetricRegistry* metrics)
+    : capacity_bytes_(capacity_bytes), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    hits_ = metrics_->Get(kBlockCacheHits);
+    misses_ = metrics_->Get(kBlockCacheMisses);
+    evictions_ = metrics_->Get(kBlockCacheEvictions);
+    inserts_ = metrics_->Get(kBlockCacheInserts);
+  } else {
+    hits_ = &owned_counters_[0];
+    misses_ = &owned_counters_[1];
+    evictions_ = &owned_counters_[2];
+    inserts_ = &owned_counters_[3];
+  }
+}
+
+std::string BlockCache::Encode(const BlockCacheKey& key) {
+  std::string out = key.job;
+  out.push_back('\0');
+  out += std::to_string(key.sender);
+  out.push_back('/');
+  out += std::to_string(key.block_seq);
+  out.push_back('/');
+  out += std::to_string(key.crc);
+  return out;
+}
+
+void BlockCache::Insert(const BlockCacheKey& key,
+                        std::shared_ptr<const std::string> bytes) {
+  if (bytes == nullptr || bytes->size() > capacity_bytes_) return;
+  std::string encoded = Encode(key);
+  std::scoped_lock lock(mu_);
+  auto it = index_.find(encoded);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes->size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  bytes_ += bytes->size();
+  lru_.push_front(Entry{encoded, std::move(bytes)});
+  index_.emplace(std::move(encoded), lru_.begin());
+  inserts_->Increment();
+  EvictToFitLocked();
+}
+
+std::shared_ptr<const std::string> BlockCache::Lookup(
+    const BlockCacheKey& key) {
+  const std::string encoded = Encode(key);
+  std::scoped_lock lock(mu_);
+  auto it = index_.find(encoded);
+  if (it == index_.end()) {
+    misses_->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_->Increment();
+  return it->second->bytes;
+}
+
+void BlockCache::Erase(const BlockCacheKey& key) {
+  const std::string encoded = Encode(key);
+  std::scoped_lock lock(mu_);
+  auto it = index_.find(encoded);
+  if (it == index_.end()) return;
+  bytes_ -= it->second->bytes->size();
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+std::size_t BlockCache::size_bytes() const {
+  std::scoped_lock lock(mu_);
+  return bytes_;
+}
+
+std::size_t BlockCache::entries() const {
+  std::scoped_lock lock(mu_);
+  return lru_.size();
+}
+
+void BlockCache::EvictToFitLocked() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.bytes->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_->Increment();
+  }
+}
+
+}  // namespace opmr::dataplane

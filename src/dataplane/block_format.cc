@@ -1,0 +1,82 @@
+#include "dataplane/block_format.h"
+
+#include "common/crc32c.h"
+#include "common/slice.h"
+#include "storage/codec.h"
+
+namespace opmr::dataplane {
+
+bool IsBlockableType(net::FrameType type) noexcept {
+  switch (type) {
+    case net::FrameType::kChunk:
+    case net::FrameType::kSegmentRef:
+    case net::FrameType::kSegmentData:
+    case net::FrameType::kMapDone:
+    case net::FrameType::kCodedChunk:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AppendSubFrame(std::string* body, const net::Frame& frame) {
+  body->push_back(static_cast<char>(frame.type));
+  AppendU32(*body, static_cast<std::uint32_t>(frame.payload.size()));
+  body->append(frame.payload);
+}
+
+std::vector<net::Frame> UnpackBlock(const net::BlockMsg& block) {
+  std::string decompressed;
+  const std::string* body = &block.body;
+  if (block.codec == net::kBlockCodecOz) {
+    try {
+      decompressed = OzDecompress(Slice(block.body));
+    } catch (const std::exception& e) {
+      throw net::WireError(std::string("block: codec failure: ") + e.what());
+    }
+    body = &decompressed;
+  }
+  const std::uint32_t crc = Crc32cFinal(
+      Crc32cUpdate(kCrc32cInit, body->data(), body->size()));
+  if (crc != block.raw_crc) {
+    throw net::WireError("block: raw body CRC mismatch");
+  }
+  std::vector<net::Frame> frames;
+  frames.reserve(block.count);
+  std::size_t pos = 0;
+  while (pos < body->size()) {
+    if (frames.size() == block.count) {
+      throw net::WireError("block: body holds more sub-frames than count " +
+                           std::to_string(block.count));
+    }
+    if (body->size() - pos < 5) {
+      throw net::WireError("block: truncated sub-frame header");
+    }
+    const std::uint8_t type = static_cast<std::uint8_t>((*body)[pos]);
+    const std::uint32_t len = DecodeU32(body->data() + pos + 1);
+    pos += 5;
+    if (!net::IsKnownFrameType(type) ||
+        !IsBlockableType(static_cast<net::FrameType>(type))) {
+      // Covers nesting too: kBlock is not a blockable type.
+      throw net::WireError("block: non-blockable inner frame type " +
+                           std::to_string(type));
+    }
+    if (len > body->size() - pos) {
+      throw net::WireError("block: sub-frame length " + std::to_string(len) +
+                           " past body end");
+    }
+    net::Frame frame;
+    frame.type = static_cast<net::FrameType>(type);
+    frame.payload.assign(*body, pos, len);
+    frames.push_back(std::move(frame));
+    pos += len;
+  }
+  if (frames.size() != block.count) {
+    throw net::WireError("block: count " + std::to_string(block.count) +
+                         " disagrees with body (" +
+                         std::to_string(frames.size()) + " sub-frames)");
+  }
+  return frames;
+}
+
+}  // namespace opmr::dataplane

@@ -1,0 +1,40 @@
+// Block body format for the protocol-v7 kBlock frame (see net/wire.h).
+//
+// A block body is a concatenation of sub-frame entries:
+//
+//   [u8 type] [u32 len] [len payload bytes] ...
+//
+// optionally compressed AS ONE UNIT with the OZ codec (per-block codec
+// byte in BlockMsg).  Only data frames ride in blocks — the types a
+// shuffle sender emits in bulk between control frames — so the receiving
+// transport can unpack a block back into exactly the frame stream the
+// shuffle layer would have seen without batching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace opmr::dataplane {
+
+// Frame types eligible for coalescing.  Control frames (Hello, Bye, Abort,
+// acks, coordination traffic) are never batched: they mark stream
+// positions (Hello must lead a connection) or carry latency-sensitive
+// semantics (Abort), so they flush the pending block and go out bare.
+[[nodiscard]] bool IsBlockableType(net::FrameType type) noexcept;
+
+// Appends one sub-frame entry to a block body under construction.
+void AppendSubFrame(std::string* body, const net::Frame& frame);
+
+// Validates and unpacks a parsed BlockMsg back into its inner frames, in
+// order.  Decompresses when the codec byte says so, verifies `raw_crc`
+// over the uncompressed body, and walks the sub-frame entries rejecting
+// every lie a peer could tell: a length past the body, an unknown or
+// non-blockable inner type (blocks never nest), or a count field that
+// disagrees with the body.  Throws net::WireError on any violation.
+[[nodiscard]] std::vector<net::Frame> UnpackBlock(const net::BlockMsg& block);
+
+}  // namespace opmr::dataplane

@@ -1,0 +1,65 @@
+#include "dataplane/encoding_writer.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "dataplane/block_format.h"
+#include "storage/codec.h"
+
+namespace opmr::dataplane {
+
+void EncodingWriter::Add(const net::Frame& frame) {
+  assert(IsBlockableType(frame.type));
+  AppendSubFrame(&body_, frame);
+  ++count_;
+}
+
+net::BlockMsg EncodingWriter::Flush() {
+  assert(count_ > 0);
+  net::BlockMsg block;
+  block.block_seq = ++next_block_seq_;
+  block.count = count_;
+  block.raw_crc =
+      Crc32cFinal(Crc32cUpdate(kCrc32cInit, body_.data(), body_.size()));
+
+  raw_body_bytes_ += body_.size();
+  frames_ += count_;
+  ++blocks_;
+
+  bool try_codec = options_.compress;
+  if (try_codec && have_sample_ && ewma_ratio_ > options_.ratio_threshold) {
+    // The stream looks incompressible; skip the CPU, but re-sample
+    // periodically in case the content shifted (e.g. a new input split).
+    if (raw_blocks_until_sample_ > 0) {
+      --raw_blocks_until_sample_;
+      try_codec = false;
+    } else {
+      raw_blocks_until_sample_ = options_.resample_interval;
+    }
+  }
+
+  if (try_codec) {
+    std::string compressed = OzCompress(Slice(body_));
+    const double ratio =
+        body_.empty() ? 1.0
+                      : static_cast<double>(compressed.size()) /
+                            static_cast<double>(body_.size());
+    ewma_ratio_ = have_sample_ ? 0.7 * ewma_ratio_ + 0.3 * ratio : ratio;
+    have_sample_ = true;
+    if (ratio <= options_.ratio_threshold) {
+      block.codec = net::kBlockCodecOz;
+      block.body = std::move(compressed);
+      ++compressed_blocks_;
+    }
+  }
+  if (block.codec == net::kBlockCodecRaw) {
+    block.body = std::move(body_);
+  }
+  wire_body_bytes_ += block.body.size();
+  body_.clear();  // valid-but-unspecified after move; make it empty again
+  count_ = 0;
+  return block;
+}
+
+}  // namespace opmr::dataplane

@@ -1,0 +1,100 @@
+// EncodingWriter — block-granular wire encoding with adaptive compression.
+//
+// Mirrors the YTsaurus chunk-client encoding_writer design: data frames
+// accumulate into a pending block body; when the block fills (bytes or
+// frame count) the writer seals it, choosing the codec per block.  Codec
+// choice is adaptive: the writer compresses and keeps an EWMA of the
+// achieved ratio; while the ratio says the data is incompressible (above
+// `ratio_threshold`) it ships raw blocks and only re-samples compression
+// every `resample_interval` blocks, so CPU is never burned on payloads
+// that do not shrink (the mapred.compress.map.output trade-off, decided
+// per block instead of per job).
+//
+// Not thread-safe: the owning connection serializes access under its send
+// lock (compression therefore runs on the sending thread, in parallel
+// across connections, never on the event loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace opmr::dataplane {
+
+class EncodingWriter {
+ public:
+  struct Options {
+    // Master switch for the OZ codec; false ships every block raw.
+    bool compress = false;
+    std::size_t target_block_bytes = 256u << 10;
+    std::uint32_t max_block_frames = 64;
+    // Compressed/raw ratio above which a block is considered
+    // incompressible and the codec is bypassed.
+    double ratio_threshold = 0.92;
+    // Raw blocks shipped before compression is re-sampled.
+    int resample_interval = 16;
+  };
+
+  EncodingWriter() : EncodingWriter(Options{}) {}
+  explicit EncodingWriter(Options options) : options_(options) {}
+
+  // Appends one data frame to the pending block.
+  void Add(const net::Frame& frame);
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return body_.size();
+  }
+
+  // True once the pending block is worth a syscall.
+  [[nodiscard]] bool ShouldFlush() const noexcept {
+    return body_.size() >= options_.target_block_bytes ||
+           count_ >= options_.max_block_frames;
+  }
+
+  // Seals the pending block: picks the codec, stamps the sequence number
+  // and raw-body CRC, and resets the writer.  Requires !empty().
+  [[nodiscard]] net::BlockMsg Flush();
+
+  // Discards the pending block (connection teardown: the ack-window replay
+  // re-sends the frames, so half-built blocks must not survive a reconnect).
+  void Abandon() noexcept {
+    body_.clear();
+    count_ = 0;
+  }
+
+  // --- Stats (since construction) -------------------------------------------
+  [[nodiscard]] std::uint64_t blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t compressed_blocks() const noexcept {
+    return compressed_blocks_;
+  }
+  [[nodiscard]] std::uint64_t raw_body_bytes() const noexcept {
+    return raw_body_bytes_;
+  }
+  [[nodiscard]] std::uint64_t wire_body_bytes() const noexcept {
+    return wire_body_bytes_;
+  }
+
+ private:
+  Options options_;
+  std::string body_;
+  std::uint32_t count_ = 0;
+  std::uint64_t next_block_seq_ = 0;
+
+  // Adaptive-codec state: EWMA of achieved compressed/raw ratio and the
+  // countdown of raw blocks left before the next sample.
+  double ewma_ratio_ = 0.0;
+  bool have_sample_ = false;
+  int raw_blocks_until_sample_ = 0;
+
+  std::uint64_t blocks_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t compressed_blocks_ = 0;
+  std::uint64_t raw_body_bytes_ = 0;
+  std::uint64_t wire_body_bytes_ = 0;
+};
+
+}  // namespace opmr::dataplane

@@ -482,6 +482,15 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
       // even for pipelined (push) feeds.
       shuffle.EnableCheckpointReplay(files_->NewDir("shuffle_retain"),
                                      options.checkpoint.retain_budget_bytes);
+      if (cluster_.block_cache_bytes > 0) {
+        // Retained-spill payloads also land in the reducer-side block cache
+        // so a checkpoint-restart replay is served from memory.
+        if (block_cache_ == nullptr) {
+          block_cache_ = std::make_unique<dataplane::BlockCache>(
+              cluster_.block_cache_bytes, metrics_);
+        }
+        shuffle.SetBlockCache(block_cache_.get(), spec.name);
+      }
     } else if (reduce_retry_enabled) {
       // Classic Hadoop-style replay: file descriptors only.  A push job
       // still runs, but a reduce failure after a pushed chunk was consumed
@@ -1081,6 +1090,11 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.map_output_records = map_output_records.load();
   result.output_records = output_records.load();
   if (role == WorkerRole::kReduceOnly && shuffle_server != nullptr) {
+    // Let the clients' Bye frames land before the counter snapshot below:
+    // the reduce tail can finish a few milliseconds before a Bye that rode
+    // the data-plane flush timer, and the report would miss the client-side
+    // wire counters it carries.
+    shuffle_server->WaitClientsFinished(/*timeout_s=*/0.25);
     // Map tasks ran in the peer process; their stats arrived as MapDone
     // frames.
     result.input_records = shuffle_server->map_input_records();
@@ -1117,6 +1131,9 @@ JobResult ClusterExecutor::Run(const JobSpec& spec, const JobOptions& options) {
   result.shuffle_ack_replays = result.Bytes(kShuffleAckReplays);
   result.shuffle_ack_replayed_frames = result.Bytes(kShuffleAckReplayedFrames);
   result.shuffle_dup_frames = result.Bytes(kShuffleDupFrames);
+  result.block_cache_hits = result.Bytes(dataplane::kBlockCacheHits);
+  result.block_cache_misses = result.Bytes(dataplane::kBlockCacheMisses);
+  result.block_cache_evictions = result.Bytes(dataplane::kBlockCacheEvictions);
   result.spec_reduce_seeded_from_ckpt =
       static_cast<int>(result.Bytes("speculation.reduce_seeded"));
   return result;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dataplane/event_loop.h"
+
 namespace opmr {
 
 // --- ShuffleClient -----------------------------------------------------------
@@ -37,7 +39,7 @@ ShuffleClient::ShuffleClient(net::Transport* transport,
     {
       std::scoped_lock lock(mu_);
       frames.reserve(window_.size());
-      for (const auto& [seq, frame] : window_) frames.push_back(frame);
+      for (const auto& entry : window_) frames.push_back(entry.Materialize());
     }
     if (!frames.empty()) {
       ack_replays_->Increment();
@@ -71,7 +73,7 @@ void ShuffleClient::HandleReply(net::Connection* /*from*/, net::Frame frame) {
       const auto msg = net::AckMsg::Parse(frame);
       {
         std::scoped_lock lock(mu_);
-        while (!window_.empty() && window_.front().first <= msg.upto) {
+        while (!window_.empty() && window_.front().seq <= msg.upto) {
           window_.pop_front();
         }
       }
@@ -84,7 +86,7 @@ void ShuffleClient::HandleReply(net::Connection* /*from*/, net::Frame frame) {
       const auto msg = net::CodedAckMsg::Parse(frame);
       {
         std::scoped_lock lock(mu_);
-        while (!window_.empty() && window_.front().first <= msg.upto) {
+        while (!window_.empty() && window_.front().seq <= msg.upto) {
           window_.pop_front();
         }
       }
@@ -125,7 +127,7 @@ void ShuffleClient::SendSequenced(
     std::scoped_lock lock(mu_);
     const std::uint64_t seq = ++next_seq_;
     frame = build(seq);
-    window_.emplace_back(seq, frame);
+    window_.push_back(WindowEntry{seq, frame, nullptr});
   }
   conn_->Send(frame);
 }
@@ -190,26 +192,62 @@ void ShuffleClient::SendSegment(int map_task,
     });
     return;
   }
-  // No shared filesystem: ship the segment bytes inline.  The read is not
-  // charged to a device channel — it is the wire's copy, not an engine I/O
-  // the cost model tracks (net.bytes_sent covers it).
-  std::string bytes(segment.bytes, '\0');
-  SequentialReader reader(path, IoChannel());
-  reader.Seek(segment.offset);
-  if (!reader.ReadExact(bytes.data(), bytes.size())) {
-    throw std::runtime_error("shuffle client: segment vanished: " +
-                             path.string());
-  }
-  net::SegmentDataMsg msg;
-  msg.map_task = map_task;
-  msg.reducer = reducer;
-  msg.sorted = sorted;
-  msg.records = segment.records;
-  msg.bytes = std::move(bytes);
-  SendSequenced([&](std::uint64_t seq) {
+  // No shared filesystem: ship the segment bytes across the wire.
+  SendSegmentData(map_task, path, reducer, segment, sorted);
+}
+
+void ShuffleClient::SendSegmentData(int map_task,
+                                    const std::filesystem::path& path,
+                                    int reducer, const Segment& segment,
+                                    bool sorted) {
+  // The replay window never holds the segment payload: the spill file is
+  // immutable for the life of the job, so a replay re-reads it on demand.
+  // The read is not charged to a device channel — it is the wire's copy,
+  // not an engine I/O the cost model tracks (net.bytes_sent covers it).
+  const auto rebuild = [map_task, reducer, sorted, path, segment](
+                           std::uint64_t seq) {
+    std::string bytes(segment.bytes, '\0');
+    SequentialReader reader(path, IoChannel());
+    reader.Seek(segment.offset);
+    if (!reader.ReadExact(bytes.data(), bytes.size())) {
+      throw std::runtime_error("shuffle client: segment vanished: " +
+                               path.string());
+    }
+    net::SegmentDataMsg msg;
+    msg.map_task = map_task;
+    msg.reducer = reducer;
+    msg.sorted = sorted;
+    msg.records = segment.records;
     msg.seq = seq;
+    msg.bytes = std::move(bytes);
     return msg.ToFrame();
-  });
+  };
+  std::scoped_lock send_order(seq_mu_);
+  std::uint64_t seq = 0;
+  {
+    std::scoped_lock lock(mu_);
+    seq = ++next_seq_;
+    window_.push_back(
+        WindowEntry{seq, net::Frame{}, [rebuild, seq] { return rebuild(seq); }});
+  }
+  // Zero-copy first: a SegmentData payload is the fixed-field prefix
+  // followed by the length-prefixed bytes, so the file region can ride a
+  // sendfile frame with everything before it as the payload prefix.
+  std::string prefix;
+  prefix.reserve(29);
+  AppendU32(prefix, static_cast<std::uint32_t>(map_task));
+  AppendU32(prefix, static_cast<std::uint32_t>(reducer));
+  prefix.push_back(sorted ? 1 : 0);
+  AppendU64(prefix, segment.records);
+  AppendU64(prefix, seq);
+  AppendU32(prefix, static_cast<std::uint32_t>(segment.bytes));
+  if (conn_->SendFileFrame(net::FrameType::kSegmentData, prefix, path.string(),
+                           segment.offset, segment.bytes)) {
+    return;
+  }
+  // Transport without a kernel-assisted path (tcp/loopback): materialize
+  // the frame once and send it inline.
+  conn_->Send(rebuild(seq));
 }
 
 void ShuffleClient::SendSequencedFrame(
@@ -237,7 +275,7 @@ void ShuffleClient::ReplayUnacked() {
   {
     std::scoped_lock lock(mu_);
     frames.reserve(window_.size());
-    for (const auto& [seq, frame] : window_) frames.push_back(frame);
+    for (const auto& entry : window_) frames.push_back(entry.Materialize());
   }
   if (frames.empty()) return;
   ack_replays_->Increment();
@@ -292,6 +330,14 @@ void ShuffleClient::Finish() {
   bye.ack_replays = static_cast<std::uint64_t>(ack_replays_->value());
   bye.ack_replayed_frames =
       static_cast<std::uint64_t>(ack_replayed_frames_->value());
+  bye.blocks_sent =
+      static_cast<std::uint64_t>(metrics_->Value(dataplane::kBlocksSent));
+  bye.blocks_compressed =
+      static_cast<std::uint64_t>(metrics_->Value(dataplane::kBlocksCompressed));
+  bye.sendfile_frames =
+      static_cast<std::uint64_t>(metrics_->Value(dataplane::kSendfileFrames));
+  bye.sendfile_bytes =
+      static_cast<std::uint64_t>(metrics_->Value(dataplane::kSendfileBytes));
   try {
     conn_->Send(bye.ToFrame());
   } catch (const net::TransportError&) {
@@ -399,6 +445,14 @@ std::uint64_t ShuffleServer::map_input_records() const {
 std::uint64_t ShuffleServer::map_output_records() const {
   std::scoped_lock lock(mu_);
   return map_output_records_;
+}
+
+void ShuffleServer::WaitClientsFinished(double timeout_s) {
+  std::unique_lock lock(mu_);
+  bye_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_s), [this] {
+        return !clients_.empty() && byes_received_ >= clients_.size();
+      });
 }
 
 bool ShuffleServer::AdmitSequenced(net::Connection* from, std::uint64_t seq) {
@@ -592,7 +646,20 @@ void ShuffleServer::HandleFrame(net::Connection* from, net::Frame frame) {
               ->Add(static_cast<std::int64_t>(msg.ack_replays));
           metrics_->Get(kShuffleAckReplayedFrames)
               ->Add(static_cast<std::int64_t>(msg.ack_replayed_frames));
+          metrics_->Get(dataplane::kBlocksSent)
+              ->Add(static_cast<std::int64_t>(msg.blocks_sent));
+          metrics_->Get(dataplane::kBlocksCompressed)
+              ->Add(static_cast<std::int64_t>(msg.blocks_compressed));
+          metrics_->Get(dataplane::kSendfileFrames)
+              ->Add(static_cast<std::int64_t>(msg.sendfile_frames));
+          metrics_->Get(dataplane::kSendfileBytes)
+              ->Add(static_cast<std::int64_t>(msg.sendfile_bytes));
         }
+        {
+          std::scoped_lock lock(mu_);
+          ++byes_received_;
+        }
+        bye_cv_.notify_all();
         break;
       }
       case net::FrameType::kAbort: {

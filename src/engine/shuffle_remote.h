@@ -115,9 +115,30 @@ class ShuffleClient final : public ShuffleMapEndpoint {
       const std::function<net::Frame(std::uint64_t)>& build);
 
  private:
+  // One delivered-but-unacked frame.  Frames whose payload is a file
+  // region (SegmentData over a transport with a sendfile path) are not
+  // held in memory: `rebuild` re-reads the immutable spill file when a
+  // replay needs the bytes again.
+  struct WindowEntry {
+    std::uint64_t seq = 0;
+    net::Frame frame;
+    std::function<net::Frame()> rebuild;  // set => frame is empty
+
+    [[nodiscard]] net::Frame Materialize() const {
+      return rebuild ? rebuild() : frame;
+    }
+  };
+
   void HandleReply(net::Connection* from, net::Frame frame);
   void SendSegment(int map_task, const std::filesystem::path& path,
                    int reducer, const Segment& segment, bool sorted);
+  // Non-shared-fs segment send: assigns a seq, parks a rebuild closure in
+  // the replay window, and ships the payload as header-prefix + file
+  // region via Connection::SendFileFrame (zero-copy on the event-loop
+  // transport), falling back to an in-memory SegmentData frame when the
+  // transport has no kernel-assisted path.
+  void SendSegmentData(int map_task, const std::filesystem::path& path,
+                       int reducer, const Segment& segment, bool sorted);
   // Assigns the next seq, records the frame in the replay window, and
   // sends it.  `build` receives the assigned seq and returns the frame.
   // Serialised under mu_, so the window is always seq-contiguous.
@@ -147,7 +168,7 @@ class ShuffleClient final : public ShuffleMapEndpoint {
   bool closed_ = false;
   std::uint64_t next_seq_ = 0;
   // Sent frames awaiting acknowledgement, in seq order.
-  std::deque<std::pair<std::uint64_t, net::Frame>> window_;
+  std::deque<WindowEntry> window_;
 };
 
 // Reduce-side endpoint: applies inbound frames to the job's ShuffleService
@@ -188,6 +209,14 @@ class ShuffleServer {
   // Map-side stats accumulated from MapDone frames.
   [[nodiscard]] std::uint64_t map_input_records() const;
   [[nodiscard]] std::uint64_t map_output_records() const;
+
+  // Blocks (bounded) until every connected client's Bye has been applied,
+  // so the job report assembled right after reduce completion includes the
+  // client-side wire counters.  The race is structural: acks ride the
+  // data-plane flush timer, so a fast reduce tail beats the Bye by a few
+  // milliseconds.  Returns once all Byes arrived or the timeout expires
+  // (crashed clients never send one).
+  void WaitClientsFinished(double timeout_s);
 
  private:
   // Per mapper-group client, keyed by the Hello worker id ("" in the
@@ -231,6 +260,8 @@ class ShuffleServer {
   std::function<void(int)> map_done_hook_;
 
   mutable std::mutex mu_;
+  std::condition_variable bye_cv_;
+  std::size_t byes_received_ = 0;
   std::map<std::string, ClientState> clients_;
   std::map<net::Connection*, std::string> conn_worker_;
   std::map<int, std::string> task_owner_;  // map task -> worker id

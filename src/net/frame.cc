@@ -1,5 +1,6 @@
 #include "net/frame.h"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "common/crc32c.h"
@@ -33,13 +34,15 @@ const char* FrameTypeName(FrameType type) noexcept {
     case FrameType::kLeaderClaim: return "leader_claim";
     case FrameType::kCodedChunk: return "coded_chunk";
     case FrameType::kCodedAck: return "coded_ack";
+    case FrameType::kBlock: return "block";
+    case FrameType::kBlockAck: return "block_ack";
   }
   return "unknown";
 }
 
 bool IsKnownFrameType(std::uint8_t type) noexcept {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kCodedAck);
+         type <= static_cast<std::uint8_t>(FrameType::kBlockAck);
 }
 
 void AppendFrame(std::string* out, const Frame& frame) {
@@ -67,6 +70,11 @@ std::string EncodeFrame(const Frame& frame) {
 }
 
 void FrameDecoder::Feed(const char* data, std::size_t size) {
+  // Feed may compact or reallocate the buffer, which would silently turn an
+  // outstanding NextView result into a dangling slice.  The lifetime
+  // contract is assertion-guarded rather than worked around: views are for
+  // handlers that finish with the payload before asking for more input.
+  assert(!view_active_ && "Feed while a FrameView is outstanding");
   // Compact the decoded prefix before it dominates the buffer.
   if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
     buffer_.erase(0, consumed_);
@@ -75,7 +83,8 @@ void FrameDecoder::Feed(const char* data, std::size_t size) {
   buffer_.append(data, size);
 }
 
-DecodeStatus FrameDecoder::Next(Frame* out) {
+DecodeStatus FrameDecoder::DecodeNext(FrameType* type, const char** payload,
+                                      std::size_t* payload_len) {
   if (error_ != DecodeStatus::kOk) return error_;
   const char* base = buffer_.data() + consumed_;
   const std::size_t avail = buffer_.size() - consumed_;
@@ -83,24 +92,50 @@ DecodeStatus FrameDecoder::Next(Frame* out) {
   if (DecodeU32(base) != kFrameMagic) {
     return error_ = DecodeStatus::kBadMagic;
   }
-  const std::uint8_t type = static_cast<std::uint8_t>(base[4]);
-  if (!IsKnownFrameType(type)) {
+  const std::uint8_t type_byte = static_cast<std::uint8_t>(base[4]);
+  if (!IsKnownFrameType(type_byte)) {
     return error_ = DecodeStatus::kBadType;
   }
-  const std::uint32_t payload_len = DecodeU32(base + 8);
-  if (payload_len > kMaxFramePayload) {
+  const std::uint32_t len = DecodeU32(base + 8);
+  if (len > kMaxFramePayload) {
     return error_ = DecodeStatus::kOversized;
   }
-  if (avail < kFrameHeaderBytes + payload_len) return DecodeStatus::kNeedMore;
+  if (avail < kFrameHeaderBytes + len) return DecodeStatus::kNeedMore;
   const std::uint32_t expected_crc = DecodeU32(base + 12);
   std::uint32_t crc = Crc32cUpdate(kCrc32cInit, base + 4, 4);
-  crc = Crc32cFinal(Crc32cUpdate(crc, base + kFrameHeaderBytes, payload_len));
+  crc = Crc32cFinal(Crc32cUpdate(crc, base + kFrameHeaderBytes, len));
   if (crc != expected_crc) {
     return error_ = DecodeStatus::kBadCrc;
   }
-  out->type = static_cast<FrameType>(type);
-  out->payload.assign(base + kFrameHeaderBytes, payload_len);
-  consumed_ += kFrameHeaderBytes + payload_len;
+  *type = static_cast<FrameType>(type_byte);
+  *payload = base + kFrameHeaderBytes;
+  *payload_len = len;
+  consumed_ += kFrameHeaderBytes + len;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus FrameDecoder::Next(Frame* out) {
+  view_active_ = false;  // any prior view ends here
+  FrameType type;
+  const char* payload = nullptr;
+  std::size_t payload_len = 0;
+  const DecodeStatus status = DecodeNext(&type, &payload, &payload_len);
+  if (status != DecodeStatus::kOk) return status;
+  out->type = type;
+  out->payload.assign(payload, payload_len);
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus FrameDecoder::NextView(FrameView* out) {
+  view_active_ = false;
+  FrameType type;
+  const char* payload = nullptr;
+  std::size_t payload_len = 0;
+  const DecodeStatus status = DecodeNext(&type, &payload, &payload_len);
+  if (status != DecodeStatus::kOk) return status;
+  out->type = type;
+  out->payload = Slice(payload, payload_len);
+  view_active_ = true;
   return DecodeStatus::kOk;
 }
 

@@ -33,8 +33,16 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-// Writes the whole buffer; returns false on any socket error.
-bool WriteAll(int fd, const std::string& data) {
+void SetSockBuf(int fd, int bytes) {
+  if (bytes <= 0) return;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
+// Writes the whole buffer; returns false on any socket error.  Each
+// successful send(2) is charged to `syscalls` (when non-null) — the
+// per-frame kernel-crossing count the ablation bench reports.
+bool WriteAll(int fd, const std::string& data, Counter* syscalls = nullptr) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
@@ -43,6 +51,7 @@ bool WriteAll(int fd, const std::string& data) {
       if (errno == EINTR) continue;
       return false;
     }
+    if (syscalls != nullptr) syscalls->Increment();
     off += static_cast<std::size_t>(n);
   }
   return true;
@@ -64,7 +73,7 @@ Endpoint ParseEndpoint(const std::string& text) {
   return ep;
 }
 
-int DialOnce(const Endpoint& ep) {
+int DialOnce(const Endpoint& ep, int sock_buf_bytes) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
@@ -79,6 +88,7 @@ int DialOnce(const Endpoint& ep) {
     return -1;
   }
   SetNoDelay(fd);
+  SetSockBuf(fd, sock_buf_bytes);
   return fd;
 }
 
@@ -105,6 +115,7 @@ class TcpServerConnection final : public Connection {
           if (n < 0 && errno == EINTR) continue;
           break;  // EOF or error: peer is gone (or we are shutting down)
         }
+        owner_->recv_syscalls_->Increment();
         owner_->bytes_received_->Add(n);
         decoder.Feed(buf, static_cast<std::size_t>(n));
         Frame frame;
@@ -128,7 +139,7 @@ class TcpServerConnection final : public Connection {
   void Send(const Frame& frame) override {
     const std::string bytes = EncodeFrame(frame);
     std::scoped_lock lock(write_mu_);
-    if (closed_ || !WriteAll(fd_, bytes)) {
+    if (closed_ || !WriteAll(fd_, bytes, owner_->send_syscalls_)) {
       closed_ = true;
       throw TransportError("tcp: peer connection lost");
     }
@@ -229,7 +240,7 @@ class TcpClientConnection final : public Connection {
           continue;
         }
       }
-      if (WriteAll(fd_, bytes)) {
+      if (WriteAll(fd_, bytes, owner_->send_syscalls_)) {
         owner_->frames_sent_->Increment();
         owner_->bytes_sent_->Add(static_cast<std::int64_t>(bytes.size()));
         return;
@@ -267,7 +278,7 @@ class TcpClientConnection final : public Connection {
   // All Locked methods require send_mu_.
   void DialLocked() {
     for (int attempt = 1;; ++attempt) {
-      fd_ = DialOnce(endpoint_);
+      fd_ = DialOnce(endpoint_, owner_->options_.sock_buf_bytes);
       if (fd_ >= 0) return;
       if (attempt >= owner_->options_.connect_attempts) {
         throw TransportError("tcp: cannot connect to " + endpoint_.host + ":" +
@@ -287,6 +298,7 @@ class TcpClientConnection final : public Connection {
           if (n < 0 && errno == EINTR) continue;
           return;  // EOF: server closed, or this generation was torn down
         }
+        owner_->recv_syscalls_->Increment();
         owner_->bytes_received_->Add(n);
         decoder.Feed(buf, static_cast<std::size_t>(n));
         Frame frame;
@@ -325,7 +337,7 @@ class TcpClientConnection final : public Connection {
     }
     if (has_preamble) {
       const std::string bytes = EncodeFrame(preamble);
-      if (!WriteAll(fd_, bytes)) {
+      if (!WriteAll(fd_, bytes, owner_->send_syscalls_)) {
         throw TransportError("tcp: reconnect handshake failed");
       }
       owner_->frames_sent_->Increment();
@@ -338,7 +350,7 @@ class TcpClientConnection final : public Connection {
       // absorbs any copies that did survive.
       for (const Frame& frame : replay()) {
         const std::string bytes = EncodeFrame(frame);
-        if (!WriteAll(fd_, bytes)) {
+        if (!WriteAll(fd_, bytes, owner_->send_syscalls_)) {
           throw TransportError("tcp: reconnect replay failed");
         }
         owner_->frames_sent_->Increment();
@@ -375,7 +387,9 @@ TcpTransport::TcpTransport(MetricRegistry* metrics, Options options)
       bytes_received_(metrics->Get(kNetBytesReceived)),
       retransmits_(metrics->Get(kNetRetransmits)),
       reconnects_(metrics->Get(kNetReconnects)),
-      stall_nanos_(metrics->Get(kNetStallNanos)) {}
+      stall_nanos_(metrics->Get(kNetStallNanos)),
+      send_syscalls_(metrics->Get(kNetSendSyscalls)),
+      recv_syscalls_(metrics->Get(kNetRecvSyscalls)) {}
 
 TcpTransport::TcpTransport(MetricRegistry* metrics, std::string endpoint,
                            Options options)
@@ -449,6 +463,10 @@ void TcpTransport::Listen(FrameHandler handler) {
         return;  // listener shut down
       }
       SetNoDelay(fd);
+      {
+        std::scoped_lock lock(mu_);
+        SetSockBuf(fd, options_.sock_buf_bytes);
+      }
       auto conn = std::make_shared<TcpServerConnection>(this, fd);
       FrameHandler handler;
       {
